@@ -1,0 +1,41 @@
+//! Criterion microbenches for the interconnect collective cost models —
+//! these run once per collective in the simulation, but correctness of
+//! their asymptotics matters more than speed, so the benches double as a
+//! place where the scaling is visible in numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::{Interconnect, InterconnectParams};
+use std::hint::black_box;
+
+fn bench_collective_models(c: &mut Criterion) {
+    let net = Interconnect::new(InterconnectParams::gemini());
+    let mut g = c.benchmark_group("collective_cost_models");
+    for p in [1024usize, 65536] {
+        g.bench_with_input(BenchmarkId::new("bcast", p), &p, |b, &p| {
+            b.iter(|| black_box(net.bcast(p, 1 << 20)));
+        });
+        g.bench_with_input(BenchmarkId::new("gather", p), &p, |b, &p| {
+            b.iter(|| black_box(net.gather(p, 40_000)));
+        });
+        g.bench_with_input(BenchmarkId::new("hierarchical", p), &p, |b, &p| {
+            b.iter(|| black_box(net.hierarchical_aggregate(p, 64, 40_000, 40_000 * p as u64)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_page_cache(c: &mut Criterion) {
+    use pfs::cache::PageCache;
+    c.bench_function("page_cache_lookup_hit", |b| {
+        let mut cache = PageCache::new(1 << 30, 1 << 20);
+        cache.insert(1, 0, 512 << 20);
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + (1 << 20)) % (256 << 20);
+            black_box(cache.lookup(1, off, 1 << 20))
+        });
+    });
+}
+
+criterion_group!(benches, bench_collective_models, bench_page_cache);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion microbenches for the functional PLFS middleware over the
+//! in-memory backend: container creation, the write fast path, and
+//! read-back resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use plfs::reader::ReadHandle;
+use plfs::writer::{IndexPolicy, WriteHandle};
+use plfs::{Container, Content, Federation, MemFs};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_container_create(c: &mut Criterion) {
+    let fed = Federation::new(
+        (0..10).map(|i| format!("/vol{i}")).collect(),
+        32,
+        true,
+        true,
+    );
+    let mut i = 0u64;
+    c.bench_function("container_create_federated", |b| {
+        let fs = Arc::new(MemFs::new());
+        b.iter(|| {
+            i += 1;
+            let cont = Container::new(&format!("/out/f{i}"), &fed);
+            cont.create(black_box(&fs)).unwrap();
+        });
+    });
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let fed = Federation::single("/panfs", 4);
+    let mut g = c.benchmark_group("write_path");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("write_64k", |b| {
+        let fs = Arc::new(MemFs::new());
+        let cont = Container::new("/ckpt", &fed);
+        let mut h =
+            WriteHandle::open(Arc::clone(&fs), cont, 0, IndexPolicy::WriteClose).unwrap();
+        let payload = Content::synthetic(1, 64 * 1024);
+        let mut off = 0u64;
+        b.iter(|| {
+            h.write(off, black_box(&payload), off).unwrap();
+            off += 64 * 1024;
+        });
+    });
+    g.finish();
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let fed = Federation::single("/panfs", 4);
+    let fs = Arc::new(MemFs::new());
+    let cont = Container::new("/ckpt", &fed);
+    // 8 writers × 128 strided 4 KiB blocks.
+    for w in 0..8u64 {
+        let mut h =
+            WriteHandle::open(Arc::clone(&fs), cont.clone(), w, IndexPolicy::WriteClose).unwrap();
+        for k in 0..128u64 {
+            h.write((k * 8 + w) * 4096, &Content::synthetic(w, 4096), k)
+                .unwrap();
+        }
+        h.close(999).unwrap();
+    }
+
+    c.bench_function("read_open_aggregate_8_writers", |b| {
+        b.iter(|| {
+            black_box(ReadHandle::open(Arc::clone(&fs), cont.clone()).unwrap());
+        });
+    });
+
+    let mut r = ReadHandle::open(Arc::clone(&fs), cont.clone()).unwrap();
+    let mut g = c.benchmark_group("read_path");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("read_64k_spanning_writers", |b| {
+        let mut off = 0u64;
+        let eof = r.size() - 64 * 1024;
+        b.iter(|| {
+            off = (off + 64 * 1024) % eof;
+            black_box(r.read(off, 64 * 1024).unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_fsck(c: &mut Criterion) {
+    let fed = Federation::single("/panfs", 4);
+    let fs = Arc::new(MemFs::new());
+    let cont = Container::new("/ckpt", &fed);
+    for w in 0..16u64 {
+        let mut h =
+            WriteHandle::open(Arc::clone(&fs), cont.clone(), w, IndexPolicy::WriteClose).unwrap();
+        for k in 0..64u64 {
+            h.write((k * 16 + w) * 4096, &Content::synthetic(w, 4096), k)
+                .unwrap();
+        }
+        h.close(99).unwrap();
+    }
+    c.bench_function("fsck_check_16_writers", |b| {
+        b.iter(|| black_box(plfs::fsck::check(&fs, &cont).unwrap()));
+    });
+}
+
+fn bench_index_compaction(c: &mut Criterion) {
+    use plfs::{GlobalIndex, IndexEntry};
+    // Segmented pattern: maximally compactable.
+    let entries: Vec<IndexEntry> = (0..64u64)
+        .flat_map(|w| {
+            (0..256u64).map(move |k| IndexEntry {
+                logical_offset: w * 256 * 4096 + k * 4096,
+                length: 4096,
+                physical_offset: k * 4096,
+                writer: w,
+                timestamp: k + 1,
+            })
+        })
+        .collect();
+    c.bench_function("compact_16k_segmented_spans", |b| {
+        b.iter(|| {
+            let mut idx = GlobalIndex::from_entries(black_box(entries.clone()));
+            idx.compact();
+            black_box(idx)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_container_create,
+    bench_write_path,
+    bench_read_path,
+    bench_fsck,
+    bench_index_compaction
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenches for the PLFS index machinery — the data
+//! structure every read-open at 65k scale leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plfs::{GlobalIndex, IndexEntry};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn strided_entries(writers: u64, per_writer: u64, block: u64) -> Vec<IndexEntry> {
+    let mut out = Vec::with_capacity((writers * per_writer) as usize);
+    for w in 0..writers {
+        for k in 0..per_writer {
+            out.push(IndexEntry {
+                logical_offset: (k * writers + w) * block,
+                length: block,
+                physical_offset: k * block,
+                writer: w,
+                timestamp: 1,
+            });
+        }
+    }
+    out
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    for writers in [16u64, 64, 256] {
+        let entries = strided_entries(writers, 100, 65536);
+        g.throughput(Throughput::Elements(entries.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(writers),
+            &entries,
+            |b, entries| {
+                b.iter(|| GlobalIndex::from_entries(black_box(entries.clone())));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let entries = strided_entries(256, 100, 65536);
+    let idx = GlobalIndex::from_entries(entries);
+    let eof = idx.eof();
+    let mut rng = SmallRng::seed_from_u64(7);
+    c.bench_function("index_lookup_random_64k", |b| {
+        b.iter(|| {
+            let off = rng.gen_range(0..eof - 65536);
+            black_box(idx.lookup(off, 65536))
+        });
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Group-leader merge: 4 partial indices of 64 writers each.
+    let partials: Vec<GlobalIndex> = (0..4)
+        .map(|g| {
+            GlobalIndex::from_entries(
+                strided_entries(256, 50, 65536)
+                    .into_iter()
+                    .filter(|e| e.writer % 4 == g),
+            )
+        })
+        .collect();
+    c.bench_function("index_merge_4_groups", |b| {
+        b.iter(|| {
+            let mut merged = GlobalIndex::new();
+            for p in &partials {
+                merged.merge(black_box(p));
+            }
+            black_box(merged)
+        });
+    });
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let entries = strided_entries(64, 100, 65536);
+    let bytes = IndexEntry::encode_all(&entries);
+    let mut g = c.benchmark_group("index_serialization");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(IndexEntry::encode_all(black_box(&entries))));
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(IndexEntry::decode_all(black_box(&bytes)).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_lookup,
+    bench_merge,
+    bench_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation — subdirs per container.
+//!
+//! Subdirs are the unit federated metadata spreads across namespaces
+//! (§V): too few and a container's droppings concentrate on few MDS; too
+//! many and container creation itself becomes expensive. This sweep runs
+//! the N-N create storm at several subdir counts under PLFS-10.
+
+use harness::{render_figure, repeat, ClusterProfile, Middleware, Series};
+use mpio::{OpKind, ReadStrategy};
+use plfs_bench::reps;
+use workloads::{metadata_storm, mpiio_test};
+
+fn main() {
+    let cluster = ClusterProfile::production_cluster();
+    let nprocs = if plfs_bench::quick() { 64 } else { 256 };
+
+    let mut storm_open = Series::new("N-N storm open");
+    let mut n1_open = Series::new("N-1 read open");
+    for subdirs in [1usize, 4, 16, 32, 64, 128] {
+        let mw = Middleware::Plfs {
+            strategy: ReadStrategy::ParallelIndexRead,
+            mds: 10,
+            subdirs,
+            group_size: 64,
+            flatten_threshold: 1 << 20,
+        };
+        let storm = metadata_storm(nprocs, 4, false);
+        let o = repeat(&storm, &cluster, &mw, reps(), 3, |o| {
+            o.metrics.mean_duration_s(OpKind::OpenWrite)
+        });
+        storm_open.push(subdirs as u64, &o);
+
+        let ckpt = mpiio_test(nprocs);
+        let r = repeat(&ckpt, &cluster, &mw, reps(), 3, |o| {
+            o.metrics.mean_duration_s(OpKind::OpenRead)
+        });
+        n1_open.push(subdirs as u64, &r);
+    }
+    println!(
+        "{}",
+        render_figure(
+            &format!("Ablation: subdirs per container ({nprocs} procs, PLFS-10)"),
+            "subdirs",
+            "seconds",
+            &[storm_open, n1_open]
+        )
+    );
+    println!("# More subdirs spread dropping creation and index reads over more MDS");
+    println!("# (good for the N-1 read path) but add per-container creation work (bad");
+    println!("# for the N-N storm) — the tension behind PLFS's default of a few dozen.");
+}

@@ -1,0 +1,70 @@
+//! Figure 4 — the read-scaling study on the production cluster
+//! (§IV-C): MPI-IO Test, each stream writing/reading 50 MB in 50 KB
+//! increments, comparing the Original PLFS design against Index Flatten
+//! and Parallel Index Read at up to 2,048 concurrent streams.
+//!
+//! Prints four panels:
+//!   (a) read open time (index aggregation) vs streams
+//!   (b) effective read bandwidth (open+read+close) vs streams
+//!   (c) write close time vs streams
+//!   (d) effective write bandwidth vs streams
+
+use harness::{render_figure, ClusterProfile, Middleware};
+use mpio::{OpKind, ReadStrategy};
+use plfs_bench::{scales, sweep};
+use workloads::mpiio_test;
+
+fn main() {
+    let cluster = ClusterProfile::production_cluster();
+    let xs = scales(&[16, 64, 256, 1024, 2048]);
+    let strategies = [
+        ("Original", ReadStrategy::Original),
+        ("Index Flatten", ReadStrategy::IndexFlatten),
+        ("Parallel Index Read", ReadStrategy::ParallelIndexRead),
+    ];
+
+    let panel = |metric: fn(&harness::RunOutput) -> f64| -> Vec<harness::Series> {
+        strategies
+            .iter()
+            .map(|(label, strategy)| {
+                sweep(
+                    label,
+                    &cluster,
+                    &Middleware::plfs(*strategy, 1),
+                    &xs,
+                    mpiio_test,
+                    metric,
+                )
+            })
+            .collect()
+    };
+
+    let a = panel(|o| o.metrics.mean_duration_s(OpKind::OpenRead));
+    println!(
+        "{}",
+        render_figure("Figure 4a: Read Open Time", "streams", "seconds", &a)
+    );
+
+    let b = panel(|o| o.metrics.effective_read_bandwidth() / 1e6);
+    println!(
+        "{}",
+        render_figure("Figure 4b: Read Bandwidth", "streams", "MB/s", &b)
+    );
+
+    let c = panel(|o| o.metrics.mean_duration_s(OpKind::CloseWrite));
+    println!(
+        "{}",
+        render_figure("Figure 4c: Write Close Time", "streams", "seconds", &c)
+    );
+
+    let d = panel(|o| o.metrics.effective_write_bandwidth() / 1e6);
+    println!(
+        "{}",
+        render_figure("Figure 4d: Write Bandwidth", "streams", "MB/s", &d)
+    );
+
+    println!("# Paper shapes: (a) Original grows superlinearly, optimizations ~4x faster");
+    println!("# at 2048; (b) ~3x read-bandwidth win at 2048, caching pushes values past");
+    println!("# the 1250 MB/s network peak at ≥1024 streams; (c/d) Index Flatten pays a");
+    println!("# higher close time / lower write bandwidth with more variance.");
+}

@@ -1,0 +1,129 @@
+//! What-if sensitivity sweeps: how the headline comparisons move as the
+//! calibration constants move. Complements the per-figure ablations by
+//! sweeping the *platform*, not the middleware.
+//!
+//! Three sweeps, each reporting the PLFS-vs-direct ratio that figure
+//! relies on:
+//!   * storage-network peak (write bandwidth headroom)
+//!   * stripe-group width (the spindle-engagement read advantage)
+//!   * MDS service speed (the metadata-federation advantage)
+
+use harness::{render_figure, run_workload_tweaked, ClusterProfile, Middleware, Series};
+use mpio::{OpKind, ReadStrategy};
+use plfs_bench::reps;
+use simcore::Summary;
+use workloads::{ior, metadata_storm, mpiio_test};
+
+fn ratio_summary(
+    w: &workloads::Workload,
+    cluster: &ClusterProfile,
+    tweak: impl Fn(&mut pfs::PfsParams) + Copy,
+    metric: impl Fn(&harness::RunOutput) -> f64 + Copy,
+    plfs_mds: usize,
+) -> Summary {
+    let mut s = Summary::new();
+    for rep in 0..reps() {
+        let seed = 17 + rep * 7919;
+        let d = run_workload_tweaked(w, cluster, &Middleware::Direct, seed, tweak);
+        let p = run_workload_tweaked(
+            w,
+            cluster,
+            &Middleware::plfs(ReadStrategy::ParallelIndexRead, plfs_mds),
+            seed,
+            tweak,
+        );
+        let dv = metric(&d);
+        if dv > 0.0 {
+            s.add(metric(&p) / dv);
+        }
+    }
+    s
+}
+
+fn main() {
+    let cluster = ClusterProfile::production_cluster();
+    let nprocs = if plfs_bench::quick() { 32 } else { 128 };
+
+    // --- storage network peak vs write speedup -------------------------
+    let w = mpiio_test(nprocs).write_only();
+    let mut net = Series::new("write speedup");
+    for pct in [50u64, 100, 200, 400] {
+        let f = pct as f64 / 100.0;
+        let s = ratio_summary(
+            &w,
+            &cluster,
+            move |p| p.net.aggregate_bw *= f,
+            |o| o.metrics.effective_write_bandwidth(),
+            1,
+        );
+        net.push(pct, &s);
+    }
+    println!(
+        "{}",
+        render_figure(
+            "What-if: storage-network peak (as % of calibration) vs PLFS write speedup",
+            "% of peak",
+            "speedup (x)",
+            &[net]
+        )
+    );
+
+    // --- stripe-group width vs read speedup ----------------------------
+    let w = ior(nprocs);
+    let mut width = Series::new("read speedup");
+    for sw in [4usize, 10, 16, 32, 64] {
+        let s = ratio_summary(
+            &w,
+            &cluster,
+            move |p| p.stripe_width = sw,
+            |o| o.metrics.effective_read_bandwidth(),
+            1,
+        );
+        width.push(sw as u64, &s);
+    }
+    println!(
+        "{}",
+        render_figure(
+            "What-if: per-file stripe-group width vs PLFS read speedup (IOR)",
+            "width",
+            "speedup (x)",
+            &[width]
+        )
+    );
+
+    // --- MDS speed vs metadata speedup ----------------------------------
+    let w = metadata_storm(nprocs, 4, false);
+    let mut mds = Series::new("open-time speedup (PLFS-10)");
+    for pct in [50u64, 100, 200, 400] {
+        let f = pct as f64 / 100.0;
+        let s = ratio_summary(
+            &w,
+            &cluster,
+            move |p| {
+                p.meta_create_s /= f;
+                p.meta_mkdir_s /= f;
+                p.meta_open_s /= f;
+            },
+            // Ratio direct/plfs for open time → >1 means PLFS wins.
+            |o| 1.0 / o.metrics.mean_duration_s(OpKind::OpenWrite).max(1e-9),
+            10,
+        );
+        mds.push(pct, &s);
+    }
+    println!(
+        "{}",
+        render_figure(
+            "What-if: MDS service speed (as % of calibration) vs PLFS-10 metadata speedup",
+            "% speed",
+            "speedup (x)",
+            &[mds]
+        )
+    );
+    println!("# Takeaways: the write speedup holds across a 8x network-peak swing (it is");
+    println!("# lock-bound, not bandwidth-bound). The read advantage depends on narrow");
+    println!("# per-file stripe groups (real PanFS RAID groups are ~8-11 wide); give one");
+    println!("# file all the spindles and PLFS's spreading buys nothing — exactly the");
+    println!("# paper's 'engage more spindles' argument in reverse. The metadata sweep");
+    println!("# moves both sides equally: federation's win is structural, not a service-");
+    println!("# time artifact.");
+}

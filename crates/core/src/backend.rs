@@ -1,0 +1,309 @@
+//! The backend abstraction: what PLFS needs from an underlying file system.
+//!
+//! PLFS is middleware; everything it does bottoms out in a small set of
+//! operations against the *underlying parallel file system*. This trait is
+//! that set. Three implementations exist:
+//!
+//! * [`crate::memfs::MemFs`] — in-memory, thread-safe, real bytes;
+//! * [`crate::localfs::LocalFs`] — a real directory via `std::fs` (the
+//!   role the FUSE mount plays for real PLFS);
+//! * the simulated parallel file system in the `pfs` crate (driven through
+//!   the `mpio` crate's op traces, which are validated against
+//!   [`TracingBackend`] recordings of this API).
+//!
+//! All methods take `&self`; implementations provide interior locking so
+//! multiple writer threads can target one container concurrently, as real
+//! N-1 checkpoint processes do.
+
+use crate::content::Content;
+use crate::error::Result;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What a path names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    File,
+    Dir,
+}
+
+/// Operations PLFS issues against the underlying file system.
+pub trait Backend: Send + Sync {
+    /// Create a directory; parent must exist.
+    fn mkdir(&self, path: &str) -> Result<()>;
+
+    /// Create a directory and any missing ancestors.
+    fn mkdir_all(&self, path: &str) -> Result<()>;
+
+    /// Create an empty file. With `exclusive`, fail if it already exists;
+    /// otherwise truncate an existing file.
+    fn create(&self, path: &str, exclusive: bool) -> Result<()>;
+
+    /// Append content to a file, returning the physical offset at which it
+    /// landed. The file must exist.
+    fn append(&self, path: &str, content: &Content) -> Result<u64>;
+
+    /// Read `len` bytes at `offset`. Short reads at EOF return what exists;
+    /// reads entirely past EOF return empty content.
+    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content>;
+
+    /// Current size of a file in bytes.
+    fn size(&self, path: &str) -> Result<u64>;
+
+    /// What `path` names, or `NotFound`.
+    fn kind(&self, path: &str) -> Result<NodeKind>;
+
+    /// Whether `path` exists at all.
+    fn exists(&self, path: &str) -> bool {
+        self.kind(path).is_ok()
+    }
+
+    /// Names (not full paths) of entries in a directory, sorted.
+    fn list(&self, path: &str) -> Result<Vec<String>>;
+
+    /// Remove a file.
+    fn unlink(&self, path: &str) -> Result<()>;
+
+    /// Remove a directory and everything beneath it.
+    fn remove_all(&self, path: &str) -> Result<()>;
+
+    /// Atomically rename a file or directory.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+}
+
+/// A recorded backend operation (structure + size, no payloads).
+///
+/// The simulation layer in `mpio` re-creates these op sequences from its
+/// own cost-model drivers; integration tests replay small workloads through
+/// the *real* middleware under a `TracingBackend` and assert the simulated
+/// driver issues the same structural sequence. This is what keeps the
+/// simulator honest about what PLFS actually does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendOp {
+    Mkdir { path: String },
+    MkdirAll { path: String },
+    Create { path: String, exclusive: bool },
+    Append { path: String, len: u64 },
+    ReadAt { path: String, offset: u64, len: u64 },
+    Size { path: String },
+    Kind { path: String },
+    List { path: String },
+    Unlink { path: String },
+    RemoveAll { path: String },
+    Rename { from: String, to: String },
+}
+
+impl BackendOp {
+    /// Is this a metadata operation (served by an MDS) as opposed to a data
+    /// transfer (served by storage servers)?
+    pub fn is_metadata(&self) -> bool {
+        !matches!(self, BackendOp::Append { .. } | BackendOp::ReadAt { .. })
+    }
+}
+
+/// Wraps any backend and records every operation issued through it.
+pub struct TracingBackend<B: Backend> {
+    inner: B,
+    trace: Arc<Mutex<Vec<BackendOp>>>,
+}
+
+impl<B: Backend> TracingBackend<B> {
+    pub fn new(inner: B) -> Self {
+        TracingBackend {
+            inner,
+            trace: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle to the trace that survives moving `self` into PLFS.
+    pub fn trace_handle(&self) -> Arc<Mutex<Vec<BackendOp>>> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Snapshot of operations recorded so far.
+    pub fn take_trace(&self) -> Vec<BackendOp> {
+        std::mem::take(&mut *self.trace.lock())
+    }
+
+    fn record(&self, op: BackendOp) {
+        self.trace.lock().push(op);
+    }
+}
+
+impl<B: Backend> Backend for TracingBackend<B> {
+    fn mkdir(&self, path: &str) -> Result<()> {
+        self.record(BackendOp::Mkdir { path: path.into() });
+        self.inner.mkdir(path)
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        self.record(BackendOp::MkdirAll { path: path.into() });
+        self.inner.mkdir_all(path)
+    }
+
+    fn create(&self, path: &str, exclusive: bool) -> Result<()> {
+        self.record(BackendOp::Create {
+            path: path.into(),
+            exclusive,
+        });
+        self.inner.create(path, exclusive)
+    }
+
+    fn append(&self, path: &str, content: &Content) -> Result<u64> {
+        self.record(BackendOp::Append {
+            path: path.into(),
+            len: content.len(),
+        });
+        self.inner.append(path, content)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
+        self.record(BackendOp::ReadAt {
+            path: path.into(),
+            offset,
+            len,
+        });
+        self.inner.read_at(path, offset, len)
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.record(BackendOp::Size { path: path.into() });
+        self.inner.size(path)
+    }
+
+    fn kind(&self, path: &str) -> Result<NodeKind> {
+        self.record(BackendOp::Kind { path: path.into() });
+        self.inner.kind(path)
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        self.record(BackendOp::List { path: path.into() });
+        self.inner.list(path)
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        self.record(BackendOp::Unlink { path: path.into() });
+        self.inner.unlink(path)
+    }
+
+    fn remove_all(&self, path: &str) -> Result<()> {
+        self.record(BackendOp::RemoveAll { path: path.into() });
+        self.inner.remove_all(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.record(BackendOp::Rename {
+            from: from.into(),
+            to: to.into(),
+        });
+        self.inner.rename(from, to)
+    }
+}
+
+// Allow `Arc<B>` and `&B` to be used wherever a backend is expected, so a
+// single MemFs can be shared by many writer threads.
+impl<B: Backend + ?Sized> Backend for Arc<B> {
+    fn mkdir(&self, path: &str) -> Result<()> {
+        (**self).mkdir(path)
+    }
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        (**self).mkdir_all(path)
+    }
+    fn create(&self, path: &str, exclusive: bool) -> Result<()> {
+        (**self).create(path, exclusive)
+    }
+    fn append(&self, path: &str, content: &Content) -> Result<u64> {
+        (**self).append(path, content)
+    }
+    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
+        (**self).read_at(path, offset, len)
+    }
+    fn size(&self, path: &str) -> Result<u64> {
+        (**self).size(path)
+    }
+    fn kind(&self, path: &str) -> Result<NodeKind> {
+        (**self).kind(path)
+    }
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        (**self).list(path)
+    }
+    fn unlink(&self, path: &str) -> Result<()> {
+        (**self).unlink(path)
+    }
+    fn remove_all(&self, path: &str) -> Result<()> {
+        (**self).remove_all(path)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        (**self).rename(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+
+    #[test]
+    fn tracing_records_structure_not_payload() {
+        let t = TracingBackend::new(MemFs::new());
+        t.mkdir_all("/a/b").unwrap();
+        t.create("/a/b/f", true).unwrap();
+        t.append("/a/b/f", &Content::bytes(vec![1, 2, 3])).unwrap();
+        t.read_at("/a/b/f", 0, 2).unwrap();
+        let trace = t.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                BackendOp::MkdirAll { path: "/a/b".into() },
+                BackendOp::Create {
+                    path: "/a/b/f".into(),
+                    exclusive: true
+                },
+                BackendOp::Append {
+                    path: "/a/b/f".into(),
+                    len: 3
+                },
+                BackendOp::ReadAt {
+                    path: "/a/b/f".into(),
+                    offset: 0,
+                    len: 2
+                },
+            ]
+        );
+        // take_trace drains.
+        assert!(t.take_trace().is_empty());
+    }
+
+    #[test]
+    fn metadata_classification() {
+        assert!(BackendOp::Create {
+            path: "/x".into(),
+            exclusive: false
+        }
+        .is_metadata());
+        assert!(BackendOp::List { path: "/x".into() }.is_metadata());
+        assert!(!BackendOp::Append {
+            path: "/x".into(),
+            len: 1
+        }
+        .is_metadata());
+        assert!(!BackendOp::ReadAt {
+            path: "/x".into(),
+            offset: 0,
+            len: 1
+        }
+        .is_metadata());
+    }
+
+    #[test]
+    fn arc_backend_delegates() {
+        let fs = Arc::new(MemFs::new());
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f", true).unwrap();
+        assert!(fs.exists("/d/f"));
+        assert_eq!(fs.kind("/d").unwrap(), NodeKind::Dir);
+    }
+}

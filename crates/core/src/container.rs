@@ -1,0 +1,499 @@
+//! The PLFS container: the physical directory structure that backs one
+//! logical file (Figure 1 of the paper).
+//!
+//! For a logical file `/ckpt/file1`, PLFS creates on the underlying
+//! parallel file system a directory of the same name containing:
+//!
+//! ```text
+//! /ckpt/file1/                      ← container (in its canonical namespace)
+//!   .plfsaccess                     ← marks the dir as a container; ownership info
+//!   metadir/                        ← cached logical-size records, one per closed writer
+//!   openhosts/                      ← one entry per process with the file open for write
+//!   flattened.index                 ← global index written by Index Flatten (optional)
+//!   subdir.0 … subdir.K-1           ← hold the per-process logs; either real
+//!                                     directories or *metalink* files pointing at a
+//!                                     shadow directory in another metadata namespace
+//!                                     (federated metadata management, Figure 6)
+//! ```
+//!
+//! Each subdir holds, per writer, `dropping.data.<id>` (the data log, only
+//! ever appended) and `dropping.index.<id>` (the index log of
+//! [`crate::index::IndexEntry`] records).
+
+use crate::backend::Backend;
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::federation::Federation;
+use crate::index::{GlobalIndex, IndexEntry, WriterId};
+use crate::path::{basename, join, normalize, parent};
+
+/// Name of the marker file that distinguishes a container from a plain
+/// directory. Real PLFS uses `.plfsaccess113918400`; we keep it short.
+pub const ACCESS_FILE: &str = ".plfsaccess";
+pub const METADIR: &str = "metadir";
+pub const OPENHOSTS: &str = "openhosts";
+pub const FLATTENED_INDEX: &str = "flattened.index";
+pub const SUBDIR_PREFIX: &str = "subdir.";
+pub const DATA_PREFIX: &str = "dropping.data.";
+pub const INDEX_PREFIX: &str = "dropping.index.";
+
+/// A handle to one logical file's container.
+///
+/// `Container` is cheap to construct: it resolves paths but touches the
+/// backend only when asked. It is parameterized by the [`Federation`],
+/// which decides in which namespace the canonical container and each
+/// subdir physically live.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Normalized logical path of the file as the user sees it.
+    logical: String,
+    /// Physical path of the canonical container directory.
+    canonical: String,
+    fed: Federation,
+}
+
+impl Container {
+    /// Resolve the container for a logical path under a federation.
+    pub fn new(logical: &str, fed: &Federation) -> Self {
+        let logical = normalize(logical);
+        let canonical = fed.canonical_container_path(&logical);
+        Container {
+            logical,
+            canonical,
+            fed: fed.clone(),
+        }
+    }
+
+    pub fn logical_path(&self) -> &str {
+        &self.logical
+    }
+
+    /// Physical path of the canonical container directory.
+    pub fn canonical_path(&self) -> &str {
+        &self.canonical
+    }
+
+    /// Does a container exist for this logical file?
+    pub fn exists<B: Backend>(&self, b: &B) -> bool {
+        b.exists(&join(&self.canonical, ACCESS_FILE))
+    }
+
+    /// Create the container skeleton: the directory and its access-file
+    /// marker, nothing more. Everything else — openhosts, metadir,
+    /// subdirs, droppings — is created **lazily** at first use, as real
+    /// PLFS does with its hostdirs. Lazy creation is what keeps N-N
+    /// create storms cheap enough for federated metadata to beat a single
+    /// metadata server (Figures 7/8).
+    ///
+    /// Safe to race: the first creator wins; everyone else sees
+    /// `AlreadyExists` internally and succeeds.
+    pub fn create<B: Backend>(&self, b: &B) -> Result<()> {
+        b.mkdir_all(&parent(&self.canonical))?;
+        match b.mkdir(&self.canonical) {
+            Ok(()) | Err(PlfsError::AlreadyExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        match b.create(&join(&self.canonical, ACCESS_FILE), true) {
+            Ok(()) | Err(PlfsError::AlreadyExists(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ensure subdir `i` exists (directory in the canonical namespace, or
+    /// shadow + metalink elsewhere) and return its physical path. Called
+    /// by the first writer that lands in the subdir.
+    pub fn ensure_subdir<B: Backend>(&self, b: &B, i: usize) -> Result<String> {
+        let entry = join(&self.canonical, &format!("{SUBDIR_PREFIX}{i}"));
+        if b.exists(&entry) {
+            return self.subdir_phys(b, i);
+        }
+        match self.fed.shadow_subdir_path(&self.logical, i) {
+            None => match b.mkdir(&entry) {
+                Ok(()) | Err(PlfsError::AlreadyExists(_)) => Ok(entry),
+                Err(e) => Err(e),
+            },
+            Some(shadow) => {
+                // Subdir lives in another namespace: create the shadow
+                // directory there and a metalink here pointing at it.
+                b.mkdir_all(&shadow)?;
+                match b.create(&entry, true) {
+                    Ok(()) => {
+                        b.append(&entry, &Content::bytes(shadow.clone().into_bytes()))?;
+                        Ok(shadow)
+                    }
+                    // Another writer raced us to the metalink.
+                    Err(PlfsError::AlreadyExists(_)) => Ok(shadow),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Ensure a container-internal directory (metadir/openhosts) exists.
+    fn ensure_inner_dir<B: Backend>(&self, b: &B, name: &str) -> Result<String> {
+        let dir = join(&self.canonical, name);
+        match b.mkdir(&dir) {
+            Ok(()) | Err(PlfsError::AlreadyExists(_)) => Ok(dir),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Physical directory that holds subdir `i`'s droppings, resolving a
+    /// metalink if the subdir is shadowed in another namespace.
+    pub fn subdir_phys<B: Backend>(&self, b: &B, i: usize) -> Result<String> {
+        let entry = join(&self.canonical, &format!("{SUBDIR_PREFIX}{i}"));
+        match b.kind(&entry)? {
+            crate::backend::NodeKind::Dir => Ok(entry),
+            crate::backend::NodeKind::File => {
+                let len = b.size(&entry)?;
+                let bytes = b.read_at(&entry, 0, len)?.materialize();
+                String::from_utf8(bytes).map_err(|_| {
+                    PlfsError::CorruptContainer(format!("metalink {entry} not utf-8"))
+                })
+            }
+        }
+    }
+
+    /// Which subdir a writer's droppings land in (static assignment).
+    pub fn subdir_for(&self, writer: WriterId) -> usize {
+        (writer % self.fed.subdirs_per_container() as u64) as usize
+    }
+
+    /// Subdirs this container's federation allows (for scanners).
+    pub fn federation_subdirs(&self) -> usize {
+        self.fed.subdirs_per_container()
+    }
+
+    /// Path of `writer`'s data log.
+    pub fn data_log<B: Backend>(&self, b: &B, writer: WriterId) -> Result<String> {
+        let dir = self.subdir_phys(b, self.subdir_for(writer))?;
+        Ok(join(&dir, &format!("{DATA_PREFIX}{writer}")))
+    }
+
+    /// Path of `writer`'s index log.
+    pub fn index_log<B: Backend>(&self, b: &B, writer: WriterId) -> Result<String> {
+        let dir = self.subdir_phys(b, self.subdir_for(writer))?;
+        Ok(join(&dir, &format!("{INDEX_PREFIX}{writer}")))
+    }
+
+    /// Mark `writer` as having the file open for write (creating the
+    /// openhosts directory on first use).
+    pub fn register_open<B: Backend>(&self, b: &B, writer: WriterId) -> Result<()> {
+        let dir = self.ensure_inner_dir(b, OPENHOSTS)?;
+        b.create(&join(&dir, &format!("host.{writer}")), false)
+    }
+
+    /// Remove `writer`'s openhosts entry (on close).
+    pub fn unregister_open<B: Backend>(&self, b: &B, writer: WriterId) -> Result<()> {
+        let p = join(&join(&self.canonical, OPENHOSTS), &format!("host.{writer}"));
+        match b.unlink(&p) {
+            Ok(()) | Err(PlfsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writers that currently have the file open for write.
+    pub fn open_writers<B: Backend>(&self, b: &B) -> Result<Vec<WriterId>> {
+        let names = match b.list(&join(&self.canonical, OPENHOSTS)) {
+            Ok(n) => n,
+            Err(PlfsError::NotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        Ok(names
+            .iter()
+            .filter_map(|n| n.strip_prefix("host."))
+            .filter_map(|s| s.parse().ok())
+            .collect())
+    }
+
+    /// Record a closed writer's view of logical EOF in the metadir. These
+    /// cached records make `stat` cheap: no index aggregation needed.
+    pub fn record_meta<B: Backend>(&self, b: &B, writer: WriterId, eof: u64, bytes: u64) -> Result<()> {
+        // Encode in the name, like real PLFS: meta.<eof>.<bytes>.<writer>
+        let dir = self.ensure_inner_dir(b, METADIR)?;
+        let name = format!("meta.{eof}.{bytes}.{writer}");
+        b.create(&join(&dir, &name), false)
+    }
+
+    /// Cheap logical size from metadir records: max EOF over closed
+    /// writers. Returns `None` if no writer has closed yet (caller must
+    /// fall back to index aggregation).
+    pub fn cached_size<B: Backend>(&self, b: &B) -> Result<Option<u64>> {
+        let names = match b.list(&join(&self.canonical, METADIR)) {
+            Ok(n) => n,
+            Err(PlfsError::NotFound(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut eof: Option<u64> = None;
+        for n in &names {
+            let mut parts = n.split('.');
+            if parts.next() != Some("meta") {
+                continue;
+            }
+            if let Some(Ok(e)) = parts.next().map(str::parse::<u64>) {
+                eof = Some(eof.map_or(e, |cur| cur.max(e)));
+            }
+        }
+        Ok(eof)
+    }
+
+    /// All writer ids that have droppings in this container, across all
+    /// subdirs, sorted.
+    pub fn list_writers<B: Backend>(&self, b: &B) -> Result<Vec<WriterId>> {
+        let mut ids = Vec::new();
+        for i in 0..self.fed.subdirs_per_container() {
+            // Lazily created: absent subdirs simply hold no droppings.
+            let dir = match self.subdir_phys(b, i) {
+                Ok(d) => d,
+                Err(PlfsError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            for name in b.list(&dir)? {
+                if let Some(id) = name.strip_prefix(INDEX_PREFIX) {
+                    if let Ok(w) = id.parse::<u64>() {
+                        ids.push(w);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Read and decode one writer's index log.
+    pub fn read_index_log<B: Backend>(&self, b: &B, writer: WriterId) -> Result<Vec<IndexEntry>> {
+        let path = self.index_log(b, writer)?;
+        let len = b.size(&path)?;
+        let bytes = b.read_at(&path, 0, len)?.materialize();
+        IndexEntry::decode_all(&bytes)
+    }
+
+    /// Aggregate a global index by reading every writer's index log — the
+    /// "Original PLFS Design" path (every reader does all the work itself).
+    pub fn aggregate_index<B: Backend>(&self, b: &B) -> Result<GlobalIndex> {
+        let mut entries = Vec::new();
+        for w in self.list_writers(b)? {
+            entries.extend(self.read_index_log(b, w)?);
+        }
+        Ok(GlobalIndex::from_entries(entries))
+    }
+
+    /// Write the flattened global index (Index Flatten, done at write
+    /// close by the root process after gathering buffered indices).
+    pub fn write_flattened<B: Backend>(&self, b: &B, index: &GlobalIndex) -> Result<()> {
+        let path = join(&self.canonical, FLATTENED_INDEX);
+        b.create(&path, false)?;
+        b.append(&path, &Content::bytes(IndexEntry::encode_all(&index.to_entries())))?;
+        Ok(())
+    }
+
+    /// Delete the flattened index (e.g. when fsck finds it stale).
+    pub fn remove_flattened<B: Backend>(&self, b: &B) -> Result<()> {
+        let path = join(&self.canonical, FLATTENED_INDEX);
+        match b.unlink(&path) {
+            Ok(()) | Err(PlfsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read the flattened global index if one was written.
+    pub fn read_flattened<B: Backend>(&self, b: &B) -> Result<Option<GlobalIndex>> {
+        let path = join(&self.canonical, FLATTENED_INDEX);
+        if !b.exists(&path) {
+            return Ok(None);
+        }
+        let len = b.size(&path)?;
+        let bytes = b.read_at(&path, 0, len)?.materialize();
+        Ok(Some(GlobalIndex::from_entries(IndexEntry::decode_all(
+            &bytes,
+        )?)))
+    }
+
+    /// Preferred index acquisition for a lone (non-collective) reader:
+    /// the flattened index when present, else full aggregation.
+    pub fn acquire_index<B: Backend>(&self, b: &B) -> Result<GlobalIndex> {
+        match self.read_flattened(b)? {
+            Some(idx) => Ok(idx),
+            None => self.aggregate_index(b),
+        }
+    }
+
+    /// Remove the container and any shadow subdirs in other namespaces.
+    pub fn remove<B: Backend>(&self, b: &B) -> Result<()> {
+        for i in 0..self.fed.subdirs_per_container() {
+            if let Some(shadow) = self.fed.shadow_subdir_path(&self.logical, i) {
+                match b.remove_all(&shadow) {
+                    Ok(()) | Err(PlfsError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        b.remove_all(&self.canonical)
+    }
+
+    /// Does `name` inside a directory listing look like a container entry
+    /// (used by readdir to present containers as logical files)?
+    pub fn is_container_marker(name: &str) -> bool {
+        name == ACCESS_FILE
+    }
+
+    /// The basename of the logical file (for directory listings).
+    pub fn logical_name(&self) -> &str {
+        basename(&self.logical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+
+    fn fed1() -> Federation {
+        Federation::single("/ns0", 4)
+    }
+
+    #[test]
+    fn create_builds_minimal_skeleton() {
+        let b = MemFs::new();
+        let c = Container::new("/ckpt/f1", &fed1());
+        c.create(&b).unwrap();
+        assert!(c.exists(&b));
+        assert_eq!(c.canonical_path(), "/ns0/ckpt/f1");
+        // Lazy layout: only the marker exists until someone writes.
+        let entries = b.list("/ns0/ckpt/f1").unwrap();
+        assert_eq!(entries, vec![ACCESS_FILE.to_string()]);
+        // Subdirs appear on demand.
+        let sub = c.ensure_subdir(&b, 2).unwrap();
+        assert_eq!(sub, "/ns0/ckpt/f1/subdir.2");
+        assert!(b.exists(&sub));
+        // ensure is idempotent.
+        assert_eq!(c.ensure_subdir(&b, 2).unwrap(), sub);
+    }
+
+    #[test]
+    fn create_is_idempotent_under_races() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        c.create(&b).unwrap(); // a second process creating concurrently
+        assert!(c.exists(&b));
+    }
+
+    #[test]
+    fn writers_map_to_subdirs_statically() {
+        let c = Container::new("/f", &fed1());
+        assert_eq!(c.subdir_for(0), 0);
+        assert_eq!(c.subdir_for(5), 1);
+        assert_eq!(c.subdir_for(7), 3);
+    }
+
+    #[test]
+    fn open_registration_roundtrip() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        c.register_open(&b, 3).unwrap();
+        c.register_open(&b, 9).unwrap();
+        assert_eq!(c.open_writers(&b).unwrap(), vec![3, 9]);
+        c.unregister_open(&b, 3).unwrap();
+        assert_eq!(c.open_writers(&b).unwrap(), vec![9]);
+        // Unregistering twice is fine.
+        c.unregister_open(&b, 3).unwrap();
+    }
+
+    #[test]
+    fn metadir_caches_size() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        assert_eq!(c.cached_size(&b).unwrap(), None);
+        c.record_meta(&b, 0, 1000, 500).unwrap();
+        c.record_meta(&b, 1, 4000, 500).unwrap();
+        c.record_meta(&b, 2, 2000, 500).unwrap();
+        assert_eq!(c.cached_size(&b).unwrap(), Some(4000));
+    }
+
+    #[test]
+    fn index_logs_roundtrip_through_container() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        let e = IndexEntry {
+            logical_offset: 0,
+            length: 10,
+            physical_offset: 0,
+            writer: 6,
+            timestamp: 1,
+        };
+        c.ensure_subdir(&b, c.subdir_for(6)).unwrap();
+        let ipath = c.index_log(&b, 6).unwrap();
+        b.create(&ipath, true).unwrap();
+        b.append(&ipath, &Content::bytes(IndexEntry::encode_all(&[e])))
+            .unwrap();
+        assert_eq!(c.read_index_log(&b, 6).unwrap(), vec![e]);
+        assert_eq!(c.list_writers(&b).unwrap(), vec![6]);
+        let idx = c.aggregate_index(&b).unwrap();
+        assert_eq!(idx.eof(), 10);
+    }
+
+    #[test]
+    fn flattened_index_roundtrip() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        assert!(c.read_flattened(&b).unwrap().is_none());
+        let idx = GlobalIndex::from_entries([IndexEntry {
+            logical_offset: 5,
+            length: 7,
+            physical_offset: 0,
+            writer: 1,
+            timestamp: 2,
+        }]);
+        c.write_flattened(&b, &idx).unwrap();
+        assert_eq!(c.read_flattened(&b).unwrap(), Some(idx.clone()));
+        // acquire_index prefers the flattened copy.
+        assert_eq!(c.acquire_index(&b).unwrap(), idx);
+    }
+
+    #[test]
+    fn federated_subdirs_resolve_through_metalinks() {
+        let b = MemFs::new();
+        let fed = Federation::new(
+            vec!["/vol0".into(), "/vol1".into(), "/vol2".into()],
+            6,
+            true,
+            true,
+        );
+        let c = Container::new("/big/ckpt", &fed);
+        c.create(&b).unwrap();
+        // Every subdir must resolve to a real directory somewhere once
+        // a writer forces it into existence.
+        let mut namespaces_used = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            c.ensure_subdir(&b, i).unwrap();
+            let phys = c.subdir_phys(&b, i).unwrap();
+            assert_eq!(b.kind(&phys).unwrap(), crate::backend::NodeKind::Dir);
+            namespaces_used.insert(phys.split('/').nth(1).unwrap().to_string());
+        }
+        // Static hashing over 6 subdirs and 3 volumes should hit >1 volume.
+        assert!(namespaces_used.len() > 1, "subdirs all in one namespace");
+        // Droppings land inside resolved subdirs and are discoverable.
+        c.ensure_subdir(&b, c.subdir_for(4)).unwrap();
+        let dpath = c.data_log(&b, 4).unwrap();
+        let ipath = c.index_log(&b, 4).unwrap();
+        b.create(&dpath, true).unwrap();
+        b.create(&ipath, true).unwrap();
+        assert_eq!(c.list_writers(&b).unwrap(), vec![4]);
+        // remove() cleans shadows too.
+        c.remove(&b).unwrap();
+        for ns in ["/vol0", "/vol1", "/vol2"] {
+            if b.exists(ns) {
+                let leftover: Vec<String> = b.list(ns).unwrap();
+                assert!(
+                    leftover.iter().all(|n| !n.contains("ckpt")),
+                    "shadow leftovers in {ns}: {leftover:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! File content representation: real bytes or synthetic extents.
+//!
+//! The simulated evaluation runs at up to 65,536 ranks × 50 MB, which
+//! cannot be stored as real bytes. [`Content::Synthetic`] describes a
+//! deterministic pseudo-random byte stream by `(seed, start, len)`: byte
+//! `i` of stream `seed` is a pure function of `(seed, start + i)`, so a
+//! synthetic extent can be sliced, compared, and — in the real backends —
+//! materialized into actual bytes and later verified, without any payload
+//! ever being stored symbolically.
+
+use bytes::Bytes;
+
+/// Contents of (part of) a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Real bytes.
+    Bytes(Bytes),
+    /// A slice of the deterministic stream identified by `seed`,
+    /// covering stream positions `[start, start + len)`.
+    Synthetic { seed: u64, start: u64, len: u64 },
+    /// A run of zero bytes (unwritten holes read back as zeros).
+    Zeros { len: u64 },
+}
+
+impl Content {
+    /// Construct real-byte content from a vector.
+    pub fn bytes(v: Vec<u8>) -> Self {
+        Content::Bytes(Bytes::from(v))
+    }
+
+    /// Synthetic content starting at stream position 0.
+    pub fn synthetic(seed: u64, len: u64) -> Self {
+        Content::Synthetic {
+            seed,
+            start: 0,
+            len,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Content::Bytes(b) => b.len() as u64,
+            Content::Synthetic { len, .. } => *len,
+            Content::Zeros { len } => *len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sub-range `[off, off + len)` of this content.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the content.
+    pub fn slice(&self, off: u64, len: u64) -> Content {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len()),
+            "slice [{off}, {off}+{len}) out of bounds (len {})",
+            self.len()
+        );
+        match self {
+            Content::Bytes(b) => Content::Bytes(b.slice(off as usize..(off + len) as usize)),
+            Content::Synthetic { seed, start, .. } => Content::Synthetic {
+                seed: *seed,
+                start: start + off,
+                len,
+            },
+            Content::Zeros { .. } => Content::Zeros { len },
+        }
+    }
+
+    /// Materialize into real bytes (synthetic extents are generated).
+    pub fn materialize(&self) -> Vec<u8> {
+        match self {
+            Content::Bytes(b) => b.to_vec(),
+            Content::Synthetic { seed, start, len } => synth_bytes(*seed, *start, *len),
+            Content::Zeros { len } => vec![0u8; *len as usize],
+        }
+    }
+
+    /// Whether two contents denote the same bytes (materializing as needed,
+    /// but comparing synthetics structurally when both sides are synthetic
+    /// with equal coordinates).
+    pub fn same_bytes(&self, other: &Content) -> bool {
+        match (self, other) {
+            (
+                Content::Synthetic {
+                    seed: s1,
+                    start: a1,
+                    len: l1,
+                },
+                Content::Synthetic {
+                    seed: s2,
+                    start: a2,
+                    len: l2,
+                },
+            ) if s1 == s2 && a1 == a2 => l1 == l2,
+            _ => self.materialize() == other.materialize(),
+        }
+    }
+}
+
+/// Byte `pos` of synthetic stream `seed`.
+pub fn synth_byte(seed: u64, pos: u64) -> u8 {
+    let word = splitmix64(seed ^ (pos / 8).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (word >> ((pos % 8) * 8)) as u8
+}
+
+/// Generate `len` bytes of stream `seed` starting at `start`.
+pub fn synth_bytes(seed: u64, start: u64, len: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len as usize);
+    let mut pos = start;
+    let end = start + len;
+    // Fill word-at-a-time where aligned; per-byte at the edges.
+    while pos < end && pos % 8 != 0 {
+        out.push(synth_byte(seed, pos));
+        pos += 1;
+    }
+    while pos + 8 <= end {
+        let word = splitmix64(seed ^ (pos / 8).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        out.extend_from_slice(&word.to_le_bytes());
+        pos += 8;
+    }
+    while pos < end {
+        out.push(synth_byte(seed, pos));
+        pos += 1;
+    }
+    out
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_bytes_are_deterministic() {
+        assert_eq!(synth_bytes(7, 0, 64), synth_bytes(7, 0, 64));
+        assert_ne!(synth_bytes(7, 0, 64), synth_bytes(8, 0, 64));
+    }
+
+    #[test]
+    fn synthetic_slicing_matches_materialized_slicing() {
+        let c = Content::synthetic(42, 100);
+        let full = c.materialize();
+        for (off, len) in [(0u64, 100u64), (3, 20), (17, 1), (99, 1), (0, 0), (50, 50)] {
+            let s = c.slice(off, len);
+            assert_eq!(
+                s.materialize(),
+                full[off as usize..(off + len) as usize].to_vec(),
+                "slice ({off},{len})"
+            );
+        }
+    }
+
+    #[test]
+    fn unaligned_generation_matches_per_byte() {
+        for start in 0..16u64 {
+            let fast = synth_bytes(5, start, 33);
+            let slow: Vec<u8> = (start..start + 33).map(|p| synth_byte(5, p)).collect();
+            assert_eq!(fast, slow, "start {start}");
+        }
+    }
+
+    #[test]
+    fn zeros_and_bytes_roundtrip() {
+        let z = Content::Zeros { len: 5 };
+        assert_eq!(z.materialize(), vec![0; 5]);
+        assert_eq!(z.slice(1, 3).len(), 3);
+        let b = Content::bytes(vec![1, 2, 3, 4]);
+        assert_eq!(b.slice(1, 2).materialize(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Content::bytes(vec![1, 2, 3]).slice(2, 2);
+    }
+
+    #[test]
+    fn same_bytes_compares_across_kinds() {
+        let s = Content::synthetic(9, 32);
+        let b = Content::Bytes(Bytes::from(s.materialize()));
+        assert!(s.same_bytes(&b));
+        assert!(b.same_bytes(&s));
+        assert!(!s.same_bytes(&Content::Zeros { len: 32 }));
+        // Structural fast path.
+        assert!(s.same_bytes(&Content::synthetic(9, 32)));
+    }
+
+    #[test]
+    fn stream_is_position_addressable() {
+        // Slicing at an offset equals generating from that offset.
+        let whole = synth_bytes(3, 0, 100);
+        let tail = synth_bytes(3, 40, 60);
+        assert_eq!(&whole[40..], &tail[..]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared across the middleware.
+
+use std::fmt;
+
+/// Errors surfaced by PLFS and its backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlfsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Exclusive create of a path that already exists.
+    AlreadyExists(String),
+    /// Directory operation on a file or vice versa.
+    WrongKind { path: String, expected: &'static str },
+    /// Directory not empty on remove, or other structural violation.
+    NotEmpty(String),
+    /// Malformed container (missing access file, corrupt index record...).
+    CorruptContainer(String),
+    /// Read past EOF or otherwise invalid argument.
+    InvalidArg(String),
+    /// Operation the backend or mode does not support (e.g. read-write open
+    /// of a shared PLFS file — the paper notes PLFS rejects this).
+    Unsupported(String),
+    /// Underlying OS error (LocalFs).
+    Io(String),
+}
+
+impl fmt::Display for PlfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlfsError::NotFound(p) => write!(f, "not found: {p}"),
+            PlfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            PlfsError::WrongKind { path, expected } => {
+                write!(f, "{path}: expected {expected}")
+            }
+            PlfsError::NotEmpty(p) => write!(f, "not empty: {p}"),
+            PlfsError::CorruptContainer(m) => write!(f, "corrupt container: {m}"),
+            PlfsError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            PlfsError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PlfsError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlfsError {}
+
+impl From<std::io::Error> for PlfsError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::NotFound => PlfsError::NotFound(e.to_string()),
+            std::io::ErrorKind::AlreadyExists => PlfsError::AlreadyExists(e.to_string()),
+            _ => PlfsError::Io(e.to_string()),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, PlfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            PlfsError::NotFound("/a/b".into()).to_string(),
+            "not found: /a/b"
+        );
+        assert_eq!(
+            PlfsError::WrongKind {
+                path: "/x".into(),
+                expected: "directory"
+            }
+            .to_string(),
+            "/x: expected directory"
+        );
+    }
+
+    #[test]
+    fn io_error_kind_maps() {
+        let nf = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(PlfsError::from(nf), PlfsError::NotFound(_)));
+        let ae = std::io::Error::new(std::io::ErrorKind::AlreadyExists, "there");
+        assert!(matches!(PlfsError::from(ae), PlfsError::AlreadyExists(_)));
+        let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(PlfsError::from(other), PlfsError::Io(_)));
+    }
+}

@@ -1,0 +1,485 @@
+//! Container checking and repair — the `plfs_check`/`plfs_map` style
+//! tooling an operator needs when a job dies mid-checkpoint.
+//!
+//! A PLFS container is only as good as its index logs: a writer killed
+//! between appending data and flushing its index leaves a data log longer
+//! than its index accounts for (harmless — the tail bytes were never
+//! acknowledged), while a writer killed mid-index-append leaves a
+//! truncated final record (repairable — drop the partial record). This
+//! module detects:
+//!
+//! * missing/invalid container marker;
+//! * unresolvable subdir metalinks;
+//! * index logs whose length is not a whole number of records;
+//! * index entries pointing past the end of their data log;
+//! * orphan data logs (no matching index log) and orphan index logs;
+//! * a flattened index that disagrees with per-writer logs;
+//!
+//! and can repair the truncated-record case in place.
+
+use crate::backend::Backend;
+use crate::container::{Container, DATA_PREFIX, INDEX_PREFIX};
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
+
+/// One problem found in a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// The directory exists but has no access marker.
+    NotAContainer,
+    /// A subdir entry exists but cannot be resolved.
+    BrokenSubdir { index: usize, reason: String },
+    /// Index log length is not a multiple of the record size; the
+    /// trailing partial record can be repaired away.
+    TruncatedIndexLog {
+        writer: WriterId,
+        valid_records: u64,
+        trailing_bytes: u64,
+    },
+    /// An index entry references bytes beyond its data log's end.
+    DanglingExtent {
+        writer: WriterId,
+        entry: IndexEntry,
+        data_log_size: u64,
+    },
+    /// Data log with no index log: none of its bytes are reachable.
+    OrphanDataLog { writer: WriterId },
+    /// Index log with no data log.
+    OrphanIndexLog { writer: WriterId },
+    /// The flattened index disagrees with aggregation of the per-writer
+    /// logs (stale after a post-flatten write).
+    StaleFlattenedIndex,
+}
+
+/// Result of a container check.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    pub issues: Vec<Issue>,
+    pub writers: Vec<WriterId>,
+    pub logical_size: u64,
+    pub spans: usize,
+}
+
+impl CheckReport {
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Check a container for the problems listed in the module docs.
+pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
+    let mut report = CheckReport::default();
+    if !container.exists(b) {
+        report.issues.push(Issue::NotAContainer);
+        return Ok(report);
+    }
+
+    // Walk subdirs, collecting dropping inventories.
+    let mut data_logs: Vec<WriterId> = Vec::new();
+    let mut index_logs: Vec<WriterId> = Vec::new();
+    for i in 0..container.federation_subdirs() {
+        let dir = match container.subdir_phys(b, i) {
+            Ok(d) => d,
+            Err(PlfsError::NotFound(_)) => continue, // lazily absent
+            Err(e) => {
+                report.issues.push(Issue::BrokenSubdir {
+                    index: i,
+                    reason: e.to_string(),
+                });
+                continue;
+            }
+        };
+        let names = match b.list(&dir) {
+            Ok(n) => n,
+            Err(e) => {
+                report.issues.push(Issue::BrokenSubdir {
+                    index: i,
+                    reason: e.to_string(),
+                });
+                continue;
+            }
+        };
+        for name in names {
+            if let Some(w) = name.strip_prefix(DATA_PREFIX) {
+                if let Ok(w) = w.parse() {
+                    data_logs.push(w);
+                }
+            } else if let Some(w) = name.strip_prefix(INDEX_PREFIX) {
+                if let Ok(w) = w.parse() {
+                    index_logs.push(w);
+                }
+            }
+        }
+    }
+    data_logs.sort_unstable();
+    index_logs.sort_unstable();
+
+    for &w in &data_logs {
+        if index_logs.binary_search(&w).is_err() {
+            report.issues.push(Issue::OrphanDataLog { writer: w });
+        }
+    }
+    for &w in &index_logs {
+        if data_logs.binary_search(&w).is_err() {
+            report.issues.push(Issue::OrphanIndexLog { writer: w });
+        }
+    }
+
+    // Validate index logs record by record.
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    for &w in &index_logs {
+        let ipath = container.index_log(b, w)?;
+        let len = b.size(&ipath)?;
+        let whole = len / INDEX_RECORD_BYTES;
+        let trailing = len % INDEX_RECORD_BYTES;
+        if trailing != 0 {
+            report.issues.push(Issue::TruncatedIndexLog {
+                writer: w,
+                valid_records: whole,
+                trailing_bytes: trailing,
+            });
+        }
+        let bytes = b
+            .read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)?
+            .materialize();
+        let decoded = IndexEntry::decode_all(&bytes)?;
+
+        let dsize = if data_logs.binary_search(&w).is_ok() {
+            b.size(&container.data_log(b, w)?)?
+        } else {
+            0
+        };
+        for e in decoded {
+            if e.physical_offset + e.length > dsize {
+                report.issues.push(Issue::DanglingExtent {
+                    writer: w,
+                    entry: e,
+                    data_log_size: dsize,
+                });
+            } else {
+                entries.push(e);
+            }
+        }
+    }
+
+    // Compare the flattened index against fresh aggregation — by
+    // *resolution*, not representation (flatten compacts spans, so the
+    // mapping boundaries differ while the bytes resolve identically).
+    let fresh = GlobalIndex::from_entries(entries);
+    if let Some(mut flat) = container.read_flattened(b)? {
+        let mut fresh_c = fresh.clone();
+        flat.compact();
+        fresh_c.compact();
+        if flat != fresh_c {
+            report.issues.push(Issue::StaleFlattenedIndex);
+        }
+    }
+
+    report.writers = index_logs;
+    report.logical_size = fresh.eof();
+    report.spans = fresh.span_count();
+    Ok(report)
+}
+
+/// Physical space accounting for one container — the log-structured
+/// overhead story in numbers: data logs hold every byte ever written
+/// (including bytes later overwritten or truncated away), index logs add
+/// 40 bytes per write, and the flattened index duplicates the merged
+/// index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceUsage {
+    /// Bytes across all data logs.
+    pub data_bytes: u64,
+    /// Bytes across all index logs.
+    pub index_bytes: u64,
+    /// Bytes in the flattened index, if present.
+    pub flattened_bytes: u64,
+    /// Logical file size (resolved EOF).
+    pub logical_bytes: u64,
+    /// Data-log bytes no index entry references (overwritten shadows,
+    /// truncated tails) — reclaimable by rewriting the logs.
+    pub dead_bytes: u64,
+}
+
+impl SpaceUsage {
+    /// Total physical bytes the container consumes.
+    pub fn physical_bytes(&self) -> u64 {
+        self.data_bytes + self.index_bytes + self.flattened_bytes
+    }
+}
+
+/// Measure a container's physical footprint against its logical size.
+pub fn space_usage<B: Backend>(b: &B, container: &Container) -> Result<SpaceUsage> {
+    let mut usage = SpaceUsage::default();
+    let writers = container.list_writers(b)?;
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    for &w in &writers {
+        usage.data_bytes += b.size(&container.data_log(b, w)?)?;
+        usage.index_bytes += b.size(&container.index_log(b, w)?)?;
+        entries.extend(container.read_index_log(b, w)?);
+    }
+    let idx = GlobalIndex::from_entries(entries);
+    usage.logical_bytes = idx.eof();
+    // Live bytes = data-log bytes still referenced by the resolved index.
+    let live: u64 = idx.to_entries().iter().map(|e| e.length).sum();
+    usage.dead_bytes = usage.data_bytes.saturating_sub(live);
+    if let Some(flat) = container.read_flattened(b)? {
+        usage.flattened_bytes = flat.span_count() as u64 * INDEX_RECORD_BYTES;
+    }
+    Ok(usage)
+}
+
+/// Repair what is mechanically repairable:
+///
+/// * truncated index logs are rewritten without the partial record;
+/// * a stale flattened index is deleted (readers fall back to
+///   aggregation).
+///
+/// Orphan/dangling issues are reported but left alone — they need human
+/// judgment (the data may be recoverable by other means).
+pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
+    let before = check(b, container)?;
+    for issue in &before.issues {
+        match issue {
+            Issue::TruncatedIndexLog {
+                writer,
+                valid_records,
+                ..
+            } => {
+                let ipath = container.index_log(b, *writer)?;
+                let keep = b
+                    .read_at(&ipath, 0, valid_records * INDEX_RECORD_BYTES)?
+                    .materialize();
+                b.create(&ipath, false)?; // truncate
+                if !keep.is_empty() {
+                    b.append(&ipath, &Content::bytes(keep))?;
+                }
+            }
+            Issue::StaleFlattenedIndex => {
+                container.remove_flattened(b)?;
+            }
+            _ => {}
+        }
+    }
+    check(b, container)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::Federation;
+    use crate::memfs::MemFs;
+    use crate::writer::{flatten_close, IndexPolicy, WriteHandle};
+    use std::sync::Arc;
+
+    fn healthy_container() -> (Arc<MemFs>, Container) {
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/f", &Federation::single("/panfs", 4));
+        for w in 0..3u64 {
+            let mut h =
+                WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose)
+                    .unwrap();
+            for k in 0..5u64 {
+                h.write((k * 3 + w) * 100, &Content::synthetic(w, 100), k + 1)
+                    .unwrap();
+            }
+            h.close(9).unwrap();
+        }
+        (b, cont)
+    }
+
+    #[test]
+    fn healthy_container_is_clean() {
+        let (b, cont) = healthy_container();
+        let r = check(&b, &cont).unwrap();
+        assert!(r.is_clean(), "{:?}", r.issues);
+        assert_eq!(r.writers, vec![0, 1, 2]);
+        assert_eq!(r.logical_size, 1500);
+        assert_eq!(r.spans, 15);
+    }
+
+    #[test]
+    fn missing_marker_is_flagged() {
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/nope", &Federation::single("/panfs", 2));
+        let r = check(&b, &cont).unwrap();
+        assert_eq!(r.issues, vec![Issue::NotAContainer]);
+    }
+
+    #[test]
+    fn truncated_index_log_detected_and_repaired() {
+        let (b, cont) = healthy_container();
+        // Chop the last record in half by appending garbage.
+        let ipath = cont.index_log(&b, 1).unwrap();
+        b.append(&ipath, &Content::bytes(vec![0xFF; 17])).unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert!(matches!(
+            r.issues.as_slice(),
+            [Issue::TruncatedIndexLog {
+                writer: 1,
+                valid_records: 5,
+                trailing_bytes: 17
+            }]
+        ));
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.is_clean(), "{:?}", after.issues);
+        assert_eq!(after.logical_size, 1500);
+    }
+
+    #[test]
+    fn orphan_droppings_detected() {
+        let (b, cont) = healthy_container();
+        // Fabricate an orphan data log and an orphan index log, each in
+        // the subdir its writer id hashes to.
+        let sub1 = cont.subdir_phys(&b, cont.subdir_for(77)).unwrap();
+        b.create(&format!("{sub1}/{DATA_PREFIX}77"), true).unwrap();
+        let sub0 = cont.subdir_phys(&b, cont.subdir_for(88)).unwrap();
+        b.create(&format!("{sub0}/{INDEX_PREFIX}88"), true).unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert!(r.issues.contains(&Issue::OrphanDataLog { writer: 77 }));
+        assert!(r.issues.contains(&Issue::OrphanIndexLog { writer: 88 }));
+    }
+
+    #[test]
+    fn dangling_extent_detected() {
+        let (b, cont) = healthy_container();
+        // Append an index record pointing past the data log's end.
+        let bogus = IndexEntry {
+            logical_offset: 9000,
+            length: 100,
+            physical_offset: 100_000,
+            writer: 0,
+            timestamp: 50,
+        };
+        let ipath = cont.index_log(&b, 0).unwrap();
+        b.append(&ipath, &Content::bytes(bogus.to_bytes().to_vec()))
+            .unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert!(matches!(
+            r.issues.as_slice(),
+            [Issue::DanglingExtent { writer: 0, .. }]
+        ));
+        // The dangling extent is excluded from the logical size.
+        assert_eq!(r.logical_size, 1500);
+    }
+
+    #[test]
+    fn stale_flattened_index_detected_and_repaired() {
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/f", &Federation::single("/panfs", 2));
+        let mut handles = Vec::new();
+        for w in 0..2u64 {
+            let mut h = WriteHandle::open(
+                Arc::clone(&b),
+                cont.clone(),
+                w,
+                IndexPolicy::Flatten {
+                    threshold_entries: 100,
+                },
+            )
+            .unwrap();
+            h.write(w * 50, &Content::synthetic(w, 50), w + 1).unwrap();
+            handles.push(h);
+        }
+        assert!(flatten_close(&b, &cont, handles, 9).unwrap());
+        assert!(check(&b, &cont).unwrap().is_clean());
+
+        // A later writer extends the file without re-flattening.
+        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose)
+            .unwrap();
+        h.write(500, &Content::synthetic(9, 50), 99).unwrap();
+        h.close(100).unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert!(r.issues.contains(&Issue::StaleFlattenedIndex));
+
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.is_clean(), "{:?}", after.issues);
+        // Readers now aggregate and see the full file.
+        let reader =
+            crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        assert_eq!(reader.size(), 550);
+    }
+
+    #[test]
+    fn compacted_flattened_index_is_not_stale() {
+        // Segmented writes flatten into compacted spans; fsck must not
+        // mistake the coarser representation for staleness.
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/seg", &Federation::single("/panfs", 2));
+        let mut handles = Vec::new();
+        for w in 0..3u64 {
+            let mut h = WriteHandle::open(
+                Arc::clone(&b),
+                cont.clone(),
+                w,
+                IndexPolicy::Flatten {
+                    threshold_entries: 100,
+                },
+            )
+            .unwrap();
+            for k in 0..8u64 {
+                h.write(w * 800 + k * 100, &Content::synthetic(w, 100), k + 1)
+                    .unwrap();
+            }
+            handles.push(h);
+        }
+        assert!(flatten_close(&b, &cont, handles, 99).unwrap());
+        let flat = cont.read_flattened(&b).unwrap().unwrap();
+        assert_eq!(flat.span_count(), 3, "compacted");
+        let r = check(&b, &cont).unwrap();
+        assert!(r.is_clean(), "{:?}", r.issues);
+    }
+
+
+    #[test]
+    fn space_usage_accounts_overhead_and_dead_bytes() {
+        let (b, cont) = healthy_container();
+        let u = space_usage(&b, &cont).unwrap();
+        assert_eq!(u.logical_bytes, 1500);
+        assert_eq!(u.data_bytes, 1500); // nothing overwritten yet
+        assert_eq!(u.index_bytes, 15 * INDEX_RECORD_BYTES);
+        assert_eq!(u.dead_bytes, 0);
+        assert_eq!(u.physical_bytes(), 1500 + 600);
+
+        // Overwrite a region: the shadowed bytes become dead.
+        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose)
+            .unwrap();
+        h.write(0, &Content::synthetic(9, 500), 100).unwrap();
+        h.close(101).unwrap();
+        let u2 = space_usage(&b, &cont).unwrap();
+        assert_eq!(u2.logical_bytes, 1500);
+        assert_eq!(u2.data_bytes, 2000);
+        assert_eq!(u2.dead_bytes, 500, "overwritten bytes are dead");
+    }
+
+    #[test]
+    fn broken_metalink_flagged() {
+        let b = Arc::new(MemFs::new());
+        let fed = Federation::new(vec!["/v0".into(), "/v1".into()], 4, false, true);
+        let cont = Container::new("/f", &fed);
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        h.write(0, &Content::synthetic(0, 10), 1).unwrap();
+        h.close(2).unwrap();
+        // Corrupt a metalink (point at nowhere) for a *different* subdir.
+        let victim = (0..4)
+            .find(|&i| fed.shadow_subdir_path("/f", i).is_some() && i != cont.subdir_for(0))
+            .or_else(|| (0..4).find(|&i| fed.shadow_subdir_path("/f", i).is_some()));
+        if let Some(i) = victim {
+            let entry = format!("{}/subdir.{i}", cont.canonical_path());
+            let _ = b.unlink(&entry);
+            b.create(&entry, false).unwrap();
+            b.append(&entry, &Content::bytes(b"/gone/away".to_vec()))
+                .unwrap();
+            let r = check(&b, &cont).unwrap();
+            assert!(
+                r.issues
+                    .iter()
+                    .any(|i| matches!(i, Issue::BrokenSubdir { .. })),
+                "{:?}",
+                r.issues
+            );
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! PLFS index machinery: per-write records, serialization, and the global
+//! index that maps logical file offsets back to positions in writers' data
+//! logs.
+//!
+//! Every `write(offset, len)` a process issues appends one [`IndexEntry`]
+//! to that process's *index log*. PLFS does **no** coordination between
+//! writers at write time; instead, overwrites of the same logical range by
+//! different processes are resolved at read time by *timestamp* — the
+//! paper notes PLFS assumes synchronized cluster clocks, and that HPC
+//! checkpoints rarely overwrite in practice (§II, endnote 1).
+//!
+//! A [`GlobalIndex`] is the merge of all writers' entries: an interval map
+//! from logical ranges to `(writer, physical offset)` with
+//! later-timestamp-wins semantics. All three read strategies in the paper
+//! (Original, Index Flatten, Parallel Index Read) produce *the same*
+//! `GlobalIndex` — they differ only in who reads which index log and when,
+//! which is exactly what the merge operation here supports (hierarchical
+//! partial merges for Parallel Index Read).
+
+use crate::error::{PlfsError, Result};
+use std::collections::BTreeMap;
+
+/// Identifies one writer's data log within a container (rank or pid).
+pub type WriterId = u64;
+
+/// One record in a writer's index log: "logical range `[logical_offset,
+/// logical_offset + length)` lives at `physical_offset` in my data log,
+/// written at `timestamp`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    pub logical_offset: u64,
+    pub length: u64,
+    pub physical_offset: u64,
+    pub writer: WriterId,
+    pub timestamp: u64,
+}
+
+/// Size of one serialized index record.
+pub const INDEX_RECORD_BYTES: u64 = 40;
+
+impl IndexEntry {
+    /// Serialize to the fixed 40-byte little-endian on-log format.
+    pub fn to_bytes(&self) -> [u8; INDEX_RECORD_BYTES as usize] {
+        let mut out = [0u8; INDEX_RECORD_BYTES as usize];
+        out[0..8].copy_from_slice(&self.logical_offset.to_le_bytes());
+        out[8..16].copy_from_slice(&self.length.to_le_bytes());
+        out[16..24].copy_from_slice(&self.physical_offset.to_le_bytes());
+        out[24..32].copy_from_slice(&self.writer.to_le_bytes());
+        out[32..40].copy_from_slice(&self.timestamp.to_le_bytes());
+        out
+    }
+
+    /// Deserialize one record.
+    pub fn from_bytes(b: &[u8]) -> Result<IndexEntry> {
+        if b.len() < INDEX_RECORD_BYTES as usize {
+            return Err(PlfsError::CorruptContainer(format!(
+                "index record truncated: {} bytes",
+                b.len()
+            )));
+        }
+        let u = |r: std::ops::Range<usize>| u64::from_le_bytes(b[r].try_into().expect("8 bytes"));
+        Ok(IndexEntry {
+            logical_offset: u(0..8),
+            length: u(8..16),
+            physical_offset: u(16..24),
+            writer: u(24..32),
+            timestamp: u(32..40),
+        })
+    }
+
+    /// Serialize a batch of entries.
+    pub fn encode_all(entries: &[IndexEntry]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(entries.len() * INDEX_RECORD_BYTES as usize);
+        for e in entries {
+            out.extend_from_slice(&e.to_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a batch; the byte length must be a whole number of records.
+    pub fn decode_all(bytes: &[u8]) -> Result<Vec<IndexEntry>> {
+        if bytes.len() % INDEX_RECORD_BYTES as usize != 0 {
+            return Err(PlfsError::CorruptContainer(format!(
+                "index log length {} not a multiple of record size",
+                bytes.len()
+            )));
+        }
+        bytes
+            .chunks_exact(INDEX_RECORD_BYTES as usize)
+            .map(IndexEntry::from_bytes)
+            .collect()
+    }
+}
+
+/// Where a logical extent's bytes come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Bytes live in `writer`'s data log starting at `physical_offset`.
+    Writer {
+        writer: WriterId,
+        physical_offset: u64,
+    },
+    /// Never written: reads back as zeros.
+    Hole,
+}
+
+/// One piece of a resolved read: `length` logical bytes starting at
+/// `logical_offset`, served from `source`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    pub logical_offset: u64,
+    pub length: u64,
+    pub source: Source,
+}
+
+/// A resolved span stored in the interval map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    len: u64,
+    writer: WriterId,
+    /// Physical offset in `writer`'s data log of this span's first byte.
+    phys: u64,
+    ts: u64,
+}
+
+/// The merged view of all writers' index logs: logical offset → data-log
+/// position, with overwrites resolved.
+///
+/// Conflict rule: higher timestamp wins; on an exact timestamp tie the
+/// higher writer id wins (any deterministic tiebreak is acceptable — real
+/// PLFS relies on clocks differing; the simulation can produce exact ties).
+///
+/// # Examples
+///
+/// ```
+/// use plfs::{GlobalIndex, IndexEntry};
+/// use plfs::index::Source;
+///
+/// // Writer 1 wrote [0, 100) early; writer 2 overwrote [40, 60) later.
+/// let idx = GlobalIndex::from_entries([
+///     IndexEntry { logical_offset: 0, length: 100, physical_offset: 0, writer: 1, timestamp: 1 },
+///     IndexEntry { logical_offset: 40, length: 20, physical_offset: 0, writer: 2, timestamp: 2 },
+/// ]);
+/// let pieces = idx.lookup(30, 40);
+/// assert_eq!(pieces.len(), 3);
+/// assert_eq!(pieces[1].source, Source::Writer { writer: 2, physical_offset: 0 });
+/// assert_eq!(idx.eof(), 100);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlobalIndex {
+    spans: BTreeMap<u64, Span>,
+}
+
+impl GlobalIndex {
+    pub fn new() -> Self {
+        GlobalIndex::default()
+    }
+
+    /// Build from unordered entries across any number of writers.
+    pub fn from_entries<I: IntoIterator<Item = IndexEntry>>(entries: I) -> Self {
+        let mut v: Vec<IndexEntry> = entries.into_iter().collect();
+        // Sort so later-precedence entries are overlaid last.
+        v.sort_by_key(|e| (e.timestamp, e.writer));
+        let mut idx = GlobalIndex::new();
+        for e in &v {
+            idx.overlay_unchecked(e);
+        }
+        idx
+    }
+
+    /// Add one entry, resolving conflicts by (timestamp, writer) precedence.
+    ///
+    /// Unlike [`GlobalIndex::from_entries`] this is order-independent: an
+    /// entry that loses to an already-present span leaves the span intact.
+    pub fn insert(&mut self, e: &IndexEntry) {
+        if e.length == 0 {
+            return;
+        }
+        // Split the incoming entry around any existing higher-precedence
+        // spans, then overlay the surviving pieces.
+        let mut pieces: Vec<IndexEntry> = vec![*e];
+        let mut survivors: Vec<IndexEntry> = Vec::new();
+        while let Some(p) = pieces.pop() {
+            let p_end = p.logical_offset + p.length;
+            // Find the first existing span that overlaps p and outranks it.
+            let mut blocker: Option<(u64, Span)> = None;
+            for (&start, span) in self.overlapping(p.logical_offset, p_end) {
+                if rank(span.ts, span.writer) > rank(p.timestamp, p.writer) {
+                    blocker = Some((start, *span));
+                    break;
+                }
+            }
+            match blocker {
+                None => survivors.push(p),
+                Some((bs, bspan)) => {
+                    let b_end = bs + bspan.len;
+                    if p.logical_offset < bs {
+                        let head_len = bs - p.logical_offset;
+                        pieces.push(IndexEntry {
+                            length: head_len,
+                            ..p
+                        });
+                    }
+                    if p_end > b_end {
+                        let cut = b_end - p.logical_offset;
+                        pieces.push(IndexEntry {
+                            logical_offset: b_end,
+                            length: p_end - b_end,
+                            physical_offset: p.physical_offset + cut,
+                            ..p
+                        });
+                    }
+                }
+            }
+        }
+        for s in survivors {
+            self.overlay_unchecked(&s);
+        }
+    }
+
+    /// Overlay an entry assuming it outranks everything it overlaps.
+    fn overlay_unchecked(&mut self, e: &IndexEntry) {
+        if e.length == 0 {
+            return;
+        }
+        let new_start = e.logical_offset;
+        let new_end = e.logical_offset + e.length;
+
+        // Collect keys of spans overlapping [new_start, new_end).
+        let overlapping: Vec<u64> = self
+            .overlapping(new_start, new_end)
+            .map(|(&s, _)| s)
+            .collect();
+
+        for start in overlapping {
+            let span = self.spans.remove(&start).expect("key collected above");
+            let end = start + span.len;
+            // Left remainder.
+            if start < new_start {
+                let keep = new_start - start;
+                self.spans.insert(
+                    start,
+                    Span {
+                        len: keep,
+                        ..span
+                    },
+                );
+            }
+            // Right remainder.
+            if end > new_end {
+                let cut = new_end - start;
+                self.spans.insert(
+                    new_end,
+                    Span {
+                        len: end - new_end,
+                        writer: span.writer,
+                        phys: span.phys + cut,
+                        ts: span.ts,
+                    },
+                );
+            }
+        }
+
+        self.spans.insert(
+            new_start,
+            Span {
+                len: e.length,
+                writer: e.writer,
+                phys: e.physical_offset,
+                ts: e.timestamp,
+            },
+        );
+    }
+
+    /// Iterate spans overlapping `[start, end)`.
+    fn overlapping(&self, start: u64, end: u64) -> impl Iterator<Item = (&u64, &Span)> {
+        // The last span starting at or before `start` may reach into the
+        // range; everything starting strictly inside (start, end) counts.
+        let pred = self
+            .spans
+            .range(..=start)
+            .next_back()
+            .filter(|(&s, sp)| s + sp.len > start && s < end);
+        let rest = self
+            .spans
+            .range((
+                std::ops::Bound::Excluded(start),
+                std::ops::Bound::Excluded(end),
+            ))
+            .map(|(s, sp)| (s, sp));
+        pred.into_iter().chain(rest)
+    }
+
+    /// Merge another index into this one (used by Parallel Index Read group
+    /// leaders). Order-independent: precedence decides, not merge order.
+    pub fn merge(&mut self, other: &GlobalIndex) {
+        for (&start, span) in &other.spans {
+            self.insert(&IndexEntry {
+                logical_offset: start,
+                length: span.len,
+                physical_offset: span.phys,
+                writer: span.writer,
+                timestamp: span.ts,
+            });
+        }
+    }
+
+    /// Resolve a logical read into data-log extents and holes.
+    ///
+    /// The returned mappings exactly tile `[offset, offset + len)` in order.
+    pub fn lookup(&self, offset: u64, len: u64) -> Vec<Mapping> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let end = offset + len;
+        let mut cursor = offset;
+
+        // Start from the last span beginning at or before `offset`.
+        let mut iter = self
+            .spans
+            .range(..=offset)
+            .next_back()
+            .into_iter()
+            .map(|(&s, sp)| (s, *sp))
+            .chain(
+                self.spans
+                    .range((
+                        std::ops::Bound::Excluded(offset),
+                        std::ops::Bound::Excluded(end),
+                    ))
+                    .map(|(&s, sp)| (s, *sp)),
+            );
+
+        while cursor < end {
+            match iter.next() {
+                Some((start, span)) => {
+                    let span_end = start + span.len;
+                    if span_end <= cursor {
+                        continue; // predecessor span ends before our range
+                    }
+                    if start > cursor {
+                        // Hole before this span.
+                        let hole_len = start.min(end) - cursor;
+                        out.push(Mapping {
+                            logical_offset: cursor,
+                            length: hole_len,
+                            source: Source::Hole,
+                        });
+                        cursor += hole_len;
+                        if cursor >= end {
+                            break;
+                        }
+                    }
+                    let take = span_end.min(end) - cursor;
+                    out.push(Mapping {
+                        logical_offset: cursor,
+                        length: take,
+                        source: Source::Writer {
+                            writer: span.writer,
+                            physical_offset: span.phys + (cursor - start),
+                        },
+                    });
+                    cursor += take;
+                }
+                None => {
+                    out.push(Mapping {
+                        logical_offset: cursor,
+                        length: end - cursor,
+                        source: Source::Hole,
+                    });
+                    cursor = end;
+                }
+            }
+        }
+        out
+    }
+
+    /// Logical end-of-file: one past the highest written byte.
+    pub fn eof(&self) -> u64 {
+        self.spans
+            .iter()
+            .next_back()
+            .map(|(&s, sp)| s + sp.len)
+            .unwrap_or(0)
+    }
+
+    /// Number of resolved spans (diagnostic; grows with fragmentation).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Merge adjacent spans that are contiguous both logically and
+    /// physically within the same writer's log. Checkpoint patterns
+    /// produce long runs of such spans (a writer's strided blocks land
+    /// back-to-back in its log), so compaction routinely shrinks a
+    /// flattened index by the transfer-count factor — smaller
+    /// `flattened.index` files and faster broadcasts.
+    ///
+    /// Compaction is purely representational: lookups resolve identically
+    /// before and after (the merged span keeps the later timestamp, which
+    /// cannot change any outcome because the merged spans were already
+    /// the winners of their ranges).
+    pub fn compact(&mut self) {
+        let mut compacted: BTreeMap<u64, Span> = BTreeMap::new();
+        let mut cur: Option<(u64, Span)> = None;
+        for (&start, span) in &self.spans {
+            match cur.take() {
+                None => cur = Some((start, *span)),
+                Some((cstart, cspan)) => {
+                    let contiguous = cstart + cspan.len == start
+                        && cspan.writer == span.writer
+                        && cspan.phys + cspan.len == span.phys;
+                    if contiguous {
+                        cur = Some((
+                            cstart,
+                            Span {
+                                len: cspan.len + span.len,
+                                ts: cspan.ts.max(span.ts),
+                                ..cspan
+                            },
+                        ));
+                    } else {
+                        compacted.insert(cstart, cspan);
+                        cur = Some((start, *span));
+                    }
+                }
+            }
+        }
+        if let Some((s, sp)) = cur {
+            compacted.insert(s, sp);
+        }
+        self.spans = compacted;
+    }
+
+    /// Serialize as index records (for the flattened `global.index` file).
+    pub fn to_entries(&self) -> Vec<IndexEntry> {
+        self.spans
+            .iter()
+            .map(|(&start, span)| IndexEntry {
+                logical_offset: start,
+                length: span.len,
+                physical_offset: span.phys,
+                writer: span.writer,
+                timestamp: span.ts,
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn rank(ts: u64, writer: WriterId) -> (u64, WriterId) {
+    (ts, writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(lo: u64, len: u64, phys: u64, w: WriterId, ts: u64) -> IndexEntry {
+        IndexEntry {
+            logical_offset: lo,
+            length: len,
+            physical_offset: phys,
+            writer: w,
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn record_serialization_roundtrips() {
+        let entry = e(10, 20, 30, 7, 99);
+        let bytes = entry.to_bytes();
+        assert_eq!(IndexEntry::from_bytes(&bytes).unwrap(), entry);
+        let batch = vec![entry, e(1, 2, 3, 4, 5)];
+        let enc = IndexEntry::encode_all(&batch);
+        assert_eq!(enc.len() as u64, 2 * INDEX_RECORD_BYTES);
+        assert_eq!(IndexEntry::decode_all(&enc).unwrap(), batch);
+    }
+
+    #[test]
+    fn truncated_records_are_corrupt() {
+        assert!(matches!(
+            IndexEntry::from_bytes(&[0u8; 10]),
+            Err(PlfsError::CorruptContainer(_))
+        ));
+        assert!(matches!(
+            IndexEntry::decode_all(&[0u8; 41]),
+            Err(PlfsError::CorruptContainer(_))
+        ));
+    }
+
+    #[test]
+    fn disjoint_writes_resolve_directly() {
+        let idx = GlobalIndex::from_entries([e(0, 10, 0, 1, 1), e(10, 10, 0, 2, 1)]);
+        let m = idx.lookup(0, 20);
+        assert_eq!(m.len(), 2);
+        assert_eq!(
+            m[0].source,
+            Source::Writer {
+                writer: 1,
+                physical_offset: 0
+            }
+        );
+        assert_eq!(
+            m[1].source,
+            Source::Writer {
+                writer: 2,
+                physical_offset: 0
+            }
+        );
+        assert_eq!(idx.eof(), 20);
+    }
+
+    #[test]
+    fn later_timestamp_wins_overwrite() {
+        let idx = GlobalIndex::from_entries([e(0, 10, 0, 1, 1), e(0, 10, 0, 2, 2)]);
+        let m = idx.lookup(0, 10);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m[0].source,
+            Source::Writer {
+                writer: 2,
+                physical_offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn partial_overwrite_splits_span() {
+        // Writer 1 covers [0,100); writer 2 later overwrites [40,60).
+        let idx = GlobalIndex::from_entries([e(0, 100, 0, 1, 1), e(40, 20, 500, 2, 2)]);
+        let m = idx.lookup(0, 100);
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m[0],
+            Mapping {
+                logical_offset: 0,
+                length: 40,
+                source: Source::Writer {
+                    writer: 1,
+                    physical_offset: 0
+                }
+            }
+        );
+        assert_eq!(
+            m[1],
+            Mapping {
+                logical_offset: 40,
+                length: 20,
+                source: Source::Writer {
+                    writer: 2,
+                    physical_offset: 500
+                }
+            }
+        );
+        // The tail of writer 1's span keeps its shifted physical offset.
+        assert_eq!(
+            m[2],
+            Mapping {
+                logical_offset: 60,
+                length: 40,
+                source: Source::Writer {
+                    writer: 1,
+                    physical_offset: 60
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn earlier_entry_loses_even_when_inserted_later() {
+        // insert() must be order-independent, unlike raw overlay.
+        let mut idx = GlobalIndex::new();
+        idx.insert(&e(0, 10, 0, 2, 5)); // newer
+        idx.insert(&e(0, 20, 100, 1, 1)); // older, wider
+        let m = idx.lookup(0, 20);
+        assert_eq!(m.len(), 2);
+        assert_eq!(
+            m[0].source,
+            Source::Writer {
+                writer: 2,
+                physical_offset: 0
+            }
+        );
+        // Old entry only contributes its non-shadowed tail, phys shifted.
+        assert_eq!(
+            m[1].source,
+            Source::Writer {
+                writer: 1,
+                physical_offset: 110
+            }
+        );
+    }
+
+    #[test]
+    fn timestamp_tie_broken_by_writer_id() {
+        let a = GlobalIndex::from_entries([e(0, 10, 0, 1, 7), e(0, 10, 0, 2, 7)]);
+        let b = GlobalIndex::from_entries([e(0, 10, 0, 2, 7), e(0, 10, 0, 1, 7)]);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.lookup(0, 10)[0].source,
+            Source::Writer {
+                writer: 2,
+                physical_offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn holes_read_as_holes() {
+        let idx = GlobalIndex::from_entries([e(10, 5, 0, 1, 1)]);
+        let m = idx.lookup(0, 20);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].source, Source::Hole);
+        assert_eq!(m[0].length, 10);
+        assert_eq!(m[2].source, Source::Hole);
+        assert_eq!(m[2].length, 5);
+        // Entirely past EOF.
+        let past = idx.lookup(100, 10);
+        assert_eq!(past.len(), 1);
+        assert_eq!(past[0].source, Source::Hole);
+    }
+
+    #[test]
+    fn lookup_tiles_range_exactly() {
+        let idx = GlobalIndex::from_entries([
+            e(0, 7, 0, 1, 1),
+            e(7, 3, 7, 1, 1),
+            e(15, 5, 10, 2, 2),
+        ]);
+        let m = idx.lookup(2, 16);
+        let mut cursor = 2;
+        for piece in &m {
+            assert_eq!(piece.logical_offset, cursor);
+            cursor += piece.length;
+        }
+        assert_eq!(cursor, 18);
+    }
+
+    #[test]
+    fn merge_matches_bulk_build() {
+        let all = [
+            e(0, 50, 0, 1, 1),
+            e(25, 50, 0, 2, 2),
+            e(10, 10, 500, 3, 3),
+            e(60, 10, 900, 1, 4),
+        ];
+        let bulk = GlobalIndex::from_entries(all);
+        // Partial merge in arbitrary group order (as Parallel Index Read does).
+        let g1 = GlobalIndex::from_entries([all[2], all[0]]);
+        let g2 = GlobalIndex::from_entries([all[3], all[1]]);
+        let mut merged = GlobalIndex::new();
+        merged.merge(&g2);
+        merged.merge(&g1);
+        assert_eq!(merged, bulk);
+    }
+
+    #[test]
+    fn to_entries_roundtrips_through_from_entries() {
+        let idx = GlobalIndex::from_entries([
+            e(0, 100, 0, 1, 1),
+            e(40, 20, 500, 2, 2),
+            e(90, 30, 700, 3, 3),
+        ]);
+        let rebuilt = GlobalIndex::from_entries(idx.to_entries());
+        assert_eq!(rebuilt, idx);
+    }
+
+    #[test]
+    fn strided_n1_pattern_resolves() {
+        // 4 writers, strided 1KB blocks, 4 blocks each — the classic N-1
+        // checkpoint pattern.
+        let mut entries = Vec::new();
+        for w in 0..4u64 {
+            for b in 0..4u64 {
+                entries.push(e(
+                    (b * 4 + w) * 1024, // logical: strided
+                    1024,
+                    b * 1024, // physical: sequential in own log
+                    w,
+                    1,
+                ));
+            }
+        }
+        let idx = GlobalIndex::from_entries(entries);
+        assert_eq!(idx.eof(), 16 * 1024);
+        assert_eq!(idx.span_count(), 16);
+        // Every logical block maps to the right writer and physical offset.
+        for blk in 0..16u64 {
+            let m = idx.lookup(blk * 1024, 1024);
+            assert_eq!(m.len(), 1);
+            assert_eq!(
+                m[0].source,
+                Source::Writer {
+                    writer: blk % 4,
+                    physical_offset: (blk / 4) * 1024
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn compact_merges_contiguous_same_writer_spans() {
+        // A writer's segmented region: 4 blocks, contiguous logically and
+        // physically — compacts to one span.
+        let idx_entries = (0..4u64).map(|k| e(k * 100, 100, k * 100, 1, k + 1));
+        let mut idx = GlobalIndex::from_entries(idx_entries);
+        assert_eq!(idx.span_count(), 4);
+        idx.compact();
+        assert_eq!(idx.span_count(), 1);
+        assert_eq!(idx.eof(), 400);
+        // Lookups unchanged.
+        let m = idx.lookup(150, 100);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m[0].source,
+            Source::Writer {
+                writer: 1,
+                physical_offset: 150
+            }
+        );
+    }
+
+    #[test]
+    fn compact_preserves_resolution_of_mixed_patterns() {
+        // Strided two-writer pattern: alternating spans never merge
+        // (different writers), but overwritten-then-contiguous runs do.
+        let entries = vec![
+            e(0, 10, 0, 1, 1),
+            e(10, 10, 0, 2, 1),
+            e(20, 10, 10, 1, 1),
+            // Writer 2 later overwrites [0,20): contiguous in its log.
+            e(0, 10, 10, 2, 5),
+            e(10, 10, 20, 2, 5),
+        ];
+        let mut idx = GlobalIndex::from_entries(entries.clone());
+        // Byte-level resolution must be identical before and after
+        // compaction (mapping boundaries may differ).
+        let resolve = |idx: &GlobalIndex| -> Vec<(u64, Source)> {
+            let mut out = Vec::new();
+            for m in idx.lookup(0, 30) {
+                for i in 0..m.length {
+                    out.push((
+                        m.logical_offset + i,
+                        match m.source {
+                            Source::Hole => Source::Hole,
+                            Source::Writer {
+                                writer,
+                                physical_offset,
+                            } => Source::Writer {
+                                writer,
+                                physical_offset: physical_offset + i,
+                            },
+                        },
+                    ));
+                }
+            }
+            out
+        };
+        let before = resolve(&idx);
+        idx.compact();
+        assert_eq!(resolve(&idx), before);
+        // Writer 2's two overwrite spans merged into one.
+        assert_eq!(idx.span_count(), 2);
+    }
+
+    #[test]
+    fn compact_does_not_merge_across_holes_or_phys_gaps() {
+        let mut idx = GlobalIndex::from_entries([
+            e(0, 10, 0, 1, 1),
+            e(20, 10, 10, 1, 1),  // logical hole before it
+            e(30, 10, 50, 1, 1),  // physical gap in the log
+        ]);
+        idx.compact();
+        assert_eq!(idx.span_count(), 3);
+    }
+
+    #[test]
+    fn zero_length_entries_ignored() {
+        let mut idx = GlobalIndex::new();
+        idx.insert(&e(5, 0, 0, 1, 1));
+        assert!(idx.is_empty());
+        assert_eq!(idx.eof(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Backend over a real directory via `std::fs`.
+//!
+//! This is the deployment path a FUSE mount would use: PLFS containers are
+//! real directories, data/index logs are real files, and anything written
+//! through the middleware is durable on the host file system. The
+//! `quickstart` example runs over this backend.
+
+use crate::backend::{Backend, NodeKind};
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::path::normalize;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A backend rooted at a host directory.
+#[derive(Debug, Clone)]
+pub struct LocalFs {
+    root: PathBuf,
+}
+
+impl LocalFs {
+    /// Create a backend rooted at `root`, creating the directory if needed.
+    pub fn new(root: impl AsRef<Path>) -> Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(LocalFs {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    fn host(&self, path: &str) -> PathBuf {
+        let norm = normalize(path);
+        let mut p = self.root.clone();
+        for seg in norm.split('/').filter(|s| !s.is_empty()) {
+            p.push(seg);
+        }
+        p
+    }
+}
+
+impl Backend for LocalFs {
+    fn mkdir(&self, path: &str) -> Result<()> {
+        fs::create_dir(self.host(path))?;
+        Ok(())
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        fs::create_dir_all(self.host(path))?;
+        Ok(())
+    }
+
+    fn create(&self, path: &str, exclusive: bool) -> Result<()> {
+        let host = self.host(path);
+        let res = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .create_new(exclusive)
+            .truncate(!exclusive)
+            .open(&host);
+        match res {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(PlfsError::AlreadyExists(path.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&self, path: &str, content: &Content) -> Result<u64> {
+        let host = self.host(path);
+        if !host.is_file() {
+            return Err(PlfsError::NotFound(path.to_string()));
+        }
+        let mut f = fs::OpenOptions::new().append(true).open(&host)?;
+        let off = f.seek(SeekFrom::End(0))?;
+        f.write_all(&content.materialize())?;
+        Ok(off)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
+        let host = self.host(path);
+        if host.is_dir() {
+            return Err(PlfsError::WrongKind {
+                path: path.to_string(),
+                expected: "file",
+            });
+        }
+        let mut f = fs::File::open(&host).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
+            _ => PlfsError::from(e),
+        })?;
+        let size = f.metadata()?.len();
+        let start = offset.min(size);
+        let end = (offset + len).min(size);
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.seek(SeekFrom::Start(start))?;
+        f.read_exact(&mut buf)?;
+        Ok(Content::bytes(buf))
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        let host = self.host(path);
+        let md = fs::metadata(&host).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
+            _ => PlfsError::from(e),
+        })?;
+        if md.is_dir() {
+            return Err(PlfsError::WrongKind {
+                path: path.to_string(),
+                expected: "file",
+            });
+        }
+        Ok(md.len())
+    }
+
+    fn kind(&self, path: &str) -> Result<NodeKind> {
+        let host = self.host(path);
+        let md = fs::metadata(&host).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
+            _ => PlfsError::from(e),
+        })?;
+        Ok(if md.is_dir() {
+            NodeKind::Dir
+        } else {
+            NodeKind::File
+        })
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        let host = self.host(path);
+        if host.is_file() {
+            return Err(PlfsError::WrongKind {
+                path: path.to_string(),
+                expected: "directory",
+            });
+        }
+        let rd = fs::read_dir(&host).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
+            _ => PlfsError::from(e),
+        })?;
+        let mut names: Vec<String> = rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        let host = self.host(path);
+        if host.is_dir() {
+            return Err(PlfsError::WrongKind {
+                path: path.to_string(),
+                expected: "file",
+            });
+        }
+        fs::remove_file(&host).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
+            _ => PlfsError::from(e),
+        })
+    }
+
+    fn remove_all(&self, path: &str) -> Result<()> {
+        let host = self.host(path);
+        if !host.exists() {
+            return Err(PlfsError::NotFound(path.to_string()));
+        }
+        if host.is_dir() {
+            fs::remove_dir_all(&host)?;
+        } else {
+            fs::remove_file(&host)?;
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let from_host = self.host(from);
+        let to_host = self.host(to);
+        if !from_host.exists() {
+            return Err(PlfsError::NotFound(from.to_string()));
+        }
+        if to_host.exists() {
+            return Err(PlfsError::AlreadyExists(to.to_string()));
+        }
+        fs::rename(&from_host, &to_host)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> (LocalFs, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "plfs-localfs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        (LocalFs::new(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn roundtrip_on_real_filesystem() {
+        let (fs_, dir) = tmp();
+        fs_.mkdir_all("/a/b").unwrap();
+        fs_.create("/a/b/f", true).unwrap();
+        fs_.append("/a/b/f", &Content::bytes(b"hello ".to_vec()))
+            .unwrap();
+        let off = fs_.append("/a/b/f", &Content::bytes(b"world".to_vec())).unwrap();
+        assert_eq!(off, 6);
+        assert_eq!(
+            fs_.read_at("/a/b/f", 0, 64).unwrap().materialize(),
+            b"hello world".to_vec()
+        );
+        assert_eq!(fs_.size("/a/b/f").unwrap(), 11);
+        assert_eq!(fs_.kind("/a/b").unwrap(), NodeKind::Dir);
+        assert_eq!(fs_.list("/a/b").unwrap(), vec!["f"]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn errors_map_to_plfs_errors() {
+        let (fs_, dir) = tmp();
+        assert!(matches!(
+            fs_.size("/missing"),
+            Err(PlfsError::NotFound(_))
+        ));
+        fs_.create("/f", true).unwrap();
+        assert!(matches!(
+            fs_.create("/f", true),
+            Err(PlfsError::AlreadyExists(_))
+        ));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rename_and_remove_all() {
+        let (fs_, dir) = tmp();
+        fs_.mkdir_all("/c/sub").unwrap();
+        fs_.create("/c/sub/f", true).unwrap();
+        fs_.rename("/c", "/c2").unwrap();
+        assert!(fs_.exists("/c2/sub/f"));
+        fs_.remove_all("/c2").unwrap();
+        assert!(!fs_.exists("/c2"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let (fs_, dir) = tmp();
+        fs_.create("/f", true).unwrap();
+        fs_.append("/f", &Content::bytes(vec![1, 2, 3])).unwrap();
+        assert_eq!(fs_.read_at("/f", 2, 100).unwrap().len(), 1);
+        assert_eq!(fs_.read_at("/f", 50, 10).unwrap().len(), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

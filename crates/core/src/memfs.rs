@@ -1,0 +1,435 @@
+//! In-memory backend storing real bytes.
+//!
+//! `MemFs` is the reference backend: every test that byte-verifies PLFS
+//! behaviour runs over it. It is thread-safe (one lock around the whole
+//! tree — simplicity over scalability; the simulated backend is the one
+//! that models contention).
+
+use crate::backend::{Backend, NodeKind};
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::path::{normalize, parent};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug)]
+enum Node {
+    File(Vec<u8>),
+    Dir(BTreeSet<String>),
+}
+
+/// An in-memory file system rooted at `/`.
+#[derive(Debug)]
+pub struct MemFs {
+    nodes: RwLock<HashMap<String, Node>>,
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert("/".to_string(), Node::Dir(BTreeSet::new()));
+        MemFs {
+            nodes: RwLock::new(nodes),
+        }
+    }
+
+    /// Total bytes stored across all files (test/diagnostic helper).
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes
+            .read()
+            .values()
+            .map(|n| match n {
+                Node::File(b) => b.len() as u64,
+                Node::Dir(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Number of nodes including the root directory.
+    pub fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    fn insert_child(
+        nodes: &mut HashMap<String, Node>,
+        path: &str,
+        node: Node,
+    ) -> Result<()> {
+        let par = parent(path);
+        match nodes.get_mut(&par) {
+            Some(Node::Dir(children)) => {
+                children.insert(crate::path::basename(path).to_string());
+            }
+            Some(Node::File(_)) => {
+                return Err(PlfsError::WrongKind {
+                    path: par,
+                    expected: "directory",
+                })
+            }
+            None => return Err(PlfsError::NotFound(par)),
+        }
+        nodes.insert(path.to_string(), node);
+        Ok(())
+    }
+}
+
+impl Backend for MemFs {
+    fn mkdir(&self, path: &str) -> Result<()> {
+        let path = normalize(path);
+        let mut nodes = self.nodes.write();
+        if nodes.contains_key(&path) {
+            return Err(PlfsError::AlreadyExists(path));
+        }
+        Self::insert_child(&mut nodes, &path, Node::Dir(BTreeSet::new()))
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        let path = normalize(path);
+        let mut nodes = self.nodes.write();
+        let mut cur = String::new();
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            cur.push('/');
+            cur.push_str(seg);
+            match nodes.get(&cur) {
+                Some(Node::Dir(_)) => {}
+                Some(Node::File(_)) => {
+                    return Err(PlfsError::WrongKind {
+                        path: cur,
+                        expected: "directory",
+                    })
+                }
+                None => {
+                    Self::insert_child(&mut nodes, &cur.clone(), Node::Dir(BTreeSet::new()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn create(&self, path: &str, exclusive: bool) -> Result<()> {
+        let path = normalize(path);
+        let mut nodes = self.nodes.write();
+        match nodes.get_mut(&path) {
+            Some(Node::File(bytes)) => {
+                if exclusive {
+                    Err(PlfsError::AlreadyExists(path))
+                } else {
+                    bytes.clear();
+                    Ok(())
+                }
+            }
+            Some(Node::Dir(_)) => Err(PlfsError::WrongKind {
+                path,
+                expected: "file",
+            }),
+            None => Self::insert_child(&mut nodes, &path, Node::File(Vec::new())),
+        }
+    }
+
+    fn append(&self, path: &str, content: &Content) -> Result<u64> {
+        let path = normalize(path);
+        let mut nodes = self.nodes.write();
+        match nodes.get_mut(&path) {
+            Some(Node::File(bytes)) => {
+                let off = bytes.len() as u64;
+                bytes.extend_from_slice(&content.materialize());
+                Ok(off)
+            }
+            Some(Node::Dir(_)) => Err(PlfsError::WrongKind {
+                path,
+                expected: "file",
+            }),
+            None => Err(PlfsError::NotFound(path)),
+        }
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
+        let path = normalize(path);
+        let nodes = self.nodes.read();
+        match nodes.get(&path) {
+            Some(Node::File(bytes)) => {
+                let start = (offset as usize).min(bytes.len());
+                let end = ((offset + len) as usize).min(bytes.len());
+                Ok(Content::bytes(bytes[start..end].to_vec()))
+            }
+            Some(Node::Dir(_)) => Err(PlfsError::WrongKind {
+                path,
+                expected: "file",
+            }),
+            None => Err(PlfsError::NotFound(path)),
+        }
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        let path = normalize(path);
+        let nodes = self.nodes.read();
+        match nodes.get(&path) {
+            Some(Node::File(bytes)) => Ok(bytes.len() as u64),
+            Some(Node::Dir(_)) => Err(PlfsError::WrongKind {
+                path,
+                expected: "file",
+            }),
+            None => Err(PlfsError::NotFound(path)),
+        }
+    }
+
+    fn kind(&self, path: &str) -> Result<NodeKind> {
+        let path = normalize(path);
+        match self.nodes.read().get(&path) {
+            Some(Node::File(_)) => Ok(NodeKind::File),
+            Some(Node::Dir(_)) => Ok(NodeKind::Dir),
+            None => Err(PlfsError::NotFound(path)),
+        }
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        let path = normalize(path);
+        match self.nodes.read().get(&path) {
+            Some(Node::Dir(children)) => Ok(children.iter().cloned().collect()),
+            Some(Node::File(_)) => Err(PlfsError::WrongKind {
+                path,
+                expected: "directory",
+            }),
+            None => Err(PlfsError::NotFound(path)),
+        }
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        let path = normalize(path);
+        let mut nodes = self.nodes.write();
+        match nodes.get(&path) {
+            Some(Node::File(_)) => {}
+            Some(Node::Dir(_)) => {
+                return Err(PlfsError::WrongKind {
+                    path,
+                    expected: "file",
+                })
+            }
+            None => return Err(PlfsError::NotFound(path)),
+        }
+        nodes.remove(&path);
+        if let Some(Node::Dir(children)) = nodes.get_mut(&parent(&path)) {
+            children.remove(crate::path::basename(&path));
+        }
+        Ok(())
+    }
+
+    fn remove_all(&self, path: &str) -> Result<()> {
+        let path = normalize(path);
+        let mut nodes = self.nodes.write();
+        if path == "/" {
+            return Err(PlfsError::InvalidArg("cannot remove root".into()));
+        }
+        if !nodes.contains_key(&path) {
+            return Err(PlfsError::NotFound(path));
+        }
+        let prefix = format!("{path}/");
+        nodes.retain(|p, _| p != &path && !p.starts_with(&prefix));
+        if let Some(Node::Dir(children)) = nodes.get_mut(&parent(&path)) {
+            children.remove(crate::path::basename(&path));
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let from = normalize(from);
+        let to = normalize(to);
+        let mut nodes = self.nodes.write();
+        if !nodes.contains_key(&from) {
+            return Err(PlfsError::NotFound(from));
+        }
+        if nodes.contains_key(&to) {
+            return Err(PlfsError::AlreadyExists(to));
+        }
+        if !matches!(nodes.get(&parent(&to)), Some(Node::Dir(_))) {
+            return Err(PlfsError::NotFound(parent(&to)));
+        }
+        // Move the node and all descendants.
+        let from_prefix = format!("{from}/");
+        let moves: Vec<String> = nodes
+            .keys()
+            .filter(|p| **p == from || p.starts_with(&from_prefix))
+            .cloned()
+            .collect();
+        for old in moves {
+            let node = nodes.remove(&old).expect("collected above");
+            let new = format!("{to}{}", &old[from.len()..]);
+            nodes.insert(new, node);
+        }
+        if let Some(Node::Dir(children)) = nodes.get_mut(&parent(&from)) {
+            children.remove(crate::path::basename(&from));
+        }
+        if let Some(Node::Dir(children)) = nodes.get_mut(&parent(&to)) {
+            children.insert(crate::path::basename(&to).to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::join;
+
+    #[test]
+    fn mkdir_requires_parent() {
+        let fs = MemFs::new();
+        assert!(matches!(fs.mkdir("/a/b"), Err(PlfsError::NotFound(_))));
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        assert_eq!(fs.kind("/a/b").unwrap(), NodeKind::Dir);
+    }
+
+    #[test]
+    fn mkdir_all_is_idempotent() {
+        let fs = MemFs::new();
+        fs.mkdir_all("/x/y/z").unwrap();
+        fs.mkdir_all("/x/y/z").unwrap();
+        assert_eq!(fs.list("/x").unwrap(), vec!["y"]);
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let fs = MemFs::new();
+        fs.create("/f", true).unwrap();
+        assert_eq!(fs.append("/f", &Content::bytes(vec![1, 2])).unwrap(), 0);
+        assert_eq!(fs.append("/f", &Content::bytes(vec![3])).unwrap(), 2);
+        assert_eq!(fs.read_at("/f", 0, 10).unwrap().materialize(), vec![1, 2, 3]);
+        assert_eq!(fs.read_at("/f", 1, 1).unwrap().materialize(), vec![2]);
+        assert_eq!(fs.size("/f").unwrap(), 3);
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let fs = MemFs::new();
+        fs.create("/f", true).unwrap();
+        fs.append("/f", &Content::bytes(vec![9; 4])).unwrap();
+        assert_eq!(fs.read_at("/f", 2, 10).unwrap().len(), 2);
+        assert_eq!(fs.read_at("/f", 100, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn exclusive_create_conflicts() {
+        let fs = MemFs::new();
+        fs.create("/f", true).unwrap();
+        assert!(matches!(
+            fs.create("/f", true),
+            Err(PlfsError::AlreadyExists(_))
+        ));
+        // Non-exclusive create truncates.
+        fs.append("/f", &Content::bytes(vec![1])).unwrap();
+        fs.create("/f", false).unwrap();
+        assert_eq!(fs.size("/f").unwrap(), 0);
+    }
+
+    #[test]
+    fn synthetic_content_is_materialized() {
+        let fs = MemFs::new();
+        fs.create("/f", true).unwrap();
+        fs.append("/f", &Content::synthetic(5, 64)).unwrap();
+        let read = fs.read_at("/f", 0, 64).unwrap();
+        assert!(read.same_bytes(&Content::synthetic(5, 64)));
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        for name in ["zeta", "alpha", "mid"] {
+            fs.create(&join("/d", name), true).unwrap();
+        }
+        assert_eq!(fs.list("/d").unwrap(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn unlink_removes_only_files() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f", true).unwrap();
+        assert!(matches!(fs.unlink("/d"), Err(PlfsError::WrongKind { .. })));
+        fs.unlink("/d/f").unwrap();
+        assert!(!fs.exists("/d/f"));
+        assert!(fs.list("/d").unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_all_removes_subtree() {
+        let fs = MemFs::new();
+        fs.mkdir_all("/a/b/c").unwrap();
+        fs.create("/a/b/c/f", true).unwrap();
+        fs.remove_all("/a/b").unwrap();
+        assert!(!fs.exists("/a/b"));
+        assert!(!fs.exists("/a/b/c/f"));
+        assert!(fs.exists("/a"));
+        assert!(fs.list("/a").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rename_moves_subtree() {
+        let fs = MemFs::new();
+        fs.mkdir_all("/a/b").unwrap();
+        fs.create("/a/b/f", true).unwrap();
+        fs.append("/a/b/f", &Content::bytes(vec![7])).unwrap();
+        fs.mkdir("/z").unwrap();
+        fs.rename("/a/b", "/z/b2").unwrap();
+        assert!(!fs.exists("/a/b"));
+        assert_eq!(fs.read_at("/z/b2/f", 0, 1).unwrap().materialize(), vec![7]);
+        assert_eq!(fs.list("/a").unwrap(), Vec::<String>::new());
+        assert_eq!(fs.list("/z").unwrap(), vec!["b2"]);
+    }
+
+    #[test]
+    fn rename_conflict_and_missing_target_dir() {
+        let fs = MemFs::new();
+        fs.create("/f", true).unwrap();
+        fs.create("/g", true).unwrap();
+        assert!(matches!(
+            fs.rename("/f", "/g"),
+            Err(PlfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.rename("/f", "/nodir/f"),
+            Err(PlfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_appends_from_threads() {
+        use std::sync::Arc;
+        let fs = Arc::new(MemFs::new());
+        fs.mkdir("/logs").unwrap();
+        let mut handles = Vec::new();
+        for w in 0..8 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let p = format!("/logs/w{w}");
+                fs.create(&p, true).unwrap();
+                for i in 0..100u64 {
+                    fs.append(&p, &Content::bytes(i.to_le_bytes().to_vec()))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..8 {
+            assert_eq!(fs.size(&format!("/logs/w{w}")).unwrap(), 800);
+        }
+    }
+
+    #[test]
+    fn diagnostics_count_bytes_and_nodes() {
+        let fs = MemFs::new();
+        fs.create("/f", true).unwrap();
+        fs.append("/f", &Content::bytes(vec![0; 10])).unwrap();
+        assert_eq!(fs.total_bytes(), 10);
+        assert_eq!(fs.node_count(), 2); // root + file
+    }
+}

@@ -1,0 +1,112 @@
+//! Lightweight Unix-style path handling shared by all backends.
+//!
+//! Backends key their namespaces on normalized absolute strings
+//! (`/a/b/c`), which keeps `MemFs` and the simulated file system free of
+//! platform path semantics; `LocalFs` maps these onto a real root.
+
+/// Normalize a path: collapse `//`, resolve `.` segments, require absolute.
+/// `..` is rejected rather than resolved — PLFS never emits it and
+/// resolving it silently would mask container-layout bugs.
+pub fn normalize(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 1);
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => panic!("'..' not supported in PLFS paths: {path}"),
+            s => {
+                out.push('/');
+                out.push_str(s);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    out
+}
+
+/// Join a base path and a child name.
+pub fn join(base: &str, name: &str) -> String {
+    if base == "/" {
+        format!("/{name}")
+    } else {
+        format!("{base}/{name}")
+    }
+}
+
+/// Parent directory of a normalized path (`/` is its own parent).
+pub fn parent(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+    }
+}
+
+/// Final component of a normalized path (empty for `/`).
+pub fn basename(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// All ancestor directories from the root down, excluding the path itself.
+/// `/a/b/c` yields `["/", "/a", "/a/b"]`.
+pub fn ancestors(path: &str) -> Vec<String> {
+    let mut out = vec!["/".to_string()];
+    let mut cur = String::new();
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    for seg in segs.iter().take(segs.len().saturating_sub(1)) {
+        cur.push('/');
+        cur.push_str(seg);
+        out.push(cur.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses() {
+        assert_eq!(normalize("/a//b/./c/"), "/a/b/c");
+        assert_eq!(normalize("a/b"), "/a/b");
+        assert_eq!(normalize("/"), "/");
+        assert_eq!(normalize(""), "/");
+    }
+
+    #[test]
+    #[should_panic(expected = "'..' not supported")]
+    fn normalize_rejects_dotdot() {
+        normalize("/a/../b");
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "x"), "/x");
+        assert_eq!(join("/a", "x"), "/a/x");
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent("/a/b/c"), "/a/b");
+        assert_eq!(parent("/a"), "/");
+        assert_eq!(parent("/"), "/");
+        assert_eq!(basename("/a/b/c"), "c");
+        assert_eq!(basename("/"), "");
+    }
+
+    #[test]
+    fn ancestors_walk_down() {
+        assert_eq!(ancestors("/a/b/c"), vec!["/", "/a", "/a/b"]);
+        assert_eq!(ancestors("/a"), vec!["/"]);
+    }
+
+    #[test]
+    fn join_then_parent_roundtrip() {
+        let p = join("/data/run1", "ckpt");
+        assert_eq!(parent(&p), "/data/run1");
+        assert_eq!(basename(&p), "ckpt");
+    }
+}

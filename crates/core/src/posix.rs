@@ -1,0 +1,231 @@
+//! A POSIX-style file-descriptor shim over the PLFS mount — the exact
+//! surface a FUSE daemon (e.g. one built on the `fuser` crate) would wire
+//! its callbacks to. Real PLFS's most transparent interface was its FUSE
+//! mount (§II); this module provides that call surface without requiring
+//! a kernel, so applications written against `open/pread/pwrite/close`
+//! can run over PLFS in-process.
+//!
+//! Semantics follow real PLFS: `O_RDWR` is rejected for shared files
+//! (the paper patched IOR and MADbench to drop it), writes go through a
+//! per-descriptor writer identity, and a file opened for read holds the
+//! aggregated index for its lifetime.
+
+use crate::backend::Backend;
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::reader::ReadHandle;
+use crate::vfs::Plfs;
+use crate::writer::WriteHandle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Open flags (the subset PLFS supports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenFlags {
+    ReadOnly,
+    /// Write-only; creates the file if needed.
+    WriteOnly,
+    /// Rejected, as in real PLFS.
+    ReadWrite,
+}
+
+/// A descriptor number.
+pub type Fd = u64;
+
+enum OpenFile<B: Backend> {
+    Reader(ReadHandle<B>),
+    Writer(WriteHandle<B>),
+}
+
+/// The descriptor table over a mount.
+pub struct PosixShim<B: Backend + Clone> {
+    fs: Plfs<B>,
+    table: Mutex<HashMap<Fd, OpenFile<B>>>,
+    next_fd: AtomicU64,
+    /// Identity used for writer droppings: a FUSE daemon would use
+    /// (hostname, pid); we take a base id and a counter.
+    writer_base: u64,
+}
+
+impl<B: Backend + Clone> PosixShim<B> {
+    pub fn new(fs: Plfs<B>, writer_base: u64) -> Self {
+        PosixShim {
+            fs,
+            table: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3), // 0-2 reserved, as tradition demands
+            writer_base,
+        }
+    }
+
+    pub fn mount(&self) -> &Plfs<B> {
+        &self.fs
+    }
+
+    /// `open(2)`.
+    pub fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        let file = match flags {
+            OpenFlags::ReadWrite => return Err(crate::writer::reject_read_write()),
+            OpenFlags::ReadOnly => OpenFile::Reader(self.fs.open_read(path)?),
+            OpenFlags::WriteOnly => {
+                // Each open gets a distinct writer identity, like a
+                // distinct (host, pid) in real PLFS.
+                let writer = self.writer_base.wrapping_add(fd);
+                OpenFile::Writer(self.fs.open_write(path, writer)?)
+            }
+        };
+        self.table.lock().insert(fd, file);
+        Ok(fd)
+    }
+
+    /// `pwrite(2)`.
+    pub fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> Result<usize> {
+        let mut table = self.table.lock();
+        match table.get_mut(&fd) {
+            Some(OpenFile::Writer(w)) => {
+                w.write(offset, &Content::bytes(buf.to_vec()), self.fs.timestamp())?;
+                Ok(buf.len())
+            }
+            Some(OpenFile::Reader(_)) => {
+                Err(PlfsError::InvalidArg(format!("fd {fd} is read-only")))
+            }
+            None => Err(PlfsError::InvalidArg(format!("bad fd {fd}"))),
+        }
+    }
+
+    /// `pread(2)`. Short reads at EOF, like POSIX.
+    pub fn pread(&self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>> {
+        let mut table = self.table.lock();
+        match table.get_mut(&fd) {
+            Some(OpenFile::Reader(r)) => r.read(offset, len as u64),
+            Some(OpenFile::Writer(_)) => {
+                Err(PlfsError::InvalidArg(format!("fd {fd} is write-only")))
+            }
+            None => Err(PlfsError::InvalidArg(format!("bad fd {fd}"))),
+        }
+    }
+
+    /// `fsync(2)`: flush buffered index records.
+    pub fn fsync(&self, fd: Fd) -> Result<()> {
+        let mut table = self.table.lock();
+        match table.get_mut(&fd) {
+            Some(OpenFile::Writer(w)) => w.flush_index(),
+            Some(OpenFile::Reader(_)) => Ok(()),
+            None => Err(PlfsError::InvalidArg(format!("bad fd {fd}"))),
+        }
+    }
+
+    /// `close(2)`.
+    pub fn close(&self, fd: Fd) -> Result<()> {
+        let file = self
+            .table
+            .lock()
+            .remove(&fd)
+            .ok_or_else(|| PlfsError::InvalidArg(format!("bad fd {fd}")))?;
+        match file {
+            OpenFile::Writer(w) => {
+                w.close(self.fs.timestamp())?;
+            }
+            OpenFile::Reader(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Number of descriptors currently open (diagnostic).
+    pub fn open_count(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+    use crate::vfs::PlfsConfig;
+    use std::sync::Arc;
+
+    fn shim() -> PosixShim<Arc<MemFs>> {
+        let fs = Plfs::new(Arc::new(MemFs::new()), PlfsConfig::basic("/panfs")).unwrap();
+        PosixShim::new(fs, 1000)
+    }
+
+    #[test]
+    fn open_write_read_close_cycle() {
+        let s = shim();
+        let wfd = s.open("/f", OpenFlags::WriteOnly).unwrap();
+        assert_eq!(s.pwrite(wfd, b"hello", 0).unwrap(), 5);
+        assert_eq!(s.pwrite(wfd, b"world", 5).unwrap(), 5);
+        s.close(wfd).unwrap();
+
+        let rfd = s.open("/f", OpenFlags::ReadOnly).unwrap();
+        assert_eq!(s.pread(rfd, 10, 0).unwrap(), b"helloworld");
+        // Short read at EOF.
+        assert_eq!(s.pread(rfd, 100, 8).unwrap(), b"ld");
+        s.close(rfd).unwrap();
+        assert_eq!(s.open_count(), 0);
+    }
+
+    #[test]
+    fn rdwr_is_rejected() {
+        let s = shim();
+        assert!(matches!(
+            s.open("/f", OpenFlags::ReadWrite),
+            Err(PlfsError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_direction_ops_fail() {
+        let s = shim();
+        let wfd = s.open("/f", OpenFlags::WriteOnly).unwrap();
+        s.pwrite(wfd, b"x", 0).unwrap();
+        assert!(s.pread(wfd, 1, 0).is_err());
+        s.close(wfd).unwrap();
+        let rfd = s.open("/f", OpenFlags::ReadOnly).unwrap();
+        assert!(s.pwrite(rfd, b"y", 0).is_err());
+    }
+
+    #[test]
+    fn bad_fds_error() {
+        let s = shim();
+        assert!(s.pread(99, 1, 0).is_err());
+        assert!(s.pwrite(99, b"x", 0).is_err());
+        assert!(s.close(99).is_err());
+        assert!(s.fsync(99).is_err());
+    }
+
+    #[test]
+    fn concurrent_descriptors_get_distinct_writer_identities() {
+        let s = shim();
+        let a = s.open("/f", OpenFlags::WriteOnly).unwrap();
+        let b = s.open("/f", OpenFlags::WriteOnly).unwrap();
+        s.pwrite(a, &[1; 100], 0).unwrap();
+        s.pwrite(b, &[2; 100], 100).unwrap();
+        s.close(a).unwrap();
+        s.close(b).unwrap();
+        let rfd = s.open("/f", OpenFlags::ReadOnly).unwrap();
+        let bytes = s.pread(rfd, 200, 0).unwrap();
+        assert!(bytes[..100].iter().all(|&x| x == 1));
+        assert!(bytes[100..].iter().all(|&x| x == 2));
+        // Two distinct writers left two data logs.
+        let writers = s
+            .mount()
+            .container("/f")
+            .list_writers(s.mount().backend())
+            .unwrap();
+        assert_eq!(writers.len(), 2);
+    }
+
+    #[test]
+    fn fsync_makes_index_visible_to_new_readers() {
+        let s = shim();
+        let wfd = s.open("/f", OpenFlags::WriteOnly).unwrap();
+        s.pwrite(wfd, b"durable", 0).unwrap();
+        s.fsync(wfd).unwrap();
+        // Reader opened *before* writer close sees synced data.
+        let rfd = s.open("/f", OpenFlags::ReadOnly).unwrap();
+        assert_eq!(s.pread(rfd, 7, 0).unwrap(), b"durable");
+        s.close(wfd).unwrap();
+    }
+}

@@ -1,0 +1,284 @@
+//! The PLFS read path.
+//!
+//! Opening a PLFS file for read requires a [`GlobalIndex`]; how that index
+//! is obtained is the crux of the paper's Section IV:
+//!
+//! * **Original design** — every reader aggregates every writer's index
+//!   log itself ([`ReadHandle::open`] falls back to this when no
+//!   flattened index exists): N readers × N index logs = N² opens on the
+//!   underlying file system.
+//! * **Index Flatten** — the flattened index written at close is read
+//!   instead (one open).
+//! * **Parallel Index Read** — a collective divides the index logs among
+//!   readers and merges hierarchically; the resulting index is injected
+//!   with [`ReadHandle::open_with_index`]. The collective choreography
+//!   (group leaders, exchanges, broadcast) lives in the `mpio` crate.
+//!
+//! All strategies yield an identical index, so `ReadHandle` behaviour is
+//! strategy-independent after open — asserted by integration tests.
+
+use crate::backend::Backend;
+use crate::container::Container;
+use crate::content::Content;
+use crate::error::Result;
+use crate::index::{GlobalIndex, Source, WriterId};
+use std::collections::HashMap;
+
+/// An open-for-read PLFS file.
+pub struct ReadHandle<B: Backend> {
+    backend: B,
+    container: Container,
+    index: GlobalIndex,
+    /// Resolved data-log paths, cached so repeated reads skip metalink
+    /// resolution.
+    log_paths: HashMap<WriterId, String>,
+}
+
+impl<B: Backend> ReadHandle<B> {
+    /// Open for read, acquiring the index from the container: the
+    /// flattened index when present, otherwise full self-aggregation (the
+    /// Original design).
+    pub fn open(backend: B, container: Container) -> Result<Self> {
+        let index = container.acquire_index(&backend)?;
+        Ok(Self::with_parts(backend, container, index))
+    }
+
+    /// Open for read with an index supplied by a collective aggregation
+    /// (Parallel Index Read or a broadcast flattened index).
+    pub fn open_with_index(backend: B, container: Container, index: GlobalIndex) -> Result<Self> {
+        Ok(Self::with_parts(backend, container, index))
+    }
+
+    fn with_parts(backend: B, container: Container, index: GlobalIndex) -> Self {
+        ReadHandle {
+            backend,
+            container,
+            index,
+            log_paths: HashMap::new(),
+        }
+    }
+
+    /// Logical file size.
+    pub fn size(&self) -> u64 {
+        self.index.eof()
+    }
+
+    pub fn index(&self) -> &GlobalIndex {
+        &self.index
+    }
+
+    pub fn container(&self) -> &Container {
+        &self.container
+    }
+
+    fn log_path(&mut self, writer: WriterId) -> Result<String> {
+        if let Some(p) = self.log_paths.get(&writer) {
+            return Ok(p.clone());
+        }
+        let p = self.container.data_log(&self.backend, writer)?;
+        self.log_paths.insert(writer, p.clone());
+        Ok(p)
+    }
+
+    /// Read `len` logical bytes at `offset` as contiguous materialized
+    /// bytes. Holes read as zeros; reads past EOF are truncated (POSIX
+    /// short read).
+    pub fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let eof = self.index.eof();
+        if offset >= eof {
+            return Ok(Vec::new());
+        }
+        let len = len.min(eof - offset);
+        let mut out = Vec::with_capacity(len as usize);
+        for piece in self.read_pieces(offset, len)? {
+            out.extend_from_slice(&piece.materialize());
+        }
+        Ok(out)
+    }
+
+    /// Read `len` logical bytes at `offset` as content pieces (keeps
+    /// synthetic extents symbolic — this is what scale tests use to
+    /// verify terabyte-logical files without materializing them).
+    pub fn read_pieces(&mut self, offset: u64, len: u64) -> Result<Vec<Content>> {
+        let mut pieces = Vec::new();
+        for m in self.index.lookup(offset, len) {
+            match m.source {
+                Source::Hole => pieces.push(Content::Zeros { len: m.length }),
+                Source::Writer {
+                    writer,
+                    physical_offset,
+                } => {
+                    let path = self.log_path(writer)?;
+                    let c = self.backend.read_at(&path, physical_offset, m.length)?;
+                    debug_assert_eq!(
+                        c.len(),
+                        m.length,
+                        "index pointed past data log end: {path} @{physical_offset}"
+                    );
+                    pieces.push(c);
+                }
+            }
+        }
+        Ok(pieces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Container;
+    use crate::federation::Federation;
+    use crate::memfs::MemFs;
+    use crate::writer::{flatten_close, IndexPolicy, WriteHandle};
+    use std::sync::Arc;
+
+    fn write_strided(
+        b: &Arc<MemFs>,
+        c: &Container,
+        writers: u64,
+        blocks: u64,
+        block: u64,
+        policy: IndexPolicy,
+    ) -> Vec<WriteHandle<Arc<MemFs>>> {
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let mut h = WriteHandle::open(Arc::clone(b), c.clone(), w, policy).unwrap();
+            for bl in 0..blocks {
+                let logical = (bl * writers + w) * block;
+                h.write(logical, &Content::synthetic(w * 1000 + bl, block), 1)
+                    .unwrap();
+            }
+            handles.push(h);
+        }
+        handles
+    }
+
+    #[test]
+    fn read_back_matches_written_pattern() {
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 2));
+        let handles = write_strided(&b, &c, 4, 3, 64, IndexPolicy::WriteClose);
+        for h in handles {
+            h.close(9).unwrap();
+        }
+        let mut r = ReadHandle::open(Arc::clone(&b), c.clone()).unwrap();
+        assert_eq!(r.size(), 4 * 3 * 64);
+        // Check each block reads back as the writer's synthetic stream.
+        for bl in 0..3u64 {
+            for w in 0..4u64 {
+                let logical = (bl * 4 + w) * 64;
+                let got = r.read(logical, 64).unwrap();
+                assert_eq!(got, Content::synthetic(w * 1000 + bl, 64).materialize());
+            }
+        }
+        // A read spanning writers stitches correctly.
+        let span = r.read(0, 128).unwrap();
+        assert_eq!(&span[0..64], &Content::synthetic(0, 64).materialize()[..]);
+        assert_eq!(
+            &span[64..128],
+            &Content::synthetic(1000, 64).materialize()[..]
+        );
+    }
+
+    #[test]
+    fn flattened_and_aggregated_reads_agree() {
+        let mk = |flatten: bool| {
+            let b = Arc::new(MemFs::new());
+            let c = Container::new("/f", &Federation::single("/ns", 2));
+            let policy = if flatten {
+                IndexPolicy::Flatten {
+                    threshold_entries: 1000,
+                }
+            } else {
+                IndexPolicy::WriteClose
+            };
+            let handles = write_strided(&b, &c, 3, 5, 32, policy);
+            if flatten {
+                assert!(flatten_close(&b, &c, handles, 9).unwrap());
+            } else {
+                for h in handles {
+                    h.close(9).unwrap();
+                }
+            }
+            let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
+            r.read(0, 3 * 5 * 32).unwrap()
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn injected_index_matches_self_aggregation() {
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 4));
+        let handles = write_strided(&b, &c, 4, 2, 16, IndexPolicy::WriteClose);
+        for h in handles {
+            h.close(9).unwrap();
+        }
+        // Simulate Parallel Index Read: aggregate in two "groups" and merge.
+        let mut g1 = GlobalIndex::new();
+        for w in [0u64, 1] {
+            g1.merge(&GlobalIndex::from_entries(
+                c.read_index_log(&b, w).unwrap(),
+            ));
+        }
+        let mut g2 = GlobalIndex::new();
+        for w in [2u64, 3] {
+            g2.merge(&GlobalIndex::from_entries(
+                c.read_index_log(&b, w).unwrap(),
+            ));
+        }
+        let mut merged = g1;
+        merged.merge(&g2);
+        let mut r1 = ReadHandle::open_with_index(Arc::clone(&b), c.clone(), merged).unwrap();
+        let mut r2 = ReadHandle::open(Arc::clone(&b), c.clone()).unwrap();
+        assert_eq!(r1.read(0, 128).unwrap(), r2.read(0, 128).unwrap());
+    }
+
+    #[test]
+    fn holes_read_as_zeros_and_eof_truncates() {
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 1));
+        let mut h = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        h.write(100, &Content::bytes(vec![7; 10]), 1).unwrap();
+        h.close(2).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
+        assert_eq!(r.size(), 110);
+        let got = r.read(90, 30).unwrap();
+        assert_eq!(got.len(), 20, "truncated at EOF");
+        assert_eq!(&got[0..10], &[0; 10]);
+        assert_eq!(&got[10..20], &[7; 10]);
+        assert!(r.read(200, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn overwrites_resolve_to_latest_writer() {
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 2));
+        let mut h0 = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        let mut h1 = WriteHandle::open(Arc::clone(&b), c.clone(), 1, IndexPolicy::WriteClose).unwrap();
+        h0.write(0, &Content::bytes(vec![1; 100]), 10).unwrap();
+        h1.write(25, &Content::bytes(vec![2; 50]), 20).unwrap(); // later
+        h0.close(30).unwrap();
+        h1.close(30).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
+        let got = r.read(0, 100).unwrap();
+        assert_eq!(&got[0..25], &[1; 25]);
+        assert_eq!(&got[25..75], &[2; 50]);
+        assert_eq!(&got[75..100], &[1; 25]);
+    }
+
+    #[test]
+    fn read_pieces_keeps_synthetic_symbolic() {
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 1));
+        let mut h = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        h.write(0, &Content::synthetic(3, 100), 1).unwrap();
+        h.close(2).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
+        let pieces = r.read_pieces(10, 20).unwrap();
+        assert_eq!(pieces.len(), 1);
+        // MemFs materializes, so the piece is Bytes — but byte-identical to
+        // the synthetic slice.
+        assert!(pieces[0].same_bytes(&Content::synthetic(3, 100).slice(10, 20)));
+    }
+}

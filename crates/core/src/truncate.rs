@@ -1,0 +1,237 @@
+//! Logical truncation of PLFS files.
+//!
+//! Truncation is awkward for a log-structured design: the data is spread
+//! across append-only logs that cannot be shortened in place. Real PLFS
+//! handled `truncate(0)` by dropping the droppings and anything else by
+//! rewriting indices; we implement both:
+//!
+//! * **truncate to 0** — remove every dropping, metadir record, and
+//!   flattened index; the container remains, empty;
+//! * **truncate to `size`** — rewrite each writer's index log, dropping
+//!   entries entirely beyond `size` and clipping the one that straddles
+//!   it. Data-log bytes past the cut become unreferenced (space is
+//!   reclaimed by a later fsck/compaction pass, not here — exactly the
+//!   log-structured trade).
+//!
+//! Concurrent writers are not supported during truncation (PLFS never
+//! supported that either): callers must quiesce the file first.
+
+use crate::backend::Backend;
+use crate::container::{Container, DATA_PREFIX, INDEX_PREFIX};
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::index::IndexEntry;
+
+/// Truncate the logical file backed by `container` to `size` bytes.
+pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<()> {
+    if !container.exists(b) {
+        return Err(PlfsError::NotFound(container.logical_path().to_string()));
+    }
+    if !container.open_writers(b)?.is_empty() {
+        return Err(PlfsError::Unsupported(
+            "cannot truncate a file with writers still open".into(),
+        ));
+    }
+    if size == 0 {
+        return truncate_to_zero(b, container);
+    }
+
+    // Rewrite every index log, clipping at `size`.
+    for w in container.list_writers(b)? {
+        let entries = container.read_index_log(b, w)?;
+        let kept: Vec<IndexEntry> = entries
+            .into_iter()
+            .filter_map(|e| {
+                let end = e.logical_offset + e.length;
+                if e.logical_offset >= size {
+                    None
+                } else if end <= size {
+                    Some(e)
+                } else {
+                    Some(IndexEntry {
+                        length: size - e.logical_offset,
+                        ..e
+                    })
+                }
+            })
+            .collect();
+        let ipath = container.index_log(b, w)?;
+        b.create(&ipath, false)?; // truncate the log itself
+        if !kept.is_empty() {
+            b.append(&ipath, &Content::bytes(IndexEntry::encode_all(&kept)))?;
+        }
+    }
+
+    // Metadir records and any flattened index are now stale.
+    refresh_metadata(b, container, size)?;
+    Ok(())
+}
+
+fn truncate_to_zero<B: Backend>(b: &B, container: &Container) -> Result<()> {
+    for i in 0..container.federation_subdirs() {
+        let dir = match container.subdir_phys(b, i) {
+            Ok(d) => d,
+            Err(PlfsError::NotFound(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        for name in b.list(&dir)? {
+            if name.starts_with(DATA_PREFIX) || name.starts_with(INDEX_PREFIX) {
+                b.unlink(&format!("{dir}/{name}"))?;
+            }
+        }
+    }
+    refresh_metadata(b, container, 0)?;
+    Ok(())
+}
+
+/// Drop stale metadir records / flattened index and record the new size.
+fn refresh_metadata<B: Backend>(b: &B, container: &Container, size: u64) -> Result<()> {
+    container.remove_flattened(b)?;
+    let metadir = format!("{}/metadir", container.canonical_path());
+    match b.list(&metadir) {
+        Ok(names) => {
+            for n in names {
+                b.unlink(&format!("{metadir}/{n}"))?;
+            }
+        }
+        Err(PlfsError::NotFound(_)) => {}
+        Err(e) => return Err(e),
+    }
+    // One fresh record so stat stays cheap (writer id 0 by convention —
+    // truncation is a single-actor operation).
+    container.record_meta(b, 0, size, 0)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::Federation;
+    use crate::memfs::MemFs;
+    use crate::reader::ReadHandle;
+    use crate::writer::{IndexPolicy, WriteHandle};
+    use std::sync::Arc;
+
+    fn build() -> (Arc<MemFs>, Container) {
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/t", &Federation::single("/panfs", 2));
+        for w in 0..3u64 {
+            let mut h =
+                WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose)
+                    .unwrap();
+            for k in 0..4u64 {
+                // Strided 100-byte blocks: writer w owns blocks k*3+w.
+                h.write((k * 3 + w) * 100, &Content::synthetic(w, 400).slice(k * 100, 100), k + 1)
+                    .unwrap();
+            }
+            h.close(9).unwrap();
+        }
+        (b, cont)
+    }
+
+    #[test]
+    fn truncate_to_zero_empties_the_file() {
+        let (b, cont) = build();
+        truncate(&b, &cont, 0).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        assert_eq!(r.size(), 0);
+        assert!(r.read(0, 100).unwrap().is_empty());
+        assert_eq!(cont.cached_size(&b).unwrap(), Some(0));
+        // Droppings gone.
+        assert!(cont.list_writers(&b).unwrap().is_empty());
+        // The file can be written again afterwards.
+        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 7, IndexPolicy::WriteClose)
+            .unwrap();
+        h.write(0, &Content::bytes(vec![9; 10]), 100).unwrap();
+        h.close(101).unwrap();
+        let mut r2 = ReadHandle::open(Arc::clone(&b), cont).unwrap();
+        assert_eq!(r2.read(0, 10).unwrap(), vec![9; 10]);
+    }
+
+    #[test]
+    fn truncate_mid_entry_clips_it() {
+        let (b, cont) = build();
+        // Full size is 1200; cut at 450 — mid-way through block 4
+        // (offsets 400..500, owned by writer 1's k=1... block index 4 = k*3+w → k=1,w=1).
+        truncate(&b, &cont, 450).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        assert_eq!(r.size(), 450);
+        // Bytes below the cut are intact.
+        let got = r.read(400, 50).unwrap();
+        let want = Content::synthetic(1, 400).slice(100, 50).materialize();
+        assert_eq!(got, want);
+        // Reads past the cut return nothing.
+        assert!(r.read(450, 100).unwrap().is_empty());
+        // Stat agrees.
+        assert_eq!(cont.cached_size(&b).unwrap(), Some(450));
+    }
+
+    #[test]
+    fn truncate_drops_whole_entries_beyond_cut() {
+        let (b, cont) = build();
+        truncate(&b, &cont, 300).unwrap();
+        // Each writer's index log now holds only its block(s) below 300.
+        let entries0 = cont.read_index_log(&b, 0).unwrap();
+        assert_eq!(entries0.len(), 1); // writer 0's block at 0..100
+        let entries2 = cont.read_index_log(&b, 2).unwrap();
+        assert_eq!(entries2.len(), 1); // writer 2's block at 200..300
+    }
+
+    #[test]
+    fn truncate_invalidates_flattened_index() {
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/t", &Federation::single("/panfs", 2));
+        let mut handles = Vec::new();
+        for w in 0..2u64 {
+            let mut h = WriteHandle::open(
+                Arc::clone(&b),
+                cont.clone(),
+                w,
+                IndexPolicy::Flatten {
+                    threshold_entries: 10,
+                },
+            )
+            .unwrap();
+            h.write(w * 100, &Content::synthetic(w, 100), w + 1).unwrap();
+            handles.push(h);
+        }
+        assert!(crate::writer::flatten_close(&b, &cont, handles, 9).unwrap());
+        truncate(&b, &cont, 100).unwrap();
+        assert!(cont.read_flattened(&b).unwrap().is_none());
+        let r = ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        assert_eq!(r.size(), 100);
+        // fsck agrees the container is consistent post-truncate.
+        let report = crate::fsck::check(&b, &cont).unwrap();
+        assert!(report.is_clean(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn truncate_rejects_open_writers_and_missing_files() {
+        let (b, cont) = build();
+        let h = WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose)
+            .unwrap();
+        assert!(matches!(
+            truncate(&b, &cont, 0),
+            Err(PlfsError::Unsupported(_))
+        ));
+        h.close(99).unwrap();
+        truncate(&b, &cont, 0).unwrap();
+
+        let missing = Container::new("/nope", &Federation::single("/panfs", 2));
+        assert!(matches!(
+            truncate(&b, &missing, 0),
+            Err(PlfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_beyond_eof_is_a_noop_for_data() {
+        let (b, cont) = build();
+        truncate(&b, &cont, 10_000).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), cont).unwrap();
+        // All original data still resolves.
+        assert_eq!(r.size(), 1200);
+        let got = r.read(0, 100).unwrap();
+        assert_eq!(got, Content::synthetic(0, 400).slice(0, 100).materialize());
+    }
+}

@@ -1,0 +1,537 @@
+//! POSIX-like facade over PLFS containers — the role the FUSE mount plays
+//! for real PLFS: users see logical files and directories; this layer maps
+//! them onto containers, resolving federation and hiding shadow
+//! directories.
+
+use crate::backend::{Backend, NodeKind};
+use crate::container::Container;
+use crate::error::{PlfsError, Result};
+use crate::federation::Federation;
+use crate::path::{join, normalize};
+use crate::reader::ReadHandle;
+use crate::writer::{reject_read_write, IndexPolicy, WriteHandle};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a file is being opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    Read,
+    Write,
+    /// Rejected: PLFS does not support shared read-write access (the paper
+    /// patched IOR and MADbench to drop it).
+    ReadWrite,
+}
+
+/// What a logical path names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicalKind {
+    File,
+    Dir,
+}
+
+/// Logical file attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    pub size: u64,
+    /// Whether the size came from cached metadir records (cheap) or
+    /// required full index aggregation (expensive).
+    pub from_cache: bool,
+}
+
+/// Mount-level configuration.
+#[derive(Debug, Clone)]
+pub struct PlfsConfig {
+    pub federation: Federation,
+    pub index_policy: IndexPolicy,
+}
+
+impl PlfsConfig {
+    /// Single-namespace mount with sensible defaults.
+    pub fn basic(root: &str) -> Self {
+        PlfsConfig {
+            federation: Federation::single(root, 4),
+            index_policy: IndexPolicy::WriteClose,
+        }
+    }
+}
+
+/// A mounted PLFS file system.
+///
+/// # Examples
+///
+/// ```
+/// use plfs::{Plfs, PlfsConfig, Content, MemFs};
+/// use std::sync::Arc;
+///
+/// let fs = Plfs::new(Arc::new(MemFs::new()), PlfsConfig::basic("/panfs"))?;
+///
+/// // Two writers share one logical file (the classic N-1 pattern).
+/// let mut a = fs.open_write("/ckpt", 0)?;
+/// let mut b = fs.open_write("/ckpt", 1)?;
+/// a.write(0, &Content::bytes(b"hello ".to_vec()), fs.timestamp())?;
+/// b.write(6, &Content::bytes(b"world".to_vec()), fs.timestamp())?;
+/// a.close(fs.timestamp())?;
+/// b.close(fs.timestamp())?;
+///
+/// // The logical view is seamless.
+/// let mut r = fs.open_read("/ckpt")?;
+/// assert_eq!(r.read(0, 11)?, b"hello world");
+/// assert_eq!(fs.stat("/ckpt")?.size, 11);
+/// # Ok::<(), plfs::PlfsError>(())
+/// ```
+pub struct Plfs<B: Backend + Clone> {
+    backend: B,
+    config: PlfsConfig,
+    /// Logical clock for write timestamps: monotone within this mount.
+    /// Real PLFS uses synchronized wall clocks across the cluster; any
+    /// monotone source with the same ordering works.
+    clock: AtomicU64,
+}
+
+impl<B: Backend + Clone> Plfs<B> {
+    pub fn new(backend: B, config: PlfsConfig) -> Result<Self> {
+        for ns in config.federation.namespaces() {
+            backend.mkdir_all(ns)?;
+        }
+        Ok(Plfs {
+            backend,
+            config,
+            clock: AtomicU64::new(0),
+        })
+    }
+
+    pub fn federation(&self) -> &Federation {
+        &self.config.federation
+    }
+
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Next write timestamp.
+    pub fn timestamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The container backing a logical path.
+    pub fn container(&self, logical: &str) -> Container {
+        Container::new(logical, &self.config.federation)
+    }
+
+    /// Open a logical file for writing as `writer`. Creates the container
+    /// if needed; many writers may open the same logical file.
+    pub fn open_write(&self, logical: &str, writer: u64) -> Result<WriteHandle<B>> {
+        WriteHandle::open(
+            self.backend.clone(),
+            self.container(logical),
+            writer,
+            self.config.index_policy,
+        )
+    }
+
+    /// Open a logical file for reading.
+    pub fn open_read(&self, logical: &str) -> Result<ReadHandle<B>> {
+        let c = self.container(logical);
+        if !c.exists(&self.backend) {
+            return Err(PlfsError::NotFound(normalize(logical)));
+        }
+        ReadHandle::open(self.backend.clone(), c)
+    }
+
+    /// Open with an explicit mode; `ReadWrite` is rejected.
+    pub fn open_check_mode(&self, logical: &str, mode: OpenMode) -> Result<()> {
+        match mode {
+            OpenMode::ReadWrite => Err(reject_read_write()),
+            OpenMode::Read => {
+                if self.container(logical).exists(&self.backend) {
+                    Ok(())
+                } else {
+                    Err(PlfsError::NotFound(normalize(logical)))
+                }
+            }
+            OpenMode::Write => Ok(()),
+        }
+    }
+
+    /// Logical file attributes. Uses cached metadir records when any
+    /// writer has closed; falls back to full index aggregation otherwise.
+    pub fn stat(&self, logical: &str) -> Result<FileStat> {
+        let c = self.container(logical);
+        if !c.exists(&self.backend) {
+            return Err(PlfsError::NotFound(normalize(logical)));
+        }
+        if let Some(size) = c.cached_size(&self.backend)? {
+            // Cached records only cover closed writers; if anyone still
+            // has the file open the cache may understate, so aggregate.
+            if c.open_writers(&self.backend)?.is_empty() {
+                return Ok(FileStat {
+                    size,
+                    from_cache: true,
+                });
+            }
+        }
+        let idx = c.acquire_index(&self.backend)?;
+        Ok(FileStat {
+            size: idx.eof(),
+            from_cache: false,
+        })
+    }
+
+    /// Whether a logical path exists, and as what.
+    pub fn lookup(&self, logical: &str) -> Option<LogicalKind> {
+        let logical = normalize(logical);
+        let c = self.container(&logical);
+        if c.exists(&self.backend) {
+            return Some(LogicalKind::File);
+        }
+        // A logical directory exists if any namespace has it as a plain dir.
+        for ns in self.config.federation.namespaces() {
+            let phys = phys_path(ns, &logical);
+            if matches!(self.backend.kind(&phys), Ok(NodeKind::Dir)) {
+                return Some(LogicalKind::Dir);
+            }
+        }
+        None
+    }
+
+    /// Create a logical directory (in every namespace, so listings and
+    /// future container creates work wherever hashing lands them).
+    pub fn mkdir(&self, logical: &str) -> Result<()> {
+        let logical = normalize(logical);
+        for ns in self.config.federation.namespaces() {
+            self.backend.mkdir_all(&phys_path(ns, &logical))?;
+        }
+        Ok(())
+    }
+
+    /// List a logical directory: containers appear as files, plain
+    /// directories as directories, shadow internals are hidden. Unions
+    /// across all namespaces (container spreading scatters entries).
+    pub fn readdir(&self, logical: &str) -> Result<Vec<(String, LogicalKind)>> {
+        let logical = normalize(logical);
+        let mut out: BTreeMap<String, LogicalKind> = BTreeMap::new();
+        let mut found_any = false;
+        for ns in self.config.federation.namespaces() {
+            let phys = phys_path(ns, &logical);
+            let names = match self.backend.list(&phys) {
+                Ok(n) => {
+                    found_any = true;
+                    n
+                }
+                Err(PlfsError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            for name in names {
+                if name.starts_with(".plfs_shadow") {
+                    continue;
+                }
+                let child = join(&phys, &name);
+                match self.backend.kind(&child)? {
+                    NodeKind::File => {
+                        // Stray physical file (not PLFS-created); surface it.
+                        out.entry(name).or_insert(LogicalKind::File);
+                    }
+                    NodeKind::Dir => {
+                        let is_container = self
+                            .backend
+                            .exists(&join(&child, crate::container::ACCESS_FILE));
+                        let kind = if is_container {
+                            LogicalKind::File
+                        } else {
+                            LogicalKind::Dir
+                        };
+                        match out.entry(name) {
+                            std::collections::btree_map::Entry::Vacant(v) => {
+                                v.insert(kind);
+                            }
+                            std::collections::btree_map::Entry::Occupied(mut o) => {
+                                // A container in any namespace wins over a
+                                // plain dir echo in another.
+                                if kind == LogicalKind::File {
+                                    o.insert(kind);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !found_any {
+            return Err(PlfsError::NotFound(logical));
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Truncate a logical file to `size` bytes (see [`crate::truncate`]).
+    pub fn truncate(&self, logical: &str, size: u64) -> Result<()> {
+        crate::truncate::truncate(&self.backend, &self.container(logical), size)
+    }
+
+    /// Remove a logical file (its container and shadows).
+    pub fn unlink(&self, logical: &str) -> Result<()> {
+        let c = self.container(logical);
+        if !c.exists(&self.backend) {
+            return Err(PlfsError::NotFound(normalize(logical)));
+        }
+        c.remove(&self.backend)
+    }
+
+    /// Rename a logical file. Federation makes this genuinely expensive:
+    /// the canonical container may hash to a different namespace under the
+    /// new name, and every shadow subdir must move and have its metalink
+    /// rewritten — costs the N-1 create path never pays, which is why PLFS
+    /// targets checkpoint (write-once) workloads.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let from = normalize(from);
+        let to = normalize(to);
+        let cf = self.container(&from);
+        if !cf.exists(&self.backend) {
+            return Err(PlfsError::NotFound(from));
+        }
+        let ct = self.container(&to);
+        if ct.exists(&self.backend) {
+            return Err(PlfsError::AlreadyExists(to));
+        }
+        let fed = &self.config.federation;
+
+        // Move the canonical container (possibly across namespaces).
+        self.backend.mkdir_all(&crate::path::parent(ct.canonical_path()))?;
+        self.backend
+            .rename(cf.canonical_path(), ct.canonical_path())?;
+
+        // Move each *existing* shadow subdir to where the new name hashes
+        // it, and rewrite metalinks. Subdirs are created lazily, so most
+        // may not exist at all — those need no work.
+        for i in 0..fed.subdirs_per_container() {
+            let entry = join(ct.canonical_path(), &format!("subdir.{i}"));
+            if !self.backend.exists(&entry) {
+                continue; // never created
+            }
+            let old_shadow = fed.shadow_subdir_path(&from, i);
+            let new_shadow = fed.shadow_subdir_path(&to, i);
+            match (old_shadow, new_shadow) {
+                (None, None) => {} // plain dir moved with the container
+                (Some(old), Some(new)) => {
+                    self.backend.mkdir_all(&crate::path::parent(&new))?;
+                    self.backend.rename(&old, &new)?;
+                    self.backend.unlink(&entry)?;
+                    self.backend.create(&entry, true)?;
+                    self.backend
+                        .append(&entry, &crate::content::Content::bytes(new.into_bytes()))?;
+                }
+                (Some(old), None) => {
+                    // Shadow folds back into the canonical container.
+                    self.backend.unlink(&entry)?;
+                    self.backend.rename(&old, &entry)?;
+                }
+                (None, Some(new)) => {
+                    // Plain subdir must move out to a shadow.
+                    self.backend.mkdir_all(&crate::path::parent(&new))?;
+                    self.backend.rename(&entry, &new)?;
+                    self.backend.create(&entry, true)?;
+                    self.backend
+                        .append(&entry, &crate::content::Content::bytes(new.into_bytes()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn phys_path(ns: &str, logical: &str) -> String {
+    if ns == "/" {
+        logical.to_string()
+    } else {
+        format!("{ns}{logical}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Content;
+    use crate::memfs::MemFs;
+    use std::sync::Arc;
+
+    fn mount() -> Plfs<Arc<MemFs>> {
+        Plfs::new(Arc::new(MemFs::new()), PlfsConfig::basic("/ns")).unwrap()
+    }
+
+    fn federated_mount(nss: usize, subdirs: usize) -> Plfs<Arc<MemFs>> {
+        let fed = Federation::new(
+            (0..nss).map(|i| format!("/vol{i}")).collect(),
+            subdirs,
+            true,
+            true,
+        );
+        Plfs::new(
+            Arc::new(MemFs::new()),
+            PlfsConfig {
+                federation: fed,
+                index_policy: IndexPolicy::WriteClose,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_then_read_through_mount() {
+        let fs = mount();
+        let mut w = fs.open_write("/ckpt", 0).unwrap();
+        let ts = fs.timestamp();
+        w.write(0, &Content::bytes(b"hello".to_vec()), ts).unwrap();
+        w.close(fs.timestamp()).unwrap();
+        let mut r = fs.open_read("/ckpt").unwrap();
+        assert_eq!(r.read(0, 5).unwrap(), b"hello");
+        assert_eq!(
+            fs.stat("/ckpt").unwrap(),
+            FileStat {
+                size: 5,
+                from_cache: true
+            }
+        );
+    }
+
+    #[test]
+    fn read_write_mode_is_rejected() {
+        let fs = mount();
+        assert!(matches!(
+            fs.open_check_mode("/f", OpenMode::ReadWrite),
+            Err(PlfsError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = mount();
+        assert!(matches!(fs.open_read("/nope"), Err(PlfsError::NotFound(_))));
+        assert!(matches!(fs.stat("/nope"), Err(PlfsError::NotFound(_))));
+        assert!(matches!(fs.unlink("/nope"), Err(PlfsError::NotFound(_))));
+        assert_eq!(fs.lookup("/nope"), None);
+    }
+
+    #[test]
+    fn stat_aggregates_while_writers_open() {
+        let fs = mount();
+        let mut w0 = fs.open_write("/f", 0).unwrap();
+        w0.write(0, &Content::bytes(vec![0; 100]), 1).unwrap();
+        w0.flush_index().unwrap();
+        let mut w1 = fs.open_write("/f", 1).unwrap();
+        w1.write(100, &Content::bytes(vec![0; 50]), 2).unwrap();
+        w1.close(3).unwrap(); // writer 1 closed, writer 0 still open
+        let st = fs.stat("/f").unwrap();
+        assert!(!st.from_cache, "open writers force aggregation");
+        assert_eq!(st.size, 150);
+        w0.close(4).unwrap();
+        let st = fs.stat("/f").unwrap();
+        assert!(st.from_cache);
+        assert_eq!(st.size, 150);
+    }
+
+    #[test]
+    fn readdir_shows_logical_view() {
+        let fs = mount();
+        fs.mkdir("/out").unwrap();
+        fs.open_write("/out/a", 0).unwrap().close(1).unwrap();
+        fs.open_write("/out/b", 0).unwrap().close(1).unwrap();
+        fs.mkdir("/out/subdir").unwrap();
+        let entries = fs.readdir("/out").unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("a".to_string(), LogicalKind::File),
+                ("b".to_string(), LogicalKind::File),
+                ("subdir".to_string(), LogicalKind::Dir),
+            ]
+        );
+        assert!(matches!(fs.readdir("/missing"), Err(PlfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn readdir_unions_federated_namespaces() {
+        let fs = federated_mount(4, 4);
+        fs.mkdir("/out").unwrap();
+        for i in 0..12 {
+            fs.open_write(&format!("/out/ckpt.{i}"), 0)
+                .unwrap()
+                .close(1)
+                .unwrap();
+        }
+        let entries = fs.readdir("/out").unwrap();
+        assert_eq!(entries.len(), 12);
+        assert!(entries.iter().all(|(_, k)| *k == LogicalKind::File));
+        // Containers really are spread across volumes.
+        let spread: std::collections::BTreeSet<usize> = (0..12)
+            .map(|i| {
+                fs.federation()
+                    .container_namespace(&format!("/out/ckpt.{i}"))
+            })
+            .collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn unlink_removes_container_and_shadows() {
+        let fs = federated_mount(3, 6);
+        let mut w = fs.open_write("/data", 0).unwrap();
+        w.write(0, &Content::bytes(vec![1; 10]), 1).unwrap();
+        w.close(2).unwrap();
+        assert_eq!(fs.lookup("/data"), Some(LogicalKind::File));
+        fs.unlink("/data").unwrap();
+        assert_eq!(fs.lookup("/data"), None);
+    }
+
+    #[test]
+    fn rename_preserves_contents_across_namespace_moves() {
+        let fs = federated_mount(4, 8);
+        let mut w = fs.open_write("/old_name", 3).unwrap();
+        w.write(0, &Content::synthetic(77, 4096), 1).unwrap();
+        w.write(8192, &Content::synthetic(78, 4096), 2).unwrap();
+        w.close(3).unwrap();
+        fs.mkdir("/dir").unwrap();
+        fs.rename("/old_name", "/dir/new_name").unwrap();
+        assert_eq!(fs.lookup("/old_name"), None);
+        let mut r = fs.open_read("/dir/new_name").unwrap();
+        assert_eq!(r.size(), 12288);
+        assert_eq!(
+            r.read(0, 4096).unwrap(),
+            Content::synthetic(77, 4096).materialize()
+        );
+        assert_eq!(
+            r.read(8192, 4096).unwrap(),
+            Content::synthetic(78, 4096).materialize()
+        );
+        // Hole in the middle reads as zeros.
+        assert_eq!(r.read(4096, 4096).unwrap(), vec![0u8; 4096]);
+        // Writing again after rename still works.
+        let mut w2 = fs.open_write("/dir/new_name", 9).unwrap();
+        w2.write(4096, &Content::bytes(vec![5; 16]), 10).unwrap();
+        w2.close(11).unwrap();
+        let mut r2 = fs.open_read("/dir/new_name").unwrap();
+        assert_eq!(r2.read(4096, 16).unwrap(), vec![5; 16]);
+    }
+
+    #[test]
+    fn rename_conflicts_detected() {
+        let fs = mount();
+        fs.open_write("/a", 0).unwrap().close(1).unwrap();
+        fs.open_write("/b", 0).unwrap().close(1).unwrap();
+        assert!(matches!(
+            fs.rename("/a", "/b"),
+            Err(PlfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.rename("/zzz", "/c"),
+            Err(PlfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let fs = mount();
+        let a = fs.timestamp();
+        let b = fs.timestamp();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,449 @@
+//! The PLFS write path.
+//!
+//! Every writing process gets its own [`WriteHandle`]: all data, whatever
+//! its logical offset, is *appended* to the writer's private data log, and
+//! one [`IndexEntry`] per write is buffered and flushed to the writer's
+//! index log. This is the transformation at the heart of the paper —
+//! decoupled (no shared physical file ⇒ no lock serialization) and
+//! sequential (appends ⇒ streaming writes the underlying file system
+//! loves) — while the container preserves the logical view.
+//!
+//! Index buffering also implements the *Index Flatten* write side: each
+//! writer buffers index entries up to a threshold; if every writer stayed
+//! under the threshold, close-time aggregation produces the flattened
+//! global index (see [`flatten_close`]).
+
+use crate::backend::Backend;
+use crate::container::Container;
+use crate::content::Content;
+use crate::error::{PlfsError, Result};
+use crate::index::{GlobalIndex, IndexEntry, WriterId};
+
+/// What to do with index information while writing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPolicy {
+    /// Buffer index entries in memory; flush them to the writer's index
+    /// log at close. Readers aggregate at open (Original / Parallel Index
+    /// Read behaviour).
+    WriteClose,
+    /// Additionally keep entries available for close-time flattening, up
+    /// to `threshold_entries` per writer. Exceeding the threshold falls
+    /// back to `WriteClose` semantics for this writer (and therefore
+    /// disables flattening for the file, as the paper specifies: flatten
+    /// only happens when *all* writers stayed under threshold).
+    Flatten { threshold_entries: usize },
+}
+
+/// An open-for-write PLFS file, from one writer's point of view.
+pub struct WriteHandle<B: Backend> {
+    backend: B,
+    container: Container,
+    writer: WriterId,
+    /// Paths of this writer's droppings, resolved when the first write
+    /// creates them (subdirs and droppings are lazy, like real PLFS
+    /// hostdirs — see [`Container::create`]).
+    logs: Option<(String, String)>,
+    data_off: u64,
+    buffered: Vec<IndexEntry>,
+    policy: IndexPolicy,
+    /// Entries flushed early because the flatten threshold was exceeded.
+    overflowed: bool,
+    bytes_written: u64,
+    eof: u64,
+    closed: bool,
+}
+
+impl<B: Backend> WriteHandle<B> {
+    /// Open `container` for writing as `writer`: creates the container
+    /// skeleton (if this is the first opener), registers in openhosts,
+    /// and creates this writer's droppings — as real PLFS does at open.
+    /// (The container skeleton itself stays minimal; subdirs appear only
+    /// as writers land in them.)
+    pub fn open(backend: B, container: Container, writer: WriterId, policy: IndexPolicy) -> Result<Self> {
+        container.create(&backend)?;
+        container.register_open(&backend, writer)?;
+        let mut handle = Self::bare(backend, container, writer, policy);
+        handle.ensure_logs()?;
+        Ok(handle)
+    }
+
+    fn bare(backend: B, container: Container, writer: WriterId, policy: IndexPolicy) -> Self {
+        WriteHandle {
+            backend,
+            container,
+            writer,
+            logs: None,
+            data_off: 0,
+            buffered: Vec::new(),
+            policy,
+            overflowed: false,
+            bytes_written: 0,
+            eof: 0,
+            closed: false,
+        }
+    }
+
+    pub fn writer(&self) -> WriterId {
+        self.writer
+    }
+
+    pub fn container(&self) -> &Container {
+        &self.container
+    }
+
+    /// Write `content` at logical `offset`, stamped `timestamp`.
+    ///
+    /// The data goes to the end of this writer's data log regardless of
+    /// `offset`; only the index remembers where it logically belongs.
+    pub fn write(&mut self, offset: u64, content: &Content, timestamp: u64) -> Result<()> {
+        assert!(!self.closed, "write after close");
+        if content.is_empty() {
+            return Ok(());
+        }
+        let data_log = self.ensure_logs()?.0.clone();
+        let phys = self.backend.append(&data_log, content)?;
+        debug_assert_eq!(phys, self.data_off, "data log must be append-only");
+        let entry = IndexEntry {
+            logical_offset: offset,
+            length: content.len(),
+            physical_offset: phys,
+            writer: self.writer,
+            timestamp,
+        };
+        self.data_off += content.len();
+        self.bytes_written += content.len();
+        self.eof = self.eof.max(offset + content.len());
+        self.buffered.push(entry);
+
+        if let IndexPolicy::Flatten { threshold_entries } = self.policy {
+            if self.buffered.len() > threshold_entries && !self.overflowed {
+                // Too much index to hold for flattening: spill what we
+                // have and stop pretending we can flatten.
+                self.overflowed = true;
+                self.flush_index()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve (creating on first use) this writer's dropping paths.
+    fn ensure_logs(&mut self) -> Result<&(String, String)> {
+        if self.logs.is_none() {
+            let sub = self
+                .container
+                .ensure_subdir(&self.backend, self.container.subdir_for(self.writer))?;
+            let data = format!("{sub}/{}{}", crate::container::DATA_PREFIX, self.writer);
+            let index = format!("{sub}/{}{}", crate::container::INDEX_PREFIX, self.writer);
+            self.backend.create(&data, false)?;
+            self.backend.create(&index, false)?;
+            self.logs = Some((data, index));
+        }
+        Ok(self.logs.as_ref().expect("just set"))
+    }
+
+    /// Persist buffered index entries to the index log and drop them from
+    /// the buffer. A flatten-capable writer that flushes early loses its
+    /// ability to contribute to a flattened index (the flattened index
+    /// must cover *all* of a writer's entries), so an explicit flush marks
+    /// the writer overflowed; flatten-preserving flushing happens only
+    /// through [`WriteHandle::close`] / [`flatten_close`].
+    pub fn flush_index(&mut self) -> Result<()> {
+        if matches!(self.policy, IndexPolicy::Flatten { .. }) {
+            self.overflowed = true;
+        }
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let bytes = IndexEntry::encode_all(&self.buffered);
+        let index_log = self.ensure_logs()?.1.clone();
+        self.backend.append(&index_log, &Content::bytes(bytes))?;
+        self.buffered.clear();
+        Ok(())
+    }
+
+    /// Whether close-time flattening is still possible for this writer.
+    pub fn can_flatten(&self) -> bool {
+        matches!(self.policy, IndexPolicy::Flatten { .. }) && !self.overflowed
+    }
+
+    /// Buffered (not yet flushed) index entries — what this writer would
+    /// contribute to a flattened index.
+    pub fn buffered_index(&self) -> &[IndexEntry] {
+        &self.buffered
+    }
+
+    /// Bytes written through this handle so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Highest logical offset written + 1, from this writer's view.
+    pub fn local_eof(&self) -> u64 {
+        self.eof
+    }
+
+    /// Close: flush the index log, record cached size metadata, and
+    /// deregister from openhosts. Returns this writer's full index
+    /// contribution (for a caller that is coordinating Index Flatten).
+    pub fn close(mut self, _timestamp: u64) -> Result<Vec<IndexEntry>> {
+        self.closed = true;
+        let contribution = self.buffered.clone();
+        self.flush_index_all()?;
+        self.container
+            .record_meta(&self.backend, self.writer, self.eof, self.bytes_written)?;
+        self.container.unregister_open(&self.backend, self.writer)?;
+        Ok(contribution)
+    }
+
+    fn flush_index_all(&mut self) -> Result<()> {
+        if !self.buffered.is_empty() {
+            let bytes = IndexEntry::encode_all(&self.buffered);
+            let index_log = self.ensure_logs()?.1.clone();
+            self.backend.append(&index_log, &Content::bytes(bytes))?;
+            self.buffered.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Coordinated close for Index Flatten: close all writers of one logical
+/// file, and if **every** writer stayed under its buffering threshold,
+/// write the aggregated global index into the container.
+///
+/// In the real system the aggregation is an MPI gather to rank 0 (modeled
+/// with network costs in the `mpio` crate); functionally it is exactly
+/// this merge.
+pub fn flatten_close<B: Backend>(
+    backend: &B,
+    container: &Container,
+    handles: Vec<WriteHandle<B>>,
+    timestamp: u64,
+) -> Result<bool> {
+    let all_can_flatten = handles.iter().all(|h| h.can_flatten());
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    for h in handles {
+        entries.extend(h.close(timestamp)?);
+    }
+    if !all_can_flatten {
+        return Ok(false);
+    }
+    let mut global = GlobalIndex::from_entries(entries);
+    // Compact before persisting: segmented checkpoints collapse to one
+    // span per writer, shrinking the flattened index (and the broadcast
+    // every reader pays for it) by the transfer-count factor.
+    global.compact();
+    container.write_flattened(backend, &global)?;
+    Ok(true)
+}
+
+/// Guard against the access mode PLFS cannot serve (the paper had to
+/// patch IOR and MADbench to stop opening read-write).
+pub fn reject_read_write() -> PlfsError {
+    PlfsError::Unsupported(
+        "PLFS does not support read-write access to files shared by multiple processes".into(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::Federation;
+    use crate::memfs::MemFs;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MemFs>, Container) {
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 2));
+        (b, c)
+    }
+
+    #[test]
+    fn writes_become_appends_with_index_records() {
+        let (b, c) = setup();
+        let mut w = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        // Logical writes at scattered offsets...
+        w.write(1000, &Content::bytes(vec![1; 10]), 1).unwrap();
+        w.write(0, &Content::bytes(vec![2; 10]), 2).unwrap();
+        w.write(5000, &Content::bytes(vec![3; 10]), 3).unwrap();
+        assert_eq!(w.bytes_written(), 30);
+        assert_eq!(w.local_eof(), 5010);
+        w.close(4).unwrap();
+        // ...landed sequentially in the data log,
+        let dlog = c.data_log(&b, 0).unwrap();
+        assert_eq!(b.size(&dlog).unwrap(), 30);
+        let log = b.read_at(&dlog, 0, 30).unwrap().materialize();
+        assert_eq!(&log[0..10], &[1; 10]);
+        assert_eq!(&log[10..20], &[2; 10]);
+        // ...and the index log remembers the logical placement.
+        let entries = c.read_index_log(&b, 0).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].logical_offset, 1000);
+        assert_eq!(entries[0].physical_offset, 0);
+        assert_eq!(entries[1].logical_offset, 0);
+        assert_eq!(entries[1].physical_offset, 10);
+    }
+
+    #[test]
+    fn close_records_metadata_and_deregisters() {
+        let (b, c) = setup();
+        let mut w = WriteHandle::open(Arc::clone(&b), c.clone(), 7, IndexPolicy::WriteClose).unwrap();
+        assert_eq!(c.open_writers(&b).unwrap(), vec![7]);
+        w.write(0, &Content::bytes(vec![0; 100]), 1).unwrap();
+        w.close(2).unwrap();
+        assert!(c.open_writers(&b).unwrap().is_empty());
+        assert_eq!(c.cached_size(&b).unwrap(), Some(100));
+    }
+
+    #[test]
+    fn flatten_threshold_overflow_disables_flattening() {
+        let (b, c) = setup();
+        let mut w = WriteHandle::open(
+            Arc::clone(&b),
+            c.clone(),
+            0,
+            IndexPolicy::Flatten {
+                threshold_entries: 3,
+            },
+        )
+        .unwrap();
+        for i in 0..3 {
+            w.write(i * 10, &Content::bytes(vec![0; 10]), i).unwrap();
+        }
+        assert!(w.can_flatten());
+        w.write(100, &Content::bytes(vec![0; 10]), 9).unwrap();
+        assert!(!w.can_flatten(), "threshold exceeded must disable flatten");
+        w.close(10).unwrap();
+        // All four entries still reached the index log.
+        assert_eq!(c.read_index_log(&b, 0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn flatten_close_writes_global_index() {
+        let (b, c) = setup();
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let mut h = WriteHandle::open(
+                Arc::clone(&b),
+                c.clone(),
+                w,
+                IndexPolicy::Flatten {
+                    threshold_entries: 100,
+                },
+            )
+            .unwrap();
+            h.write(w * 10, &Content::bytes(vec![w as u8; 10]), w + 1)
+                .unwrap();
+            handles.push(h);
+        }
+        let flattened = flatten_close(&b, &c, handles, 99).unwrap();
+        assert!(flattened);
+        let idx = c.read_flattened(&b).unwrap().expect("flattened index");
+        assert_eq!(idx.eof(), 40);
+        assert_eq!(idx.span_count(), 4);
+        // Index logs were still written (crash safety / stragglers).
+        for w in 0..4 {
+            assert_eq!(c.read_index_log(&b, w).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn flatten_compacts_segmented_checkpoints() {
+        // Segmented pattern: each writer's blocks are logically and
+        // physically contiguous → one span per writer after compaction.
+        let (b, c) = setup();
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let mut h = WriteHandle::open(
+                Arc::clone(&b),
+                c.clone(),
+                w,
+                IndexPolicy::Flatten {
+                    threshold_entries: 100,
+                },
+            )
+            .unwrap();
+            for k in 0..16u64 {
+                h.write(w * 1600 + k * 100, &Content::synthetic(w, 100), k + 1)
+                    .unwrap();
+            }
+            handles.push(h);
+        }
+        assert!(flatten_close(&b, &c, handles, 99).unwrap());
+        let flat = c.read_flattened(&b).unwrap().unwrap();
+        assert_eq!(flat.span_count(), 4, "64 entries should compact to 4");
+        // And resolution still matches a fresh aggregation, byte by byte
+        // (the compacted index reports coarser mapping boundaries).
+        let fresh = c.aggregate_index(&b).unwrap();
+        assert_eq!(flat.eof(), fresh.eof());
+        for off in (0..flat.eof()).step_by(100) {
+            let a = &flat.lookup(off, 100)[0];
+            let b2 = &fresh.lookup(off, 100)[0];
+            assert_eq!(a.source, b2.source, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn flatten_close_aborts_if_any_writer_overflowed() {
+        let (b, c) = setup();
+        let mut h0 = WriteHandle::open(
+            Arc::clone(&b),
+            c.clone(),
+            0,
+            IndexPolicy::Flatten {
+                threshold_entries: 1,
+            },
+        )
+        .unwrap();
+        h0.write(0, &Content::bytes(vec![1; 4]), 1).unwrap();
+        h0.write(4, &Content::bytes(vec![2; 4]), 2).unwrap(); // overflows
+        let h1 = WriteHandle::open(
+            Arc::clone(&b),
+            c.clone(),
+            1,
+            IndexPolicy::Flatten {
+                threshold_entries: 1,
+            },
+        )
+        .unwrap();
+        let flattened = flatten_close(&b, &c, vec![h0, h1], 9).unwrap();
+        assert!(!flattened);
+        assert!(c.read_flattened(&b).unwrap().is_none());
+        // But the data is all there via ordinary aggregation.
+        assert_eq!(c.aggregate_index(&b).unwrap().eof(), 8);
+    }
+
+    #[test]
+    fn empty_write_is_a_noop() {
+        let (b, c) = setup();
+        let mut w = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        w.write(50, &Content::bytes(vec![]), 1).unwrap();
+        assert_eq!(w.bytes_written(), 0);
+        let contribution = w.close(2).unwrap();
+        assert!(contribution.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_interfere() {
+        let (b, c) = setup();
+        c.create(&b).unwrap();
+        let mut handles = Vec::new();
+        for w in 0..8u64 {
+            let b = Arc::clone(&b);
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut h = WriteHandle::open(b, c, w, IndexPolicy::WriteClose).unwrap();
+                for i in 0..50u64 {
+                    // Strided N-1 pattern.
+                    h.write((i * 8 + w) * 100, &Content::synthetic(w, 100), i).unwrap();
+                }
+                h.close(99).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let idx = c.aggregate_index(&b).unwrap();
+        assert_eq!(idx.eof(), 50 * 8 * 100);
+        assert_eq!(idx.span_count(), 400);
+    }
+}

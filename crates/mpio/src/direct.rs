@@ -1,0 +1,357 @@
+//! The baseline driver: applications talk to the underlying parallel file
+//! system directly, with no transformative middleware.
+//!
+//! This is the "W/O PLFS" series in every figure. Its costs are exactly
+//! the pathologies PLFS removes:
+//!
+//! * shared-file (N-1) writes go through stripe locks
+//!   ([`pfs::AccessMode::SharedFile`]) — ownership ping-pong serializes
+//!   interleaved writers;
+//! * strided N-1 reads hop around the shared file, defeating server-side
+//!   prefetch (seek penalties);
+//! * N-N create storms all land on the file system's single metadata
+//!   server.
+
+use crate::driver::{generic_collective, Ctx, Driver, Step};
+use crate::ops::{FileTag, LogicalOp};
+use pfs::AccessMode;
+use simcore::SimTime;
+use std::collections::HashSet;
+
+/// Driver for direct (middleware-free) access.
+#[derive(Debug, Default)]
+pub struct DirectDriver {
+    created: HashSet<String>,
+    /// In-flight strided bursts: rank → accesses completed so far.
+    /// Strided ops run a few accesses per simulation event so concurrent
+    /// ranks interleave on the storage servers and lock service instead
+    /// of serializing rank-major.
+    strided_done: std::collections::HashMap<usize, u64>,
+}
+
+/// Strided accesses charged per simulation event.
+const STRIDED_GROUP: u64 = 1;
+
+/// Client-side close bookkeeping cost (no server round trip).
+const CLOSE_OVERHEAD_US: f64 = 30.0;
+
+/// All direct-access paths live in the file system's first (and only
+/// relevant) namespace — production parallel file systems give one
+/// metadata server per mount (§V).
+const NS: usize = 0;
+
+impl DirectDriver {
+    pub fn new() -> Self {
+        DirectDriver::default()
+    }
+
+    fn ensure_created(&mut self, ctx: &mut Ctx, node: usize, path: &str, now: SimTime) -> SimTime {
+        if self.created.insert(path.to_string()) {
+            ctx.pfs.create_file(NS, path, now)
+        } else {
+            ctx.pfs.open_file(NS, node, path, now)
+        }
+    }
+}
+
+impl Driver for DirectDriver {
+    fn step(&mut self, rank: usize, _pc: usize, op: &LogicalOp, now: SimTime, ctx: &mut Ctx) -> Step {
+        let node = ctx.node_of(rank);
+        match op {
+            LogicalOp::OpenWrite { file } => match file {
+                // Shared N-1 open is collective under MPI-IO: rank 0
+                // creates, everyone opens.
+                FileTag::Shared(_) => Step::Collective,
+                FileTag::PerRank { .. } => {
+                    let path = file.path(rank);
+                    Step::Done(self.ensure_created(ctx, node, &path, now))
+                }
+            },
+            LogicalOp::Write {
+                file,
+                offset,
+                len,
+                stride,
+                reps,
+            } => {
+                let path = file.path(rank);
+                if !file.is_shared() && *stride == *len {
+                    return Step::Done(ctx.pfs.append_batch(node, &path, *reps, *len, now).1);
+                }
+                // Strided writes: locks and seeks per access, the faithful
+                // (and expensive) path — a few accesses per event.
+                let mode = if file.is_shared() {
+                    AccessMode::SharedFile
+                } else {
+                    AccessMode::Exclusive
+                };
+                let done = *self.strided_done.entry(rank).or_insert(0);
+                let take = (*reps - done).min(STRIDED_GROUP);
+                let fin = ctx.pfs.write_strided(
+                    node,
+                    rank as u64,
+                    &path,
+                    *offset + done * *stride,
+                    *len,
+                    *stride,
+                    take,
+                    mode,
+                    now,
+                );
+                if done + take >= *reps {
+                    self.strided_done.remove(&rank);
+                    Step::Done(fin)
+                } else {
+                    self.strided_done.insert(rank, done + take);
+                    Step::Yield(fin)
+                }
+            }
+            LogicalOp::CloseWrite { .. } | LogicalOp::CloseRead { .. } => {
+                // Close is client-side bookkeeping: no metadata server
+                // round trip (why the paper's Fig. 7b shows direct close
+                // times low and flat).
+                Step::Done(now + simcore::SimDuration::from_micros_f64(CLOSE_OVERHEAD_US))
+            }
+            LogicalOp::OpenRead { file } => {
+                let path = file.path(rank);
+                Step::Done(ctx.pfs.open_file(NS, node, &path, now))
+            }
+            LogicalOp::Read {
+                file,
+                offset,
+                len,
+                stride,
+                reps,
+                ..
+            } => {
+                let path = file.path(rank);
+                if *stride == *len {
+                    return Step::Done(
+                        ctx.pfs.read_batch(node, &path, *offset, len * reps, *reps, now),
+                    );
+                }
+                // Strided reads on a shared file: per-op seeks — the
+                // prefetch-defeating pattern PLFS fixes — a few per event.
+                let done = *self.strided_done.entry(rank).or_insert(0);
+                let take = (*reps - done).min(STRIDED_GROUP);
+                let fin = ctx.pfs.read_strided(
+                    node,
+                    &path,
+                    *offset + done * *stride,
+                    *len,
+                    *stride,
+                    take,
+                    now,
+                );
+                if done + take >= *reps {
+                    self.strided_done.remove(&rank);
+                    Step::Done(fin)
+                } else {
+                    self.strided_done.insert(rank, done + take);
+                    Step::Yield(fin)
+                }
+            }
+            LogicalOp::Compute { nanos } => {
+                Step::Done(now + simcore::SimDuration::from_nanos(*nanos))
+            }
+            LogicalOp::Barrier
+            | LogicalOp::Exchange { .. }
+            | LogicalOp::FlushCaches
+            | LogicalOp::Unlink { .. } => Step::Collective,
+        }
+    }
+
+    fn collective(
+        &mut self,
+        _pc: usize,
+        op: &LogicalOp,
+        arrivals: &[SimTime],
+        ctx: &mut Ctx,
+    ) -> Vec<SimTime> {
+        match op {
+            LogicalOp::Unlink { file } => {
+                // Rank 0 removes the file(s); for per-rank tags every
+                // rank removes its own.
+                let sync = arrivals.iter().copied().max().unwrap_or(SimTime::ZERO);
+                let release = if file.is_shared() {
+                    let path = file.path(0);
+                    self.created.remove(&path);
+                    ctx.pfs.unlink_file(NS, &path, sync)
+                } else {
+                    let mut t = sync;
+                    for r in 0..arrivals.len() {
+                        let path = file.path(r);
+                        self.created.remove(&path);
+                        t = ctx.pfs.unlink_file(NS, &path, t);
+                    }
+                    t
+                };
+                vec![release; arrivals.len()]
+            }
+            LogicalOp::OpenWrite { file } => {
+                let sync = arrivals.iter().copied().max().unwrap_or(SimTime::ZERO);
+                let path = file.path(0);
+                // Rank 0 creates the shared file, then every rank opens it.
+                let created = self.ensure_created(ctx, ctx.layout.node_of(0), &path, sync);
+                (0..arrivals.len())
+                    .map(|r| ctx.pfs.open_file(NS, ctx.layout.node_of(r), &path, created))
+                    .collect()
+            }
+            other => generic_collective(other, arrivals, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Exec;
+    use crate::layout::Layout;
+    use crate::metrics::OpKind;
+    use crate::ops::{FnProgram, Program};
+    use pfs::{PfsParams, SimPfs};
+    use simnet::{Interconnect, InterconnectParams};
+
+    fn quiet_ctx(nprocs: usize, ppn: usize) -> Ctx {
+        let mut p = PfsParams::panfs_production(64);
+        p.jitter_spread = 0.0;
+        p.jitter_tail_prob = 0.0;
+        Ctx::new(
+            SimPfs::new(p, 7),
+            Interconnect::new(InterconnectParams::infiniband()),
+            Layout::new(nprocs, ppn),
+        )
+    }
+
+    /// N-1 strided checkpoint: open, write strided blocks, close, barrier.
+    fn n1_program(nprocs: usize, block: u64, reps: u64) -> impl Program {
+        let file = FileTag::shared("/ckpt");
+        FnProgram {
+            count: 4,
+            f: move |rank, pc| match pc {
+                0 => LogicalOp::OpenWrite { file: file.clone() },
+                1 => LogicalOp::Write {
+                    file: file.clone(),
+                    offset: rank as u64 * block,
+                    len: block,
+                    stride: nprocs as u64 * block,
+                    reps,
+                },
+                2 => LogicalOp::CloseWrite { file: file.clone() },
+                _ => LogicalOp::Barrier,
+            },
+        }
+    }
+
+    fn nn_program(block: u64, reps: u64) -> impl Program {
+        FnProgram {
+            count: 4,
+            f: move |rank, pc| {
+                let file = FileTag::per_rank("/out", 0);
+                let _ = rank;
+                match pc {
+                    0 => LogicalOp::OpenWrite { file },
+                    1 => LogicalOp::Write {
+                        file: FileTag::per_rank("/out", 0),
+                        offset: 0,
+                        len: block,
+                        stride: block,
+                        reps,
+                    },
+                    2 => LogicalOp::CloseWrite {
+                        file: FileTag::per_rank("/out", 0),
+                    },
+                    _ => LogicalOp::Barrier,
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn n1_write_runs_and_is_slower_than_nn() {
+        let nprocs = 32;
+        let prog = n1_program(nprocs, 32 * 1024, 16);
+        let mut ctx = quiet_ctx(nprocs, 16);
+        let mut d = DirectDriver::new();
+        let n1 = Exec::new(&prog, &mut d, &mut ctx).run();
+        assert!(ctx.pfs.lock_transfers() > 0, "N-1 must hit stripe locks");
+
+        let prog = nn_program(32 * 1024, 16);
+        let mut ctx2 = quiet_ctx(nprocs, 16);
+        let mut d2 = DirectDriver::new();
+        let nn = Exec::new(&prog, &mut d2, &mut ctx2).run();
+        assert_eq!(ctx2.pfs.lock_transfers(), 0);
+
+        let n1_bw = n1.metrics.effective_write_bandwidth();
+        let nn_bw = nn.metrics.effective_write_bandwidth();
+        assert!(
+            nn_bw > 2.0 * n1_bw,
+            "expected N-N ≫ N-1: nn {nn_bw:.0} vs n1 {n1_bw:.0}"
+        );
+    }
+
+    #[test]
+    fn shared_open_creates_once_and_opens_everywhere() {
+        let nprocs = 8;
+        let prog = n1_program(nprocs, 4096, 2);
+        let mut ctx = quiet_ctx(nprocs, 4);
+        let mut d = DirectDriver::new();
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        let open = res.metrics.get(OpKind::OpenWrite).unwrap();
+        assert_eq!(open.count, nprocs as u64);
+        assert!(ctx.pfs.namespace().file_exists("/ckpt"));
+        // All ranks wrote: total file size covers the strided extent.
+        assert_eq!(
+            ctx.pfs.file_size("/ckpt"),
+            2 * nprocs as u64 * 4096 // reps × nprocs × block
+        );
+    }
+
+    #[test]
+    fn nn_creates_distinct_files() {
+        let prog = nn_program(1024, 4);
+        let mut ctx = quiet_ctx(8, 4);
+        let mut d = DirectDriver::new();
+        Exec::new(&prog, &mut d, &mut ctx).run();
+        for r in 0..8 {
+            assert_eq!(ctx.pfs.file_size(&format!("/out.r{r}.f0")), 4096);
+        }
+    }
+
+    #[test]
+    fn read_after_write_roundtrip() {
+        let file = FileTag::shared("/data");
+        let nprocs = 4usize;
+        let f2 = file.clone();
+        let prog = FnProgram {
+            count: 7,
+            f: move |rank, pc| match pc {
+                0 => LogicalOp::OpenWrite { file: f2.clone() },
+                1 => LogicalOp::Write {
+                    file: f2.clone(),
+                    offset: rank as u64 * (1 << 20),
+                    len: 1 << 20,
+                    stride: 1 << 20,
+                    reps: 1,
+                },
+                2 => LogicalOp::CloseWrite { file: f2.clone() },
+                3 => LogicalOp::Barrier,
+                4 => LogicalOp::OpenRead { file: f2.clone() },
+                5 => LogicalOp::Read {
+                    file: f2.clone(),
+                    offset: rank as u64 * (1 << 20),
+                    len: 1 << 20,
+                    stride: 1 << 20,
+                    reps: 1,
+                    src: None,
+                },
+                _ => LogicalOp::CloseRead { file: f2.clone() },
+            },
+        };
+        let mut ctx = quiet_ctx(nprocs, 2);
+        let mut d = DirectDriver::new();
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        assert!(res.metrics.effective_read_bandwidth() > 0.0);
+        assert_eq!(ctx.pfs.bytes_read(), 4 << 20);
+    }
+}

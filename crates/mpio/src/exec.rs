@@ -1,0 +1,313 @@
+//! The discrete-event execution loop.
+//!
+//! Every rank is an entity with its own virtual clock walking its logical
+//! program. The loop pops the earliest-ready rank, steps its current op
+//! through the driver, and reschedules it. Collective ops park ranks until
+//! the last one arrives, then the driver computes release times. Because
+//! events are processed in global time order, ranks interleave correctly
+//! on the shared file-system resources — the property that makes metadata
+//! storms and bandwidth contention come out right.
+
+use crate::driver::{Ctx, Driver, Step};
+use crate::metrics::{Metrics, OpKind};
+use crate::ops::Program;
+use crate::timeline::Timeline;
+use simcore::{EventQueue, SimTime};
+use std::collections::HashMap;
+
+/// Executes one job (program × driver × context) to completion.
+pub struct Exec<'a, P: Program, D: Driver> {
+    program: &'a P,
+    driver: &'a mut D,
+    ctx: &'a mut Ctx,
+}
+
+/// Result of a completed run.
+pub struct RunResult {
+    pub metrics: Metrics,
+    /// Virtual time at which the last rank finished its program.
+    pub makespan: SimTime,
+}
+
+struct Pending {
+    arrivals: Vec<(usize, SimTime)>,
+}
+
+impl<'a, P: Program, D: Driver> Exec<'a, P, D> {
+    pub fn new(program: &'a P, driver: &'a mut D, ctx: &'a mut Ctx) -> Self {
+        Exec {
+            program,
+            driver,
+            ctx,
+        }
+    }
+
+    /// Run all ranks to program completion; panics on deadlock (a
+    /// collective some ranks never reach).
+    pub fn run(self) -> RunResult {
+        self.run_impl(None)
+    }
+
+    /// Like [`Exec::run`], additionally recording every completed op into
+    /// `timeline` (opt-in: costs one span per op).
+    pub fn run_with_timeline(self, timeline: &mut Timeline) -> RunResult {
+        self.run_impl(Some(timeline))
+    }
+
+    fn run_impl(self, mut timeline: Option<&mut Timeline>) -> RunResult {
+        let n = self.ctx.layout.nprocs;
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut pc = vec![0usize; n];
+        let mut op_begin: Vec<Option<SimTime>> = vec![None; n];
+        let mut blocked = 0usize;
+        let mut collectives: HashMap<usize, Pending> = HashMap::new();
+        let mut metrics = Metrics::new();
+        let mut makespan = SimTime::ZERO;
+        let mut done_ranks = 0usize;
+
+        for r in 0..n {
+            if self.program.len(r) == 0 {
+                done_ranks += 1;
+            } else {
+                queue.push(SimTime::ZERO, r);
+            }
+        }
+
+        while let Some((now, rank)) = queue.pop() {
+            debug_assert!(pc[rank] < self.program.len(rank));
+            let op = self.program.op(rank, pc[rank]);
+            let begin = *op_begin[rank].get_or_insert(now);
+            match self.driver.step(rank, pc[rank], &op, now, self.ctx) {
+                Step::Yield(at) => {
+                    queue.push(at, rank);
+                }
+                Step::Done(fin) => {
+                    metrics.record(OpKind::from(&op), begin, fin, op.bytes());
+                    if let Some(tl) = timeline.as_deref_mut() {
+                        tl.record(rank, OpKind::from(&op), begin, fin);
+                    }
+                    op_begin[rank] = None;
+                    pc[rank] += 1;
+                    if pc[rank] < self.program.len(rank) {
+                        queue.push(fin, rank);
+                    } else {
+                        makespan = makespan.max(fin);
+                        done_ranks += 1;
+                    }
+                }
+                Step::Collective => {
+                    let entry = collectives.entry(pc[rank]).or_insert(Pending {
+                        arrivals: Vec::with_capacity(n),
+                    });
+                    entry.arrivals.push((rank, now));
+                    blocked += 1;
+                    if entry.arrivals.len() == n {
+                        let pending = collectives.remove(&pc[rank]).expect("just inserted");
+                        blocked -= n;
+                        let mut arrivals = vec![SimTime::ZERO; n];
+                        for &(r, t) in &pending.arrivals {
+                            arrivals[r] = t;
+                        }
+                        let releases =
+                            self.driver
+                                .collective(pc[rank], &op, &arrivals, self.ctx);
+                        assert_eq!(releases.len(), n, "driver must release every rank");
+                        let kind = OpKind::from(&op);
+                        // `op.bytes()` is per-rank for collectives too.
+                        for (r, release) in releases.into_iter().enumerate() {
+                            metrics.record(kind, arrivals[r], release, op.bytes());
+                            if let Some(tl) = timeline.as_deref_mut() {
+                                tl.record(r, kind, arrivals[r], release);
+                            }
+                            op_begin[r] = None;
+                            pc[r] += 1;
+                            if pc[r] < self.program.len(r) {
+                                queue.push(release.max(now), r);
+                            } else {
+                                makespan = makespan.max(release);
+                                done_ranks += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        assert_eq!(
+            blocked, 0,
+            "deadlock: {blocked} ranks parked in a collective no one completed"
+        );
+        assert_eq!(done_ranks, n, "not all ranks finished their programs");
+        RunResult { metrics, makespan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::generic_collective;
+    use crate::layout::Layout;
+    use crate::ops::{FnProgram, LogicalOp, VecProgram};
+    use pfs::{PfsParams, SimPfs};
+    use simnet::{Interconnect, InterconnectParams};
+
+    /// A toy driver: Compute advances time; Barrier via generic handler.
+    struct ToyDriver;
+
+    impl Driver for ToyDriver {
+        fn step(
+            &mut self,
+            _rank: usize,
+            _pc: usize,
+            op: &LogicalOp,
+            now: SimTime,
+            _ctx: &mut Ctx,
+        ) -> Step {
+            match op {
+                LogicalOp::Compute { nanos } => {
+                    Step::Done(now + simcore::SimDuration::from_nanos(*nanos))
+                }
+                LogicalOp::Barrier | LogicalOp::Exchange { .. } => Step::Collective,
+                other => panic!("toy driver got {other:?}"),
+            }
+        }
+
+        fn collective(
+            &mut self,
+            _pc: usize,
+            op: &LogicalOp,
+            arrivals: &[SimTime],
+            ctx: &mut Ctx,
+        ) -> Vec<SimTime> {
+            generic_collective(op, arrivals, ctx)
+        }
+    }
+
+    fn ctx(n: usize) -> Ctx {
+        Ctx::new(
+            SimPfs::new(PfsParams::panfs_production(64), 1),
+            Interconnect::new(InterconnectParams::infiniband()),
+            Layout::new(n, 16),
+        )
+    }
+
+    #[test]
+    fn ranks_progress_independently_until_barrier() {
+        // Rank r computes r microseconds, then barrier, then 1us.
+        let prog = FnProgram {
+            count: 3,
+            f: |rank, pc| match pc {
+                0 => LogicalOp::Compute {
+                    nanos: rank as u64 * 1000,
+                },
+                1 => LogicalOp::Barrier,
+                _ => LogicalOp::Compute { nanos: 1000 },
+            },
+        };
+        let mut ctx = ctx(8);
+        let mut d = ToyDriver;
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        // Everyone waits for the slowest (7us) at the barrier.
+        let barrier = res.metrics.get(OpKind::Barrier).unwrap();
+        assert_eq!(barrier.count, 8);
+        assert!(res.makespan > SimTime::from_secs_f64(8e-6));
+        assert!(res.makespan < SimTime::from_secs_f64(30e-6));
+        // Compute phase recorded 16 completions (2 per rank).
+        assert_eq!(res.metrics.get(OpKind::Compute).unwrap().count, 16);
+    }
+
+    #[test]
+    fn empty_program_terminates() {
+        let prog = VecProgram { ops: vec![] };
+        let mut ctx = ctx(4);
+        let mut d = ToyDriver;
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        assert_eq!(res.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn consecutive_barriers_do_not_deadlock() {
+        let prog = VecProgram {
+            ops: vec![LogicalOp::Barrier, LogicalOp::Barrier, LogicalOp::Barrier],
+        };
+        let mut ctx = ctx(16);
+        let mut d = ToyDriver;
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        assert_eq!(res.metrics.get(OpKind::Barrier).unwrap().count, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_collectives_are_detected() {
+        // Rank 0 hits a barrier; rank 1's program ends without one — the
+        // run must fail loudly instead of hanging or silently dropping
+        // the parked rank.
+        struct Ragged;
+        impl crate::ops::Program for Ragged {
+            fn len(&self, rank: usize) -> usize {
+                if rank == 0 {
+                    1
+                } else {
+                    0
+                }
+            }
+            fn op(&self, _r: usize, _pc: usize) -> LogicalOp {
+                LogicalOp::Barrier
+            }
+        }
+        let mut ctx = ctx(2);
+        let mut d = ToyDriver;
+        Exec::new(&Ragged, &mut d, &mut ctx).run();
+    }
+
+    /// A driver that yields twice before finishing, to exercise micro-steps.
+    struct YieldingDriver {
+        steps: HashMap<usize, u32>,
+    }
+
+    impl Driver for YieldingDriver {
+        fn step(
+            &mut self,
+            rank: usize,
+            _pc: usize,
+            _op: &LogicalOp,
+            now: SimTime,
+            _ctx: &mut Ctx,
+        ) -> Step {
+            let c = self.steps.entry(rank).or_insert(0);
+            *c += 1;
+            if *c < 3 {
+                Step::Yield(now + simcore::SimDuration::from_nanos(100))
+            } else {
+                Step::Done(now + simcore::SimDuration::from_nanos(100))
+            }
+        }
+
+        fn collective(
+            &mut self,
+            _pc: usize,
+            _op: &LogicalOp,
+            _arrivals: &[SimTime],
+            _ctx: &mut Ctx,
+        ) -> Vec<SimTime> {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn yields_resume_until_done() {
+        let prog = VecProgram {
+            ops: vec![LogicalOp::Compute { nanos: 0 }],
+        };
+        let mut ctx = ctx(2);
+        let mut d = YieldingDriver {
+            steps: HashMap::new(),
+        };
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        // 3 steps × 100ns each.
+        assert_eq!(res.makespan, SimTime::from_secs_f64(300e-9));
+        // The op's duration spans all micro-steps.
+        let c = res.metrics.get(OpKind::Compute).unwrap();
+        assert!((c.mean_duration_s() - 300e-9).abs() < 1e-15);
+    }
+}

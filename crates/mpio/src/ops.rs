@@ -1,0 +1,216 @@
+//! The logical I/O program vocabulary.
+//!
+//! Workloads describe, per rank, a sequence of *logical* operations — the
+//! calls an application makes against its view of the file system. Drivers
+//! (direct or PLFS) translate each into physical operations against the
+//! simulated parallel file system. A `Write`/`Read` op describes a whole
+//! strided or sequential burst (`reps` accesses of `len` bytes, `stride`
+//! apart) so that large phases can be charged in aggregate.
+
+use std::sync::Arc;
+
+/// Names a logical file from a rank's point of view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FileTag {
+    /// One file shared by every rank (N-1).
+    Shared(Arc<str>),
+    /// A distinct file per rank (N-N); `index` distinguishes multiple
+    /// files per rank (metadata-storm workloads open many).
+    PerRank { base: Arc<str>, index: u64 },
+}
+
+impl FileTag {
+    pub fn shared(path: &str) -> Self {
+        FileTag::Shared(Arc::from(path))
+    }
+
+    pub fn per_rank(base: &str, index: u64) -> Self {
+        FileTag::PerRank {
+            base: Arc::from(base),
+            index,
+        }
+    }
+
+    /// The logical path this tag denotes for `rank`.
+    pub fn path(&self, rank: usize) -> String {
+        match self {
+            FileTag::Shared(p) => p.to_string(),
+            FileTag::PerRank { base, index } => format!("{base}.r{rank}.f{index}"),
+        }
+    }
+
+    pub fn is_shared(&self) -> bool {
+        matches!(self, FileTag::Shared(_))
+    }
+}
+
+/// Where the bytes of a PLFS read physically live: which writer's data
+/// log, and at what offset within it. Workload generators know this
+/// because they generated the writes; the byte-level correctness of the
+/// equivalent index lookup is proven by the `plfs` crate's tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadSrc {
+    pub writer: u64,
+    pub phys_offset: u64,
+}
+
+/// One logical operation in a rank's program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicalOp {
+    /// Open (creating if needed) for write. Collective for shared files
+    /// under MPI-IO; independent for per-rank files.
+    OpenWrite { file: FileTag },
+    /// `reps` writes of `len` bytes at `offset + k·stride` (logical).
+    Write {
+        file: FileTag,
+        offset: u64,
+        len: u64,
+        stride: u64,
+        reps: u64,
+    },
+    /// Close after writing (where index flushing / flattening happens).
+    CloseWrite { file: FileTag },
+    /// Open for read (where index aggregation happens).
+    OpenRead { file: FileTag },
+    /// `reps` reads of `len` bytes at `offset + k·stride` (logical).
+    /// `src` locates the bytes in a writer's data log for PLFS files.
+    Read {
+        file: FileTag,
+        offset: u64,
+        len: u64,
+        stride: u64,
+        reps: u64,
+        src: Option<ReadSrc>,
+    },
+    CloseRead { file: FileTag },
+    /// Synchronize all ranks.
+    Barrier,
+    /// Local computation of fixed nanosecond duration.
+    Compute { nanos: u64 },
+    /// All-to-all data exchange (collective buffering's shuffle phase).
+    Exchange { bytes_per_rank: u64 },
+    /// Job boundary: drop all client-side caches (a restart job starts
+    /// cold). Collective; costs nothing but the synchronization.
+    FlushCaches,
+    /// Delete a logical file (collective; rank 0 performs the removal —
+    /// checkpoint rotation deletes old generations this way).
+    Unlink { file: FileTag },
+}
+
+impl LogicalOp {
+    /// Bytes moved by this op (for bandwidth accounting).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            LogicalOp::Write { len, reps, .. } | LogicalOp::Read { len, reps, .. } => len * reps,
+            _ => 0,
+        }
+    }
+
+    /// Whether this op synchronizes all ranks of the job.
+    pub fn is_collective_for(&self, shared_write_collective: bool) -> bool {
+        match self {
+            LogicalOp::Barrier
+            | LogicalOp::Exchange { .. }
+            | LogicalOp::FlushCaches
+            | LogicalOp::Unlink { .. } => true,
+            LogicalOp::OpenWrite { file } | LogicalOp::CloseWrite { file } => {
+                shared_write_collective && file.is_shared()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A per-rank program generator. Programs are produced lazily so a
+/// 65,536-rank job does not hold 65 M materialized ops.
+pub trait Program: Sync {
+    /// Number of ops in `rank`'s program. Every rank must have the same
+    /// count of collective ops at the same positions (SPMD).
+    fn len(&self, rank: usize) -> usize;
+
+    /// The `pc`-th op of `rank`'s program.
+    fn op(&self, rank: usize, pc: usize) -> LogicalOp;
+}
+
+/// A trivially materialized program: the same op list for every rank,
+/// with per-rank ops computed by closures. Used by tests.
+pub struct VecProgram {
+    pub ops: Vec<LogicalOp>,
+}
+
+impl Program for VecProgram {
+    fn len(&self, _rank: usize) -> usize {
+        self.ops.len()
+    }
+    fn op(&self, _rank: usize, pc: usize) -> LogicalOp {
+        self.ops[pc].clone()
+    }
+}
+
+/// A program computed per rank by a function (the common case for
+/// workload generators).
+pub struct FnProgram<F: Fn(usize, usize) -> LogicalOp + Sync> {
+    pub count: usize,
+    pub f: F,
+}
+
+impl<F: Fn(usize, usize) -> LogicalOp + Sync> Program for FnProgram<F> {
+    fn len(&self, _rank: usize) -> usize {
+        self.count
+    }
+    fn op(&self, rank: usize, pc: usize) -> LogicalOp {
+        (self.f)(rank, pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_tags_resolve_per_rank() {
+        let s = FileTag::shared("/ckpt");
+        assert_eq!(s.path(0), "/ckpt");
+        assert_eq!(s.path(9), "/ckpt");
+        assert!(s.is_shared());
+        let p = FileTag::per_rank("/out", 2);
+        assert_eq!(p.path(3), "/out.r3.f2");
+        assert_ne!(p.path(3), p.path(4));
+        assert!(!p.is_shared());
+    }
+
+    #[test]
+    fn op_bytes_accounting() {
+        let w = LogicalOp::Write {
+            file: FileTag::shared("/f"),
+            offset: 0,
+            len: 100,
+            stride: 100,
+            reps: 7,
+        };
+        assert_eq!(w.bytes(), 700);
+        assert_eq!(LogicalOp::Barrier.bytes(), 0);
+    }
+
+    #[test]
+    fn collectivity_rules() {
+        let shared = FileTag::shared("/f");
+        let own = FileTag::per_rank("/f", 0);
+        assert!(LogicalOp::Barrier.is_collective_for(false));
+        assert!(LogicalOp::OpenWrite { file: shared.clone() }.is_collective_for(true));
+        assert!(!LogicalOp::OpenWrite { file: shared }.is_collective_for(false));
+        assert!(!LogicalOp::OpenWrite { file: own }.is_collective_for(true));
+    }
+
+    #[test]
+    fn fn_program_generates_lazily() {
+        let p = FnProgram {
+            count: 3,
+            f: |rank, pc| LogicalOp::Compute {
+                nanos: (rank * 10 + pc) as u64,
+            },
+        };
+        assert_eq!(p.len(5), 3);
+        assert_eq!(p.op(2, 1), LogicalOp::Compute { nanos: 21 });
+    }
+}

@@ -1,0 +1,1006 @@
+//! The PLFS ADIO driver: logical ops rewritten into container operations.
+//!
+//! This is the simulation twin of the `plfs` crate — it issues, against
+//! the simulated parallel file system, the same *structural* sequence of
+//! operations the real middleware issues against a real backend
+//! (integration tests compare the two), and it implements the paper's
+//! collective machinery that only exists at the MPI-IO layer:
+//!
+//! * collective shared-file open: rank 0 builds the container, everyone
+//!   creates their droppings;
+//! * **Index Flatten** (Fig. 3b): writers buffer index entries; at the
+//!   collective close they are gathered to a root which writes one
+//!   flattened index — making read-open nearly free at the cost of write
+//!   close time;
+//! * **Parallel Index Read** (Fig. 3c): at the collective read-open, each
+//!   rank reads its share of the index logs (N opens total instead of N²)
+//!   and the partial indices are merged hierarchically over the
+//!   interconnect (group leaders exchange, then broadcast);
+//! * **Original design** (Fig. 3a): nothing collective — every reader
+//!   opens and reads every index log itself, N² opens on the underlying
+//!   file system. Kept as the baseline the optimizations are measured
+//!   against.
+//!
+//! Composite operations (container creation, per-reader index walks)
+//! expand into **micro-plans** executed one physical op per simulation
+//! event, so thousands of concurrent ranks interleave correctly on the
+//! metadata servers instead of serializing in rank order.
+//!
+//! Federated metadata (§V) falls out of path placement: the `plfs`
+//! crate's [`plfs::Federation`] decides which namespace (= which simulated
+//! MDS) owns the canonical container and each subdir.
+
+use crate::driver::{generic_collective, Ctx, Driver, Step};
+use crate::ops::{FileTag, LogicalOp};
+use plfs::index::INDEX_RECORD_BYTES;
+use plfs::Federation;
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// How a PLFS file's global index is obtained at read open (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStrategy {
+    /// Every reader aggregates every writer's index log itself.
+    Original,
+    /// Aggregate at write close; readers fetch one flattened index.
+    IndexFlatten,
+    /// Aggregate at read open with a collective hierarchy (the PLFS
+    /// default after this paper).
+    ParallelIndexRead,
+}
+
+/// Configuration of the PLFS driver.
+#[derive(Debug, Clone)]
+pub struct PlfsDriverConfig {
+    pub federation: Federation,
+    pub strategy: ReadStrategy,
+    /// Per-writer index buffering threshold (entries) for Index Flatten;
+    /// any writer exceeding it disables flattening for the file.
+    pub flatten_threshold_entries: u64,
+    /// Group size for Parallel Index Read's hierarchy.
+    pub group_size: usize,
+}
+
+impl PlfsDriverConfig {
+    pub fn new(federation: Federation, strategy: ReadStrategy) -> Self {
+        PlfsDriverConfig {
+            federation,
+            strategy,
+            flatten_threshold_entries: 1 << 20,
+            group_size: 64,
+        }
+    }
+}
+
+/// Simulated per-file middleware state.
+#[derive(Debug, Default)]
+struct FileSim {
+    /// writer rank → (index entries, data log bytes). A writer appears
+    /// here once its first write has created its droppings.
+    writers: HashMap<u64, (u64, u64)>,
+    /// Any writer exceeded the flatten buffering threshold.
+    overflowed: bool,
+    /// Total entries in the flattened index, if one was written.
+    flattened_entries: Option<u64>,
+    container_created: bool,
+    // Lazily created container pieces (mirrors the plfs library).
+    openhosts_created: bool,
+    metadir_created: bool,
+    subdirs_created: std::collections::HashSet<usize>,
+}
+
+impl FileSim {
+    fn total_entries(&self) -> u64 {
+        self.writers.values().map(|(e, _)| *e).sum()
+    }
+
+    fn writer_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.writers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// One physical operation in a composite op's micro-plan.
+#[derive(Debug, Clone)]
+enum Phys {
+    Mkdir { ns: usize, path: String },
+    Create { ns: usize, path: String },
+    Open { ns: usize, path: String },
+    Readdir { ns: usize, path: String },
+    Unlink { ns: usize, path: String },
+    AppendBatch { path: String, reps: u64, len: u64 },
+    ReadBatch { path: String, offset: u64, total: u64 },
+}
+
+/// The PLFS simulation driver.
+pub struct PlfsDriver {
+    cfg: PlfsDriverConfig,
+    files: HashMap<String, FileSim>,
+    /// In-flight micro-plans: rank → (items, next index).
+    plans: HashMap<usize, (Vec<Phys>, usize)>,
+}
+
+impl PlfsDriver {
+    pub fn new(cfg: PlfsDriverConfig) -> Self {
+        PlfsDriver {
+            cfg,
+            files: HashMap::new(),
+            plans: HashMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> &PlfsDriverConfig {
+        &self.cfg
+    }
+
+    /// Whether a flattened index was produced for `logical` (test hook).
+    pub fn flattened(&self, logical: &str) -> bool {
+        self.files
+            .get(logical)
+            .and_then(|f| f.flattened_entries)
+            .is_some()
+    }
+
+    // --- path / namespace helpers (mirror plfs::Container) ---
+
+    fn canonical(&self, logical: &str) -> String {
+        self.cfg.federation.canonical_container_path(logical)
+    }
+
+    fn container_ns(&self, logical: &str) -> usize {
+        self.cfg.federation.container_namespace(logical)
+    }
+
+    fn subdirs(&self) -> usize {
+        self.cfg.federation.subdirs_per_container()
+    }
+
+    fn subdir_of(&self, writer: u64) -> usize {
+        (writer % self.subdirs() as u64) as usize
+    }
+
+    fn subdir_ns(&self, logical: &str, i: usize) -> usize {
+        self.cfg.federation.subdir_namespace(logical, i)
+    }
+
+    fn subdir_dir(&self, logical: &str, i: usize) -> String {
+        match self.cfg.federation.shadow_subdir_path(logical, i) {
+            Some(shadow) => shadow,
+            None => format!("{}/subdir.{i}", self.canonical(logical)),
+        }
+    }
+
+    fn data_log(&self, logical: &str, writer: u64) -> String {
+        format!(
+            "{}/dropping.data.{writer}",
+            self.subdir_dir(logical, self.subdir_of(writer))
+        )
+    }
+
+    fn index_log(&self, logical: &str, writer: u64) -> String {
+        format!(
+            "{}/dropping.index.{writer}",
+            self.subdir_dir(logical, self.subdir_of(writer))
+        )
+    }
+
+    fn flattened_path(&self, logical: &str) -> String {
+        format!("{}/flattened.index", self.canonical(logical))
+    }
+
+    fn entries_of(&self, logical: &str, writer: u64) -> u64 {
+        self.files
+            .get(logical)
+            .and_then(|f| f.writers.get(&writer))
+            .map(|(e, _)| *e)
+            .unwrap_or(0)
+    }
+
+    fn file_sim(&self, logical: &str) -> &FileSim {
+        self.files
+            .get(logical)
+            .unwrap_or_else(|| panic!("PLFS read of never-written file {logical}"))
+    }
+
+    // --- micro-plan builders ---
+
+    /// Container creation: mkdir + access marker only (everything else is
+    /// lazy, mirroring `plfs::Container::create`). Subsequent openers just
+    /// check the access file.
+    fn plan_container_create(&mut self, logical: &str) -> Vec<Phys> {
+        let cns = self.container_ns(logical);
+        let canonical = self.canonical(logical);
+        let entry = self.files.entry(logical.to_string()).or_default();
+        if entry.container_created {
+            return vec![Phys::Open {
+                ns: cns,
+                path: format!("{canonical}/.plfsaccess"),
+            }];
+        }
+        entry.container_created = true;
+        vec![
+            Phys::Mkdir {
+                ns: cns,
+                path: canonical.clone(),
+            },
+            Phys::Create {
+                ns: cns,
+                path: format!("{canonical}/.plfsaccess"),
+            },
+        ]
+    }
+
+    /// Openhosts registration (creating the openhosts dir on first use).
+    fn plan_register_open(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+        let cns = self.container_ns(logical);
+        let canonical = self.canonical(logical);
+        let entry = self.files.entry(logical.to_string()).or_default();
+        let mut plan = Vec::with_capacity(2);
+        if !entry.openhosts_created {
+            entry.openhosts_created = true;
+            plan.push(Phys::Mkdir {
+                ns: cns,
+                path: format!("{canonical}/openhosts"),
+            });
+        }
+        plan.push(Phys::Create {
+            ns: cns,
+            path: format!("{canonical}/openhosts/host.{writer}"),
+        });
+        plan
+    }
+
+    /// First-write dropping creation: subdir (dir or shadow + metalink) if
+    /// this writer is the first into it, then the data and index logs.
+    fn plan_droppings(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+        let cns = self.container_ns(logical);
+        let canonical = self.canonical(logical);
+        let sub = self.subdir_of(writer);
+        let sns = self.subdir_ns(logical, sub);
+        let shadowed = sns != cns;
+        let entry = self.files.entry(logical.to_string()).or_default();
+        let mut plan = Vec::with_capacity(4);
+        if entry.subdirs_created.insert(sub) {
+            plan.push(Phys::Mkdir {
+                ns: sns,
+                path: self.subdir_dir(logical, sub),
+            });
+            if shadowed {
+                plan.push(Phys::Create {
+                    ns: cns,
+                    path: format!("{canonical}/subdir.{sub}"),
+                });
+            }
+        }
+        self.files
+            .entry(logical.to_string())
+            .or_default()
+            .writers
+            .entry(writer)
+            .or_insert((0, 0));
+        plan.push(Phys::Create {
+            ns: sns,
+            path: self.data_log(logical, writer),
+        });
+        plan.push(Phys::Create {
+            ns: sns,
+            path: self.index_log(logical, writer),
+        });
+        plan
+    }
+
+    /// Per-writer close: flush the index log, record metadir (creating
+    /// the metadir on first use), deregister.
+    fn plan_close_writer(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+        let cns = self.container_ns(logical);
+        let canonical = self.canonical(logical);
+        let entries = self.entries_of(logical, writer);
+        let mut plan = Vec::with_capacity(4);
+        if entries > 0 {
+            plan.push(Phys::AppendBatch {
+                path: self.index_log(logical, writer),
+                reps: 1,
+                len: entries * INDEX_RECORD_BYTES,
+            });
+        }
+        let entry = self.files.entry(logical.to_string()).or_default();
+        if !entry.metadir_created {
+            entry.metadir_created = true;
+            plan.push(Phys::Mkdir {
+                ns: cns,
+                path: format!("{canonical}/metadir"),
+            });
+        }
+        plan.push(Phys::Create {
+            ns: cns,
+            path: format!("{canonical}/metadir/meta.{writer}"),
+        });
+        plan.push(Phys::Unlink {
+            ns: cns,
+            path: format!("{canonical}/openhosts/host.{writer}"),
+        });
+        plan
+    }
+
+    /// Read-open discovery: check the access file, list every subdir that
+    /// exists (lazy creation leaves the rest absent).
+    fn plan_discover(&mut self, logical: &str) -> Vec<Phys> {
+        let cns = self.container_ns(logical);
+        let canonical = self.canonical(logical);
+        let mut plan = vec![Phys::Open {
+            ns: cns,
+            path: format!("{canonical}/.plfsaccess"),
+        }];
+        let created: Vec<usize> = self
+            .files
+            .get(logical)
+            .map(|f| f.subdirs_created.iter().copied().collect())
+            .unwrap_or_default();
+        for i in created {
+            plan.push(Phys::Readdir {
+                ns: self.subdir_ns(logical, i),
+                path: self.subdir_dir(logical, i),
+            });
+        }
+        plan
+    }
+
+    /// Open + read one writer's index log.
+    fn plan_read_index(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+        let ilog = self.index_log(logical, writer);
+        let entries = self.entries_of(logical, writer);
+        vec![
+            Phys::Open {
+                ns: self.subdir_ns(logical, self.subdir_of(writer)),
+                path: ilog.clone(),
+            },
+            Phys::ReadBatch {
+                path: ilog,
+                offset: 0,
+                total: entries * INDEX_RECORD_BYTES,
+            },
+        ]
+    }
+
+    /// Container removal: list and unlink every dropping, the container
+    /// control files, and the (shadow) subdirs.
+    fn plan_remove_container(&mut self, logical: &str) -> Vec<Phys> {
+        let cns = self.container_ns(logical);
+        let canonical = self.canonical(logical);
+        let mut plan = Vec::new();
+        if let Some(fs) = self.files.get(logical) {
+            let subdirs: Vec<usize> = fs.subdirs_created.iter().copied().collect();
+            let writers = fs.writer_ids();
+            for i in subdirs {
+                plan.push(Phys::Readdir {
+                    ns: self.subdir_ns(logical, i),
+                    path: self.subdir_dir(logical, i),
+                });
+            }
+            for w in writers {
+                let sns = self.subdir_ns(logical, self.subdir_of(w));
+                plan.push(Phys::Unlink {
+                    ns: sns,
+                    path: self.data_log(logical, w),
+                });
+                plan.push(Phys::Unlink {
+                    ns: sns,
+                    path: self.index_log(logical, w),
+                });
+            }
+            if fs.flattened_entries.is_some() {
+                plan.push(Phys::Unlink {
+                    ns: cns,
+                    path: self.flattened_path(logical),
+                });
+            }
+        }
+        plan.push(Phys::Unlink {
+            ns: cns,
+            path: format!("{canonical}/.plfsaccess"),
+        });
+        plan
+    }
+
+    // --- plan execution ---
+
+    /// Charge one physical op at `now` from `node`.
+    fn exec_phys(ctx: &mut Ctx, node: usize, item: &Phys, now: SimTime) -> SimTime {
+        match item {
+            Phys::Mkdir { ns, path } => ctx.pfs.mkdir(*ns, path, now),
+            Phys::Create { ns, path } => ctx.pfs.create_file(*ns, path, now),
+            Phys::Open { ns, path } => ctx.pfs.open_file(*ns, node, path, now),
+            Phys::Readdir { ns, path } => ctx.pfs.readdir(*ns, node, path, now),
+            Phys::Unlink { ns, path } => ctx.pfs.unlink_file(*ns, path, now),
+            Phys::AppendBatch { path, reps, len } => {
+                ctx.pfs.append_batch(node, path, *reps, *len, now).1
+            }
+            Phys::ReadBatch {
+                path,
+                offset,
+                total,
+            } => ctx.pfs.read_batch(node, path, *offset, *total, 1, now),
+        }
+    }
+
+    /// Execute a whole plan back-to-back (used inside collective handlers,
+    /// where all participants share one arrival time and event-granular
+    /// interleaving is unnecessary).
+    fn exec_plan_chained(ctx: &mut Ctx, node: usize, plan: &[Phys], mut now: SimTime) -> SimTime {
+        for item in plan {
+            now = Self::exec_phys(ctx, node, item, now);
+        }
+        now
+    }
+
+    /// Run one item of `rank`'s in-flight plan per invocation.
+    fn run_plan(&mut self, rank: usize, node: usize, ctx: &mut Ctx, now: SimTime) -> Step {
+        let (plan, pos) = self.plans.remove(&rank).expect("plan in flight");
+        debug_assert!(pos < plan.len());
+        let fin = Self::exec_phys(ctx, node, &plan[pos], now);
+        if pos + 1 == plan.len() {
+            Step::Done(fin)
+        } else {
+            self.plans.insert(rank, (plan, pos + 1));
+            Step::Yield(fin)
+        }
+    }
+
+    /// Start (or continue) a plan-backed composite op.
+    fn composite(
+        &mut self,
+        rank: usize,
+        node: usize,
+        ctx: &mut Ctx,
+        now: SimTime,
+        build: impl FnOnce(&mut Self) -> Vec<Phys>,
+    ) -> Step {
+        if !self.plans.contains_key(&rank) {
+            let plan = build(self);
+            if plan.is_empty() {
+                return Step::Done(now);
+            }
+            self.plans.insert(rank, (plan, 0));
+        }
+        self.run_plan(rank, node, ctx, now)
+    }
+}
+
+impl Driver for PlfsDriver {
+    fn step(&mut self, rank: usize, _pc: usize, op: &LogicalOp, now: SimTime, ctx: &mut Ctx) -> Step {
+        let node = ctx.node_of(rank);
+        match op {
+            LogicalOp::OpenWrite { file } => match file {
+                FileTag::Shared(_) => Step::Collective,
+                FileTag::PerRank { .. } => {
+                    // N-N through PLFS: every rank builds a container for
+                    // its own file — the burden Figures 7/8b measure,
+                    // offset by lazy layout and federated namespaces.
+                    // Droppings are created here (at open), as in real
+                    // PLFS — their subdir placement is what federated
+                    // metadata spreads.
+                    let logical = file.path(rank);
+                    self.composite(rank, node, ctx, now, |d| {
+                        let mut plan = d.plan_container_create(&logical);
+                        plan.extend(d.plan_register_open(&logical, rank as u64));
+                        plan.extend(d.plan_droppings(&logical, rank as u64));
+                        plan
+                    })
+                }
+            },
+            LogicalOp::Write { file, len, reps, .. } => {
+                // Whatever the logical pattern, PLFS appends to this
+                // writer's data log: sequential, exclusive, lock-free.
+                // The first write also creates the droppings (and possibly
+                // the subdir) — lazy layout.
+                let logical = file.path(rank);
+                if *reps == 0 {
+                    return Step::Done(now);
+                }
+                let mut t = now;
+                let first_write = self
+                    .files
+                    .get(&logical)
+                    .map_or(true, |f| !f.writers.contains_key(&(rank as u64)));
+                if first_write {
+                    let plan = self.plan_droppings(&logical, rank as u64);
+                    t = Self::exec_plan_chained(ctx, node, &plan, t);
+                }
+                let dlog = self.data_log(&logical, rank as u64);
+                let fin = ctx.pfs.append_batch(node, &dlog, *reps, *len, t).1;
+                let threshold = self.cfg.flatten_threshold_entries;
+                let fs = self.files.entry(logical).or_default();
+                let w = fs.writers.entry(rank as u64).or_insert((0, 0));
+                w.0 += reps;
+                w.1 += len * reps;
+                if w.0 > threshold {
+                    fs.overflowed = true;
+                }
+                Step::Done(fin)
+            }
+            LogicalOp::CloseWrite { file } => {
+                if file.is_shared() && self.cfg.strategy == ReadStrategy::IndexFlatten {
+                    Step::Collective
+                } else {
+                    let logical = file.path(rank);
+                    self.composite(rank, node, ctx, now, |d| {
+                        d.plan_close_writer(&logical, rank as u64)
+                    })
+                }
+            }
+            LogicalOp::OpenRead { file } => match file {
+                FileTag::PerRank { .. } => {
+                    // Single-writer container: discovery + one index.
+                    let logical = file.path(rank);
+                    self.composite(rank, node, ctx, now, |d| {
+                        let mut plan = d.plan_discover(&logical);
+                        plan.extend(d.plan_read_index(&logical, rank as u64));
+                        plan
+                    })
+                }
+                FileTag::Shared(_) => match self.cfg.strategy {
+                    ReadStrategy::IndexFlatten | ReadStrategy::ParallelIndexRead => {
+                        Step::Collective
+                    }
+                    ReadStrategy::Original => {
+                        // Uncoordinated: this rank itself walks every
+                        // writer's index log — N ranks × N logs = N² opens
+                        // on the underlying file system.
+                        let logical = file.path(rank);
+                        self.composite(rank, node, ctx, now, |d| {
+                            let writers = d.file_sim(&logical).writer_ids();
+                            let mut plan = d.plan_discover(&logical);
+                            for w in writers {
+                                plan.extend(d.plan_read_index(&logical, w));
+                            }
+                            plan
+                        })
+                    }
+                },
+            },
+            LogicalOp::Read {
+                file,
+                offset,
+                len,
+                reps,
+                src,
+                ..
+            } => {
+                // PLFS reads come from a writer's log, sequentially.
+                let logical = file.path(rank);
+                let (writer, phys) = match src {
+                    Some(s) => (s.writer, s.phys_offset),
+                    None => (rank as u64, *offset),
+                };
+                let dlog = self.data_log(&logical, writer);
+                let fin = ctx.pfs.read_batch(node, &dlog, phys, len * reps, *reps, now);
+                Step::Done(fin)
+            }
+            LogicalOp::CloseRead { .. } => {
+                // Read close is client-side: drop the in-memory index.
+                Step::Done(now + simcore::SimDuration::from_micros_f64(30.0))
+            }
+            LogicalOp::Compute { nanos } => {
+                Step::Done(now + simcore::SimDuration::from_nanos(*nanos))
+            }
+            LogicalOp::Barrier
+            | LogicalOp::Exchange { .. }
+            | LogicalOp::FlushCaches
+            | LogicalOp::Unlink { .. } => Step::Collective,
+        }
+    }
+
+    fn collective(
+        &mut self,
+        _pc: usize,
+        op: &LogicalOp,
+        arrivals: &[SimTime],
+        ctx: &mut Ctx,
+    ) -> Vec<SimTime> {
+        let n = arrivals.len();
+        match op {
+            // Collective shared open-for-write: rank 0 builds the
+            // container skeleton; after a notify broadcast everyone
+            // registers in openhosts (droppings wait for first writes).
+            LogicalOp::OpenWrite { file } => {
+                let logical = file.path(0);
+                let sync = arrivals.iter().copied().max().unwrap_or(SimTime::ZERO);
+                let root_plan = self.plan_container_create(&logical);
+                let root_done =
+                    Self::exec_plan_chained(ctx, ctx.layout.node_of(0), &root_plan, sync);
+                let base = root_done + ctx.net.bcast(n, 64);
+                (0..n)
+                    .map(|r| {
+                        let node = ctx.layout.node_of(r);
+                        let mut plan = self.plan_register_open(&logical, r as u64);
+                        plan.extend(self.plan_droppings(&logical, r as u64));
+                        Self::exec_plan_chained(ctx, node, &plan, base)
+                    })
+                    .collect()
+            }
+            // Collective close with Index Flatten: per-writer close ops,
+            // then gather buffered indices to a root that writes the
+            // flattened index.
+            LogicalOp::CloseWrite { file } => {
+                let logical = file.path(0);
+                let closes: Vec<SimTime> = (0..n)
+                    .map(|r| {
+                        let node = ctx.layout.node_of(r);
+                        let plan = self.plan_close_writer(&logical, r as u64);
+                        Self::exec_plan_chained(ctx, node, &plan, arrivals[r])
+                    })
+                    .collect();
+                let sync = closes.iter().copied().max().unwrap_or(SimTime::ZERO);
+                let fs = self.files.entry(logical.clone()).or_default();
+                if fs.overflowed {
+                    // Someone buffered too much: no flattened index.
+                    return closes;
+                }
+                let total_entries = fs.total_entries();
+                let per_rank_bytes = total_entries * INDEX_RECORD_BYTES / n.max(1) as u64;
+                let gathered = sync + ctx.net.gather(n, per_rank_bytes);
+                let cns = self.container_ns(&logical);
+                let fpath = self.flattened_path(&logical);
+                let t = ctx.pfs.create_file(cns, &fpath, gathered);
+                let t = ctx
+                    .pfs
+                    .append_batch(
+                        ctx.layout.node_of(0),
+                        &fpath,
+                        1,
+                        total_entries * INDEX_RECORD_BYTES,
+                        t,
+                    )
+                    .1;
+                self.files
+                    .get_mut(&logical)
+                    .expect("entry above")
+                    .flattened_entries = Some(total_entries);
+                vec![t; n]
+            }
+            // Collective read open: Index Flatten fetch-and-broadcast, or
+            // Parallel Index Read.
+            LogicalOp::OpenRead { file } => {
+                let logical = file.path(0);
+                let sync = arrivals.iter().copied().max().unwrap_or(SimTime::ZERO);
+                let flat_entries = self.files.get(&logical).and_then(|f| f.flattened_entries);
+                match (self.cfg.strategy, flat_entries) {
+                    (ReadStrategy::IndexFlatten, Some(entries)) => {
+                        let bytes = entries * INDEX_RECORD_BYTES;
+                        let cns = self.container_ns(&logical);
+                        let fpath = self.flattened_path(&logical);
+                        let t = ctx.pfs.open_file(cns, ctx.layout.node_of(0), &fpath, sync);
+                        let t = ctx
+                            .pfs
+                            .read_batch(ctx.layout.node_of(0), &fpath, 0, bytes, 1, t);
+                        vec![t + ctx.net.bcast(n, bytes); n]
+                    }
+                    // Parallel Index Read — also the fallback when a
+                    // flattened index was expected but never materialized.
+                    _ => {
+                        let writers = self.file_sim(&logical).writer_ids();
+                        let total_entries = self.file_sim(&logical).total_entries();
+                        let global_bytes = total_entries * INDEX_RECORD_BYTES;
+                        let per_rank_bytes = global_bytes / n.max(1) as u64;
+                        let mut worst = sync;
+                        for r in 0..n {
+                            let node = ctx.layout.node_of(r);
+                            let mut t = sync;
+                            // Round-robin assignment: rank r reads writers
+                            // r, r+n, r+2n, ...
+                            let mut w = r;
+                            while w < writers.len() {
+                                let plan = self.plan_read_index(&logical, writers[w]);
+                                t = Self::exec_plan_chained(ctx, node, &plan, t);
+                                w += n;
+                            }
+                            worst = worst.max(t);
+                        }
+                        let hier = ctx.net.hierarchical_aggregate(
+                            n,
+                            self.cfg.group_size,
+                            per_rank_bytes,
+                            global_bytes,
+                        );
+                        vec![worst + hier; n]
+                    }
+                }
+            }
+            // Container removal: rank 0 walks the container, unlinking
+            // droppings and metadata — log-structured cleanup is real
+            // work, which is why checkpoint rotation matters.
+            LogicalOp::Unlink { file } => {
+                let sync = arrivals.iter().copied().max().unwrap_or(SimTime::ZERO);
+                let node0 = ctx.layout.node_of(0);
+                let mut t = sync;
+                let logicals: Vec<String> = if file.is_shared() {
+                    vec![file.path(0)]
+                } else {
+                    (0..n).map(|r| file.path(r)).collect()
+                };
+                for logical in logicals {
+                    let plan = self.plan_remove_container(&logical);
+                    t = Self::exec_plan_chained(ctx, node0, &plan, t);
+                    self.files.remove(&logical);
+                }
+                vec![t; n]
+            }
+            other => generic_collective(other, arrivals, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Exec;
+    use crate::layout::Layout;
+    use crate::metrics::OpKind;
+    use crate::ops::{FnProgram, Program, ReadSrc};
+    use pfs::{PfsParams, SimPfs};
+    use simnet::{Interconnect, InterconnectParams};
+
+    fn quiet_ctx(nprocs: usize, ppn: usize, mds: usize) -> Ctx {
+        let mut p = PfsParams::panfs_production(64);
+        p.jitter_spread = 0.0;
+        p.jitter_tail_prob = 0.0;
+        p.mds_count = mds;
+        Ctx::new(
+            SimPfs::new(p, 7),
+            Interconnect::new(InterconnectParams::infiniband()),
+            Layout::new(nprocs, ppn),
+        )
+    }
+
+    fn fed(namespaces: usize, subdirs: usize) -> Federation {
+        if namespaces == 1 {
+            Federation::single("/panfs", subdirs)
+        } else {
+            Federation::new(
+                (0..namespaces).map(|i| format!("/vol{i}")).collect(),
+                subdirs,
+                true,
+                true,
+            )
+        }
+    }
+
+    /// Full N-1 checkpoint + restart program: write strided, read back
+    /// the data of the next rank (log-sequential under PLFS).
+    fn checkpoint_restart(nprocs: usize, block: u64, reps: u64) -> impl Program {
+        let file = FileTag::shared("/ckpt");
+        FnProgram {
+            count: 8,
+            f: move |rank, pc| {
+                let f = file.clone();
+                match pc {
+                    0 => LogicalOp::OpenWrite { file: f },
+                    1 => LogicalOp::Write {
+                        file: f,
+                        offset: rank as u64 * block,
+                        len: block,
+                        stride: nprocs as u64 * block,
+                        reps,
+                    },
+                    2 => LogicalOp::CloseWrite { file: f },
+                    3 => LogicalOp::Barrier,
+                    4 => LogicalOp::OpenRead { file: f },
+                    5 => {
+                        let shifted = (rank + 1) % nprocs;
+                        LogicalOp::Read {
+                            file: f,
+                            offset: shifted as u64 * block,
+                            len: block,
+                            stride: nprocs as u64 * block,
+                            reps,
+                            src: Some(ReadSrc {
+                                writer: shifted as u64,
+                                phys_offset: 0,
+                            }),
+                        }
+                    }
+                    6 => LogicalOp::CloseRead { file: f },
+                    _ => LogicalOp::Barrier,
+                }
+            },
+        }
+    }
+
+    fn run(
+        nprocs: usize,
+        strategy: ReadStrategy,
+        mds: usize,
+    ) -> (crate::metrics::Metrics, PlfsDriver, Ctx) {
+        let prog = checkpoint_restart(nprocs, 64 * 1024, 8);
+        let mut ctx = quiet_ctx(nprocs, 16, mds);
+        let mut cfg = PlfsDriverConfig::new(fed(mds, 4), strategy);
+        cfg.group_size = 8;
+        let mut d = PlfsDriver::new(cfg);
+        let m = Exec::new(&prog, &mut d, &mut ctx).run().metrics;
+        (m, d, ctx)
+    }
+
+    #[test]
+    fn plfs_writes_take_no_stripe_locks() {
+        let (_, _, ctx) = run(32, ReadStrategy::ParallelIndexRead, 1);
+        assert_eq!(ctx.pfs.lock_transfers(), 0);
+        // All data landed in per-writer logs.
+        for w in 0..32 {
+            let fs = ctx.pfs.namespace();
+            let found = (0..4).any(|i| {
+                fs.file_exists(&format!("/panfs/ckpt/subdir.{i}/dropping.data.{w}"))
+            });
+            assert!(found, "missing data log for writer {w}");
+        }
+    }
+
+    #[test]
+    fn data_logs_have_the_right_sizes() {
+        let (_, _, ctx) = run(8, ReadStrategy::ParallelIndexRead, 1);
+        for w in 0..8u64 {
+            let sub = (w % 4) as usize;
+            let path = format!("/panfs/ckpt/subdir.{sub}/dropping.data.{w}");
+            assert_eq!(ctx.pfs.file_size(&path), 8 * 64 * 1024, "writer {w}");
+        }
+    }
+
+    #[test]
+    fn index_logs_written_at_close() {
+        let (_, _, ctx) = run(8, ReadStrategy::ParallelIndexRead, 1);
+        for w in 0..8u64 {
+            let sub = (w % 4) as usize;
+            let path = format!("/panfs/ckpt/subdir.{sub}/dropping.index.{w}");
+            assert_eq!(
+                ctx.pfs.file_size(&path),
+                8 * INDEX_RECORD_BYTES,
+                "writer {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_writes_flattened_index_and_speeds_read_open() {
+        let (mf, df, _) = run(64, ReadStrategy::IndexFlatten, 1);
+        assert!(df.flattened("/ckpt"));
+        let (mo, _, _) = run(64, ReadStrategy::Original, 1);
+        let flat_open = mf.mean_duration_s(OpKind::OpenRead);
+        let orig_open = mo.mean_duration_s(OpKind::OpenRead);
+        assert!(
+            orig_open > 2.0 * flat_open,
+            "original open {orig_open} vs flatten {flat_open}"
+        );
+        // ...but flatten pays at write close.
+        let flat_close = mf.mean_duration_s(OpKind::CloseWrite);
+        let orig_close = mo.mean_duration_s(OpKind::CloseWrite);
+        assert!(
+            flat_close > orig_close,
+            "flatten close {flat_close} vs original {orig_close}"
+        );
+    }
+
+    #[test]
+    fn parallel_index_read_beats_original_at_scale() {
+        let (mp, _, _) = run(128, ReadStrategy::ParallelIndexRead, 1);
+        let (mo, _, _) = run(128, ReadStrategy::Original, 1);
+        let par = mp.mean_duration_s(OpKind::OpenRead);
+        let orig = mo.mean_duration_s(OpKind::OpenRead);
+        assert!(
+            orig > 3.0 * par,
+            "original open {orig} not ≫ parallel {par}"
+        );
+    }
+
+    #[test]
+    fn original_issues_n_squared_index_reads() {
+        // 16 ranks → discovery + 16 index opens each; read accounting
+        // shows N² index-log fetches.
+        let nprocs = 16;
+        let (_, _, ctx) = run(nprocs, ReadStrategy::Original, 1);
+        let data = (nprocs * nprocs) as u64 * 8 * INDEX_RECORD_BYTES;
+        assert!(ctx.pfs.bytes_read() >= data + (nprocs as u64 * 8 * 64 * 1024));
+    }
+
+    #[test]
+    fn federated_mds_spread_subdir_creates() {
+        // With 4 namespaces and subdir spreading, dropping creates land on
+        // multiple MDS; with 1 namespace everything hits MDS 0.
+        let (_, _, ctx_fed) = run(32, ReadStrategy::ParallelIndexRead, 4);
+        // The federated run's namespace must contain shadow containers.
+        let ns = ctx_fed.pfs.namespace();
+        let shadows = (0..4).filter(|v| ns.dir_exists(&format!("/vol{v}"))).count();
+        assert!(shadows >= 2, "expected shadows across volumes");
+    }
+
+    #[test]
+    fn reads_are_log_sequential_and_cheap() {
+        let (m, _, ctx) = run(32, ReadStrategy::ParallelIndexRead, 1);
+        let read_bw = m.phase_bandwidth(OpKind::Read);
+        assert!(read_bw > 0.0);
+        // No strided seeking: the data phase should sustain a healthy
+        // fraction of the network peak (cache hits may push it higher).
+        assert!(
+            read_bw > 0.2 * ctx.pfs.params().net.aggregate_bw,
+            "read bw {read_bw}"
+        );
+    }
+
+    #[test]
+    fn nn_plfs_creates_one_container_per_rank() {
+        let nprocs = 8;
+        let prog = FnProgram {
+            count: 3,
+            f: move |_rank, pc| {
+                let f = FileTag::per_rank("/out", 0);
+                match pc {
+                    0 => LogicalOp::OpenWrite { file: f },
+                    1 => LogicalOp::Write {
+                        file: f,
+                        offset: 0,
+                        len: 1 << 20,
+                        stride: 1 << 20,
+                        reps: 4,
+                    },
+                    _ => LogicalOp::CloseWrite { file: f },
+                }
+            },
+        };
+        let mut ctx = quiet_ctx(nprocs, 4, 1);
+        let mut d = PlfsDriver::new(PlfsDriverConfig::new(
+            fed(1, 2),
+            ReadStrategy::ParallelIndexRead,
+        ));
+        Exec::new(&prog, &mut d, &mut ctx).run();
+        for r in 0..nprocs {
+            let canonical = format!("/panfs/out.r{r}.f0");
+            assert!(ctx.pfs.namespace().dir_exists(&canonical), "{canonical}");
+            assert!(ctx
+                .pfs
+                .namespace()
+                .file_exists(&format!("{canonical}/.plfsaccess")));
+        }
+    }
+
+    #[test]
+    fn flatten_overflow_falls_back_gracefully() {
+        let nprocs = 4;
+        let prog = checkpoint_restart(nprocs, 1024, 64);
+        let mut ctx = quiet_ctx(nprocs, 4, 1);
+        let mut cfg = PlfsDriverConfig::new(fed(1, 2), ReadStrategy::IndexFlatten);
+        cfg.flatten_threshold_entries = 16; // 64 reps ≫ threshold
+        let mut d = PlfsDriver::new(cfg);
+        Exec::new(&prog, &mut d, &mut ctx).run();
+        assert!(!d.flattened("/ckpt"), "overflowed file must not flatten");
+    }
+
+    #[test]
+    fn micro_plans_interleave_ranks_on_the_mds() {
+        // The N-N create storm: with event-granular plans, many ranks'
+        // container creates interleave, so the makespan approaches
+        // total-MDS-work rather than sum-of-chains.
+        let nprocs = 16;
+        let prog = FnProgram {
+            count: 2,
+            f: move |_rank, pc| {
+                let f = FileTag::per_rank("/storm", 0);
+                match pc {
+                    0 => LogicalOp::OpenWrite { file: f },
+                    _ => LogicalOp::CloseWrite { file: f },
+                }
+            },
+        };
+        let mut ctx = quiet_ctx(nprocs, 4, 1);
+        let mut d = PlfsDriver::new(PlfsDriverConfig::new(
+            fed(1, 4),
+            ReadStrategy::ParallelIndexRead,
+        ));
+        let res = Exec::new(&prog, &mut d, &mut ctx).run();
+        // Per container: 1 mkdir + access + metadir + openhosts + 4 subdir
+        // mkdirs + 3 dropping creates + close(2) ≈ 11 creates/mkdirs + 2.
+        // All on one MDS: makespan ≈ serial total, and the mean open time
+        // must be of the same order (everyone queues), not nprocs× it.
+        let open_mean = res.metrics.mean_duration_s(OpKind::OpenWrite);
+        assert!(open_mean < res.makespan.as_secs_f64());
+        assert!(open_mean > res.makespan.as_secs_f64() * 0.2);
+    }
+}

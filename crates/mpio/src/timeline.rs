@@ -1,0 +1,172 @@
+//! Per-rank op timelines: record what every rank was doing when, and
+//! render small runs as an ASCII Gantt chart.
+//!
+//! Metrics aggregate; timelines explain. When a simulated phase looks
+//! wrong, the timeline shows whether ranks serialized on a metadata
+//! server, stalled at a barrier behind one straggler, or overlapped as
+//! intended. Recording is opt-in (`Exec::run_with_timeline`) because a
+//! 65k-rank run would produce millions of spans.
+
+use crate::metrics::OpKind;
+use simcore::SimTime;
+
+/// One completed op on one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub rank: usize,
+    pub kind: OpKind,
+    pub start: SimTime,
+    pub finish: SimTime,
+}
+
+/// A recorded execution.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    pub fn record(&mut self, rank: usize, kind: OpKind, start: SimTime, finish: SimTime) {
+        self.spans.push(Span {
+            rank,
+            kind,
+            start,
+            finish,
+        });
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans of one rank, in completion order.
+    pub fn rank_spans(&self, rank: usize) -> Vec<Span> {
+        self.spans.iter().copied().filter(|s| s.rank == rank).collect()
+    }
+
+    /// End of the last span.
+    pub fn end(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// How much of `[0, end)` rank `rank` spent inside ops (vs waiting in
+    /// collectives attributed to the op, which counts as busy here).
+    pub fn rank_busy_fraction(&self, rank: usize) -> f64 {
+        let end = self.end().as_secs_f64();
+        if end == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .rank_spans(rank)
+            .iter()
+            .map(|s| s.finish.since(s.start).as_secs_f64())
+            .sum();
+        busy / end
+    }
+
+    /// Render an ASCII Gantt chart, one row per rank, `width` columns.
+    /// Each op kind gets a letter; overlapping ops on a rank show the
+    /// later one.
+    pub fn gantt(&self, width: usize) -> String {
+        let end = self.end().as_nanos().max(1);
+        let nranks = self
+            .spans
+            .iter()
+            .map(|s| s.rank + 1)
+            .max()
+            .unwrap_or(0);
+        let mut rows = vec![vec![b'.'; width]; nranks];
+        for s in &self.spans {
+            let c0 = (s.start.as_nanos() as u128 * width as u128 / end as u128) as usize;
+            let c1 = (s.finish.as_nanos() as u128 * width as u128 / end as u128) as usize;
+            let c1 = c1.clamp(c0, width.saturating_sub(1));
+            let ch = kind_letter(s.kind);
+            for c in c0..=c1.min(width - 1) {
+                rows[s.rank][c] = ch;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# gantt: {} ranks over {}; legend: O=open W=write C=close o=ropen r=read c=rclose B=barrier X=exchange F=flush U=unlink\n",
+            nranks,
+            self.end()
+        ));
+        for (rank, row) in rows.iter().enumerate() {
+            out.push_str(&format!("{rank:>5} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+fn kind_letter(k: OpKind) -> u8 {
+    match k {
+        OpKind::OpenWrite => b'O',
+        OpKind::Write => b'W',
+        OpKind::CloseWrite => b'C',
+        OpKind::OpenRead => b'o',
+        OpKind::Read => b'r',
+        OpKind::CloseRead => b'c',
+        OpKind::Barrier => b'B',
+        OpKind::Compute => b'=',
+        OpKind::Exchange => b'X',
+        OpKind::FlushCaches => b'F',
+        OpKind::Unlink => b'U',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn records_and_queries_spans() {
+        let mut tl = Timeline::new();
+        tl.record(0, OpKind::Write, t(0.0), t(1.0));
+        tl.record(1, OpKind::Write, t(0.0), t(2.0));
+        tl.record(0, OpKind::Barrier, t(1.0), t(2.0));
+        assert_eq!(tl.spans().len(), 3);
+        assert_eq!(tl.rank_spans(0).len(), 2);
+        assert_eq!(tl.end(), t(2.0));
+        assert!((tl.rank_busy_fraction(0) - 1.0).abs() < 1e-9);
+        assert!((tl.rank_busy_fraction(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_legend() {
+        let mut tl = Timeline::new();
+        tl.record(0, OpKind::Write, t(0.0), t(1.0));
+        tl.record(1, OpKind::Read, t(1.0), t(2.0));
+        let g = tl.gantt(20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].contains("legend"));
+        assert!(lines[1].starts_with("    0 |"));
+        assert!(lines[1].contains('W'));
+        assert!(lines[2].contains('r'));
+        // Rank 0's write occupies the left half, rank 1's read the right.
+        let row0 = lines[1].split('|').nth(1).unwrap();
+        assert_eq!(&row0[0..5], "WWWWW");
+        assert!(row0.ends_with('.'));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let tl = Timeline::new();
+        assert_eq!(tl.end(), SimTime::ZERO);
+        assert_eq!(tl.rank_busy_fraction(3), 0.0);
+        assert!(tl.gantt(10).contains("0 ranks"));
+    }
+}

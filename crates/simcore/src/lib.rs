@@ -1,0 +1,34 @@
+//! Discrete-event simulation core for the Transformative I/O reproduction.
+//!
+//! This crate provides the primitives every simulated subsystem builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time, totally
+//!   ordered and deterministic (no floating-point drift in the event queue).
+//! * [`EventQueue`] — a min-heap of timestamped events with FIFO tie-breaking,
+//!   the heart of the simulation loop.
+//! * [`Fifo`] — a multi-server first-come-first-served resource with
+//!   earliest-free-server bookkeeping; models metadata servers, object
+//!   storage servers, and network channels.
+//! * [`rng`] — small deterministic RNG helpers for seeded service-time
+//!   jitter so repeated runs produce error bars, reproducibly.
+//! * [`stats`] — streaming summary statistics (mean/std/min/max/percentiles)
+//!   used by the experiment harness.
+//!
+//! The engine is deliberately *passive*: the simulation loop itself lives in
+//! higher layers (`mpio::exec`) where ranks, middleware, and the simulated
+//! parallel file system meet. Keeping the core passive makes each primitive
+//! independently testable.
+
+pub mod calendar;
+pub mod events;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::Calendar;
+pub use events::EventQueue;
+pub use resource::{Fifo, Grant};
+pub use rng::Jitter;
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,21 @@
+//! Network models for the simulated HPC cluster.
+//!
+//! Two networks matter in the paper's architecture (§I): the cluster's
+//! **high-speed interconnect** (InfiniBand on the 1,024-core production
+//! cluster, Cray Gemini on Cielo), which is largely *idle* during I/O
+//! phases — PLFS's read optimizations exist precisely to shift work onto
+//! it — and the much slower **storage network** (10 GigE at ~1.25 GB/s
+//! aggregate) connecting compute nodes to the parallel file system.
+//!
+//! This crate provides the interconnect side: point-to-point and
+//! tree-structured collective *cost models* (LogP-style: per-hop latency
+//! plus bandwidth terms) used by the `mpio` crate to charge virtual time
+//! for barriers, broadcasts, gathers and exchanges. The storage network is
+//! a contended resource and therefore lives in the `pfs` crate as a DES
+//! queue; here we only define its parameters.
+
+pub mod collectives;
+pub mod params;
+
+pub use collectives::Interconnect;
+pub use params::{InterconnectParams, StorageNetParams};

@@ -1,0 +1,71 @@
+//! The metadata-storm workload of §V (Figure 7) and §VI (Figures 8b–8d):
+//! every process opens (creating) and closes many files in a shared
+//! output directory — the create phase of an N-N checkpoint, which is
+//! "very similar to the write phase of an N-1 workload: massive
+//! concurrent writes to a shared object" (the directory).
+
+use crate::pattern::IoPattern;
+use crate::spec::{OpSpec, Workload};
+use mpio::ops::FileTag;
+
+/// `files_per_proc` open/close pairs per rank against per-rank files.
+/// With `n1` set, all ranks instead open/close the *same* shared file
+/// repeatedly (the Figure 8c variant: one container, shared by everyone).
+pub fn metadata_storm(nprocs: usize, files_per_proc: u64, n1: bool) -> Workload {
+    let mut specs = Vec::with_capacity((files_per_proc as usize) * 2 + 2);
+    for i in 0..files_per_proc {
+        let tag = if n1 {
+            FileTag::shared(&format!("/storm/shared.{i}"))
+        } else {
+            FileTag::per_rank("/storm/f", i)
+        };
+        specs.push(OpSpec::OpenWrite(tag.clone()));
+        specs.push(OpSpec::CloseWrite(tag));
+    }
+    specs.push(OpSpec::Barrier);
+    Workload::new(
+        if n1 { "storm-n1" } else { "storm-nn" },
+        IoPattern {
+            nprocs,
+            object_bytes: 0,
+            transfer: 1,
+            segmented: true,
+            own_file: true,
+        },
+        specs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpio::ops::Program;
+
+    #[test]
+    fn nn_storm_opens_distinct_files() {
+        let w = metadata_storm(4, 3, false);
+        assert_eq!(w.specs.len(), 3 * 2 + 1);
+        let p = w.program();
+        match p.op(2, 0) {
+            mpio::ops::LogicalOp::OpenWrite { file } => {
+                assert_eq!(file.path(2), "/storm/f.r2.f0");
+            }
+            _ => panic!(),
+        }
+        // No data phases at all.
+        assert_eq!(w.write_bytes(), 0);
+    }
+
+    #[test]
+    fn n1_storm_shares_files() {
+        let w = metadata_storm(4, 2, true);
+        let p = w.program();
+        match p.op(3, 2) {
+            mpio::ops::LogicalOp::OpenWrite { file } => {
+                assert!(file.is_shared());
+                assert_eq!(file.path(3), "/storm/shared.1");
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Restart with a different process count.
+//!
+//! A key PLFS property (and a classic checkpoint-restart requirement) is
+//! that the logical file is independent of the writer geometry: a file
+//! written by N processes can be restarted by M ≠ N processes. Under
+//! PLFS, reader `r` simply takes over `N/M` writers' worth of data —
+//! each still a *sequential* scan of whole data logs, so the transformed
+//! read pattern stays prefetch-friendly at any M.
+//!
+//! This module builds the shrunken-restart workload: N ranks write the
+//! checkpoint; the first M ranks read **all** of it back (each covering
+//! `N/M` writers); ranks `M..N` sit out the read phase.
+
+use crate::pattern::IoPattern;
+use crate::spec::{OpSpec, Workload};
+use mpio::ops::{FileTag, LogicalOp, Program, ReadSrc};
+
+/// Workload wrapper: same write phase as the inner workload, but the read
+/// phase is performed by only `readers` ranks, each reading the logs of
+/// `nprocs / readers` writers end to end.
+#[derive(Debug, Clone)]
+pub struct ShrunkRestart {
+    pub inner: Workload,
+    pub readers: usize,
+}
+
+/// Build a shrunken restart of the classic N-1 strided checkpoint.
+pub fn shrunk_restart(nprocs: usize, readers: usize, object_bytes: u64, transfer: u64) -> ShrunkRestart {
+    assert!(readers > 0 && readers <= nprocs);
+    assert_eq!(
+        nprocs % readers,
+        0,
+        "readers must divide nprocs for an even takeover"
+    );
+    let pattern = IoPattern {
+        nprocs,
+        object_bytes,
+        transfer,
+        segmented: false,
+        own_file: false,
+    };
+    let file = FileTag::shared("/shrunk_ckpt");
+    let b = pattern.calls_per_rank().clamp(1, 8);
+    let mut specs = vec![OpSpec::OpenWrite(file.clone())];
+    for batch in 0..b {
+        specs.push(OpSpec::WriteBatch {
+            file: file.clone(),
+            batch,
+            of: b,
+        });
+    }
+    specs.push(OpSpec::CloseWrite(file.clone()));
+    specs.push(OpSpec::Barrier);
+    specs.push(OpSpec::FlushCaches);
+    specs.push(OpSpec::OpenRead(file.clone()));
+    // One read op per taken-over writer, appended after OpenRead; the
+    // SpecProgram below rewrites them per rank.
+    for k in 0..(nprocs / readers) as u64 {
+        specs.push(OpSpec::ReadBatch {
+            file: file.clone(),
+            shift: k as usize, // placeholder; rewritten by the Program impl
+            batch: 0,
+            of: 1,
+        });
+    }
+    specs.push(OpSpec::CloseRead(file.clone()));
+    specs.push(OpSpec::Barrier);
+    ShrunkRestart {
+        inner: Workload::new(
+            format!("shrunk_restart_{nprocs}to{readers}"),
+            pattern,
+            specs,
+        ),
+        readers,
+    }
+}
+
+impl ShrunkRestart {
+    pub fn program(&self) -> ShrunkProgram<'_> {
+        ShrunkProgram { w: self }
+    }
+
+    /// Total bytes the read phase moves.
+    pub fn read_bytes(&self) -> u64 {
+        self.inner.pattern.file_bytes()
+    }
+}
+
+/// Program adapter: write ops follow the inner pattern; read ops assign
+/// whole writers to the first `readers` ranks (ranks past `readers` issue
+/// zero-length reads so the SPMD structure is preserved).
+pub struct ShrunkProgram<'a> {
+    w: &'a ShrunkRestart,
+}
+
+impl Program for ShrunkProgram<'_> {
+    fn len(&self, _rank: usize) -> usize {
+        self.w.inner.specs.len()
+    }
+
+    fn op(&self, rank: usize, pc: usize) -> LogicalOp {
+        let pattern = &self.w.inner.pattern;
+        let readers = self.w.readers;
+        let per_reader = pattern.nprocs / readers;
+        match &self.w.inner.specs[pc] {
+            OpSpec::ReadBatch { file, shift, .. } => {
+                // The k-th read op (k = recorded `shift`) covers this
+                // reader's k-th taken-over writer, whose entire log is
+                // one sequential scan.
+                let k = *shift;
+                if rank >= readers {
+                    return LogicalOp::Read {
+                        file: file.clone(),
+                        offset: 0,
+                        len: 0,
+                        stride: 1,
+                        reps: 0,
+                        src: None,
+                    };
+                }
+                let writer = (rank * per_reader + k) as u64;
+                LogicalOp::Read {
+                    file: file.clone(),
+                    offset: pattern.logical_offset(writer as usize, 0),
+                    len: pattern.transfer,
+                    stride: pattern.rank_stride(),
+                    reps: pattern.calls_per_rank(),
+                    src: Some(ReadSrc {
+                        writer,
+                        phys_offset: 0,
+                    }),
+                }
+            }
+            // Everything else follows the normal expansion.
+            _ => self.w.inner.program().op(rank, pc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takeover_covers_every_writer_exactly_once() {
+        let w = shrunk_restart(16, 4, 64 * 1024, 8 * 1024);
+        let prog = w.program();
+        let read_pcs: Vec<usize> = (0..prog.len(0))
+            .filter(|&pc| matches!(w.inner.specs[pc], OpSpec::ReadBatch { .. }))
+            .collect();
+        assert_eq!(read_pcs.len(), 4); // 16 writers / 4 readers
+        let mut covered = std::collections::BTreeSet::new();
+        for rank in 0..4 {
+            for &pc in &read_pcs {
+                if let LogicalOp::Read { src: Some(s), reps, .. } = prog.op(rank, pc) {
+                    assert_eq!(reps, 8); // 64K / 8K calls per writer
+                    assert!(covered.insert(s.writer), "writer {} read twice", s.writer);
+                }
+            }
+        }
+        assert_eq!(covered.len(), 16);
+    }
+
+    #[test]
+    fn idle_ranks_issue_empty_reads() {
+        let w = shrunk_restart(8, 2, 8192, 1024);
+        let prog = w.program();
+        let read_pc = (0..prog.len(0))
+            .find(|&pc| matches!(w.inner.specs[pc], OpSpec::ReadBatch { .. }))
+            .unwrap();
+        match prog.op(7, read_pc) {
+            LogicalOp::Read { reps, len, .. } => {
+                assert_eq!(reps * len, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn uneven_takeover_rejected() {
+        shrunk_restart(10, 3, 1024, 1024);
+    }
+}

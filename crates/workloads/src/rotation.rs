@@ -1,0 +1,98 @@
+//! Checkpoint rotation: the operational pattern the paper's introduction
+//! motivates — long-running applications periodically dump checkpoints
+//! and retain only the last few generations, deleting older ones.
+//!
+//! Each generation is a full N-1 checkpoint write (open/strided
+//! writes/close/barrier); once more than `keep` generations exist, the
+//! oldest is deleted before the next dump. Under PLFS the delete is real
+//! work (a container walk), so rotation exercises create, write, *and*
+//! removal paths together.
+
+use crate::pattern::IoPattern;
+use crate::spec::{OpSpec, Workload};
+use mpio::ops::FileTag;
+
+/// Build a rotation of `generations` checkpoints keeping the newest
+/// `keep` on disk.
+pub fn checkpoint_rotation(
+    nprocs: usize,
+    generations: u64,
+    keep: u64,
+    object_bytes: u64,
+    transfer: u64,
+) -> Workload {
+    assert!(keep >= 1, "must keep at least one generation");
+    let pattern = IoPattern {
+        nprocs,
+        object_bytes,
+        transfer,
+        segmented: false,
+        own_file: false,
+    };
+    let b = pattern.calls_per_rank().clamp(1, 4);
+    let mut specs = Vec::new();
+    for g in 0..generations {
+        let file = FileTag::shared(&format!("/rot/ckpt.{g:05}"));
+        specs.push(OpSpec::OpenWrite(file.clone()));
+        for batch in 0..b {
+            specs.push(OpSpec::WriteBatch {
+                file: file.clone(),
+                batch,
+                of: b,
+            });
+        }
+        specs.push(OpSpec::CloseWrite(file.clone()));
+        specs.push(OpSpec::Barrier);
+        if g + 1 > keep {
+            let victim = FileTag::shared(&format!("/rot/ckpt.{:05}", g - keep));
+            // Delete the generation that fell off the window.
+            specs.push(OpSpec::Unlink(victim));
+        }
+    }
+    Workload::new(
+        format!("rotation_{generations}g_keep{keep}"),
+        pattern,
+        specs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpio::ops::{LogicalOp, Program};
+
+    #[test]
+    fn rotation_deletes_expired_generations() {
+        let w = checkpoint_rotation(8, 5, 2, 8192, 1024);
+        let unlinks: Vec<String> = (0..w.specs.len())
+            .filter_map(|pc| match w.program().op(0, pc) {
+                LogicalOp::Unlink { file } => Some(file.path(0)),
+                _ => None,
+            })
+            .collect();
+        // Generations 0..2 get deleted (5 written, keep 2 → delete 3).
+        assert_eq!(
+            unlinks,
+            vec!["/rot/ckpt.00000", "/rot/ckpt.00001", "/rot/ckpt.00002"]
+        );
+    }
+
+    #[test]
+    fn each_generation_is_a_full_checkpoint() {
+        let w = checkpoint_rotation(4, 3, 3, 4096, 1024);
+        let opens = w
+            .specs
+            .iter()
+            .filter(|s| matches!(s, OpSpec::OpenWrite(_)))
+            .count();
+        assert_eq!(opens, 3);
+        // keep=3 covers all generations: nothing deleted.
+        assert!(!w.specs.iter().any(|s| matches!(s, OpSpec::Unlink(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one generation")]
+    fn zero_keep_rejected() {
+        checkpoint_rotation(4, 3, 0, 4096, 1024);
+    }
+}

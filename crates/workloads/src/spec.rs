@@ -1,0 +1,278 @@
+//! Parametric program construction.
+//!
+//! A [`Workload`] is a list of [`OpSpec`]s — phase descriptors that expand
+//! into per-rank [`LogicalOp`]s lazily, so a 65,536-rank job never
+//! materializes 65 M ops.
+
+use crate::pattern::IoPattern;
+use mpio::ops::{FileTag, LogicalOp, Program};
+
+/// One phase of a workload's program, expanded per rank on demand.
+#[derive(Debug, Clone)]
+pub enum OpSpec {
+    OpenWrite(FileTag),
+    /// One write batch (`batch` of `of`) following the pattern.
+    WriteBatch {
+        file: FileTag,
+        batch: u64,
+        of: u64,
+    },
+    CloseWrite(FileTag),
+    OpenRead(FileTag),
+    /// One read batch; `shift` picks whose data each rank reads back.
+    ReadBatch {
+        file: FileTag,
+        shift: usize,
+        batch: u64,
+        of: u64,
+    },
+    CloseRead(FileTag),
+    Barrier,
+    /// Collective-buffering shuffle: every rank exchanges its share.
+    Exchange { bytes_per_rank: u64 },
+    /// Job boundary: client caches dropped (cold restart).
+    FlushCaches,
+    /// Delete a logical file (checkpoint rotation).
+    Unlink(FileTag),
+    /// Formatting-library header access: rank 0 writes `len` bytes at
+    /// offset 0, everyone else contributes nothing (but stays in step).
+    HeaderWrite { file: FileTag, len: u64 },
+    /// Formatting-library header read at open: every rank reads the first
+    /// `len` bytes (they live in rank 0's log under PLFS).
+    HeaderRead { file: FileTag, len: u64 },
+}
+
+/// A complete workload: its pattern, program, and accounting.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: String,
+    pub pattern: IoPattern,
+    pub specs: Vec<OpSpec>,
+}
+
+impl Workload {
+    pub fn new(name: impl Into<String>, pattern: IoPattern, specs: Vec<OpSpec>) -> Self {
+        Workload {
+            name: name.into(),
+            pattern,
+            specs,
+        }
+    }
+
+    /// Total bytes the write phase moves (all ranks).
+    pub fn write_bytes(&self) -> u64 {
+        let batches: u64 = self
+            .specs
+            .iter()
+            .filter(|s| matches!(s, OpSpec::WriteBatch { .. }))
+            .count() as u64;
+        if batches == 0 {
+            0
+        } else {
+            self.pattern.file_bytes()
+        }
+    }
+
+    /// Total bytes the read phase moves (all ranks).
+    pub fn read_bytes(&self) -> u64 {
+        let batches: u64 = self
+            .specs
+            .iter()
+            .filter(|s| matches!(s, OpSpec::ReadBatch { .. }))
+            .count() as u64;
+        if batches == 0 {
+            0
+        } else {
+            self.pattern.file_bytes()
+        }
+    }
+
+    /// View as an executable program.
+    pub fn program(&self) -> SpecProgram<'_> {
+        SpecProgram { w: self }
+    }
+
+    /// Model a *cold restart*: the read-back happens in a fresh job with
+    /// empty client caches. Inserts a cache flush right before the read
+    /// open (after the post-write barrier). Used by the large-scale
+    /// Figure 8a, where write and restart are separate jobs; the Figure 4
+    /// runs stay warm (the paper observed client caching there).
+    pub fn with_cold_restart(mut self) -> Workload {
+        if let Some(i) = self
+            .specs
+            .iter()
+            .position(|s| matches!(s, OpSpec::OpenRead(_)))
+        {
+            self.specs.insert(i, OpSpec::FlushCaches);
+            self.name = format!("{}(cold)", self.name);
+        }
+        self
+    }
+
+    /// The checkpoint-write-only portion of this workload (drops
+    /// everything from the read open onward). Used by write-bandwidth
+    /// experiments like Figure 2.
+    pub fn write_only(&self) -> Workload {
+        let cut = self
+            .specs
+            .iter()
+            .position(|s| matches!(s, OpSpec::OpenRead(_)))
+            .unwrap_or(self.specs.len());
+        Workload {
+            name: format!("{}(write)", self.name),
+            pattern: self.pattern,
+            specs: self.specs[..cut].to_vec(),
+        }
+    }
+}
+
+/// [`Program`] adapter over a workload's specs.
+pub struct SpecProgram<'a> {
+    w: &'a Workload,
+}
+
+impl Program for SpecProgram<'_> {
+    fn len(&self, _rank: usize) -> usize {
+        self.w.specs.len()
+    }
+
+    fn op(&self, rank: usize, pc: usize) -> LogicalOp {
+        let p = &self.w.pattern;
+        match &self.w.specs[pc] {
+            OpSpec::OpenWrite(f) => LogicalOp::OpenWrite { file: f.clone() },
+            OpSpec::WriteBatch { file, batch, of } => p.write_op(file, rank, *batch, *of),
+            OpSpec::CloseWrite(f) => LogicalOp::CloseWrite { file: f.clone() },
+            OpSpec::OpenRead(f) => LogicalOp::OpenRead { file: f.clone() },
+            OpSpec::ReadBatch {
+                file,
+                shift,
+                batch,
+                of,
+            } => p.read_op(file, rank, *shift, *batch, *of),
+            OpSpec::CloseRead(f) => LogicalOp::CloseRead { file: f.clone() },
+            OpSpec::Barrier => LogicalOp::Barrier,
+            OpSpec::Exchange { bytes_per_rank } => LogicalOp::Exchange {
+                bytes_per_rank: *bytes_per_rank,
+            },
+            OpSpec::FlushCaches => LogicalOp::FlushCaches,
+            OpSpec::Unlink(f) => LogicalOp::Unlink { file: f.clone() },
+            OpSpec::HeaderWrite { file, len } => LogicalOp::Write {
+                file: file.clone(),
+                offset: 0,
+                len: if rank == 0 { *len } else { 0 },
+                stride: *len,
+                reps: if rank == 0 { 1 } else { 0 },
+            },
+            OpSpec::HeaderRead { file, len } => LogicalOp::Read {
+                file: file.clone(),
+                offset: 0,
+                len: *len,
+                stride: *len,
+                reps: 1,
+                src: Some(mpio::ops::ReadSrc {
+                    writer: 0,
+                    phys_offset: 0,
+                }),
+            },
+        }
+    }
+}
+
+/// Standard phase list: write checkpoint, barrier, read it back.
+pub fn checkpoint_restart_specs(
+    file: &FileTag,
+    write_batches: u64,
+    read_batches: u64,
+    read_shift: usize,
+) -> Vec<OpSpec> {
+    let mut specs = vec![OpSpec::OpenWrite(file.clone())];
+    for b in 0..write_batches {
+        specs.push(OpSpec::WriteBatch {
+            file: file.clone(),
+            batch: b,
+            of: write_batches,
+        });
+    }
+    specs.push(OpSpec::CloseWrite(file.clone()));
+    specs.push(OpSpec::Barrier);
+    specs.push(OpSpec::OpenRead(file.clone()));
+    for b in 0..read_batches {
+        specs.push(OpSpec::ReadBatch {
+            file: file.clone(),
+            shift: read_shift,
+            batch: b,
+            of: read_batches,
+        });
+    }
+    specs.push(OpSpec::CloseRead(file.clone()));
+    specs.push(OpSpec::Barrier);
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> Workload {
+        let file = FileTag::shared("/ckpt");
+        let pattern = IoPattern {
+            nprocs: 4,
+            object_bytes: 8192,
+            transfer: 1024,
+            segmented: false,
+            own_file: false,
+        };
+        Workload::new(
+            "test",
+            pattern,
+            checkpoint_restart_specs(&file, 2, 2, 1),
+        )
+    }
+
+    #[test]
+    fn program_shape_is_spmd() {
+        let w = wl();
+        let p = w.program();
+        assert_eq!(p.len(0), p.len(3));
+        // Open, 2 write batches, close, barrier, open, 2 reads, close, barrier.
+        assert_eq!(p.len(0), 10);
+        assert!(matches!(p.op(0, 0), LogicalOp::OpenWrite { .. }));
+        assert!(matches!(p.op(2, 1), LogicalOp::Write { .. }));
+        assert!(matches!(p.op(1, 3), LogicalOp::CloseWrite { .. }));
+        assert!(matches!(p.op(1, 4), LogicalOp::Barrier));
+        assert!(matches!(p.op(3, 9), LogicalOp::Barrier));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let w = wl();
+        assert_eq!(w.write_bytes(), 4 * 8192);
+        assert_eq!(w.read_bytes(), 4 * 8192);
+    }
+
+    #[test]
+    fn header_ops_only_cost_rank0_writes() {
+        let file = FileTag::shared("/f");
+        let w = Workload::new(
+            "hdr",
+            IoPattern {
+                nprocs: 2,
+                object_bytes: 1024,
+                transfer: 1024,
+                segmented: true,
+                own_file: false,
+            },
+            vec![
+                OpSpec::HeaderWrite {
+                    file: file.clone(),
+                    len: 512,
+                },
+                OpSpec::HeaderRead { file, len: 512 },
+            ],
+        );
+        let p = w.program();
+        assert_eq!(p.op(0, 0).bytes(), 512);
+        assert_eq!(p.op(1, 0).bytes(), 0);
+        assert_eq!(p.op(1, 1).bytes(), 512);
+    }
+}

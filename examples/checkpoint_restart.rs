@@ -1,0 +1,49 @@
+//! Checkpoint/restart on the simulated cluster: PLFS vs direct access.
+//!
+//! Runs the MPI-IO Test workload (50 MB per process in 50 KB strided
+//! writes, then a shifted read-back) on the simulated 64-node production
+//! cluster at a few job sizes, with and without PLFS, and prints
+//! effective write/read bandwidths — a miniature of the paper's headline
+//! result.
+//!
+//! Run with: `cargo run --release --example checkpoint_restart`
+
+use harness::{run_workload, ClusterProfile, Middleware};
+use mpio::ReadStrategy;
+use workloads::mpiio_test;
+
+fn main() {
+    let cluster = ClusterProfile::production_cluster();
+    println!(
+        "cluster: {} ({} nodes × {} cores, storage peak {:.2} GB/s)\n",
+        cluster.name,
+        cluster.nodes,
+        cluster.cores_per_node,
+        (cluster.pfs)(64).net.aggregate_bw / 1e9
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>10} {:>16} {:>16}",
+        "procs", "write MB/s", "read MB/s", "middleware", "lock transfers", "cache hit MB"
+    );
+
+    for nprocs in [16, 64, 256] {
+        let w = mpiio_test(nprocs);
+        for mw in [
+            Middleware::Direct,
+            Middleware::plfs(ReadStrategy::ParallelIndexRead, 1),
+        ] {
+            let out = run_workload(&w, &cluster, &mw, 42);
+            println!(
+                "{:>8} {:>16.1} {:>16.1} {:>10} {:>16} {:>16.1}",
+                nprocs,
+                out.metrics.effective_write_bandwidth() / 1e6,
+                out.metrics.effective_read_bandwidth() / 1e6,
+                mw.label(),
+                out.lock_transfers,
+                out.cache_hit_bytes as f64 / 1e6,
+            );
+        }
+    }
+    println!("\nPLFS turns the strided N-1 pattern into per-process logs: no stripe-lock");
+    println!("transfers, sequential storage streams, and far higher effective bandwidth.");
+}

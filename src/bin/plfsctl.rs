@@ -1,0 +1,220 @@
+//! `plfsctl` — inspect and repair PLFS containers on a real file system,
+//! in the spirit of the original `plfs_map`/`plfs_check` tools.
+//!
+//! ```text
+//! plfsctl ls    <mount-root>                 list logical files/dirs
+//! plfsctl stat  <mount-root> <logical>       logical size and writer count
+//! plfsctl map   <mount-root> <logical>       print the resolved global index
+//! plfsctl check <mount-root> <logical>       fsck one container
+//! plfsctl repair <mount-root> <logical>      fsck + mechanical repairs
+//! plfsctl cat   <mount-root> <logical>       write logical bytes to stdout
+//! plfsctl truncate <mount-root> <logical> <size>   logical truncate
+//! plfsctl du    <mount-root> <logical>       physical vs logical space
+//! ```
+//!
+//! The mount root is an ordinary directory (single-namespace federation,
+//! like a one-volume PLFS mount). Subdir count is auto-detected from the
+//! container when possible.
+
+use plfs::fsck;
+use plfs::reader::ReadHandle;
+use plfs::{Container, Federation, LocalFs, Plfs, PlfsConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: plfsctl <ls|stat|map|check|repair|cat|truncate|du> <mount-root> [logical-path] [size]"
+    );
+    ExitCode::from(2)
+}
+
+/// Detect how many subdirs a container uses by scanning its entries.
+fn detect_subdirs(backend: &LocalFs, logical: &str) -> usize {
+    let cont = Container::new(logical, &Federation::single("/", 1));
+    let mut max = 0usize;
+    if let Ok(entries) = plfs::Backend::list(backend, cont.canonical_path()) {
+        for e in entries {
+            if let Some(n) = e.strip_prefix("subdir.") {
+                if let Ok(i) = n.parse::<usize>() {
+                    max = max.max(i + 1);
+                }
+            }
+        }
+    }
+    max.max(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        return usage();
+    }
+    let cmd = args[1].as_str();
+    let root = &args[2];
+    let backend = match LocalFs::new(root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("plfsctl: cannot open mount root {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match (cmd, args.get(3)) {
+        ("ls", _) => {
+            let logical = args.get(3).map(String::as_str).unwrap_or("/");
+            let fs = match Plfs::new(backend, PlfsConfig::basic("/")) {
+                Ok(fs) => fs,
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fs.readdir(logical) {
+                Ok(entries) => {
+                    for (name, kind) in entries {
+                        let tag = match kind {
+                            plfs::vfs::LogicalKind::File => "f",
+                            plfs::vfs::LogicalKind::Dir => "d",
+                        };
+                        println!("{tag} {name}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("stat", Some(logical)) => {
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            match fsck::check(&backend, &cont) {
+                Ok(r) => {
+                    println!("logical size : {} bytes", r.logical_size);
+                    println!("writers      : {}", r.writers.len());
+                    println!("index spans  : {}", r.spans);
+                    println!("issues       : {}", r.issues.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("map", Some(logical)) => {
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            match cont.acquire_index(&backend) {
+                Ok(idx) => {
+                    println!("# logical_offset length writer physical_offset");
+                    for e in idx.to_entries() {
+                        println!(
+                            "{:>14} {:>8} {:>6} {:>14}",
+                            e.logical_offset, e.length, e.writer, e.physical_offset
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("check", Some(logical)) | ("repair", Some(logical)) => {
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            let result = if cmd == "repair" {
+                fsck::repair(&backend, &cont)
+            } else {
+                fsck::check(&backend, &cont)
+            };
+            match result {
+                Ok(r) if r.is_clean() => {
+                    println!("{logical}: clean ({} writers, {} bytes)", r.writers.len(), r.logical_size);
+                    ExitCode::SUCCESS
+                }
+                Ok(r) => {
+                    for issue in &r.issues {
+                        println!("{logical}: {issue:?}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("du", Some(logical)) => {
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            match fsck::space_usage(&backend, &cont) {
+                Ok(u) => {
+                    println!("logical    : {} bytes", u.logical_bytes);
+                    println!("data logs  : {} bytes", u.data_bytes);
+                    println!("index logs : {} bytes", u.index_bytes);
+                    println!("flattened  : {} bytes", u.flattened_bytes);
+                    println!("dead       : {} bytes", u.dead_bytes);
+                    println!("physical   : {} bytes", u.physical_bytes());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("truncate", Some(logical)) => {
+            let Some(size) = args.get(4).and_then(|s| s.parse::<u64>().ok()) else {
+                return usage();
+            };
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            match plfs::truncate::truncate(&backend, &cont, size) {
+                Ok(()) => {
+                    println!("{logical}: truncated to {size} bytes");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("cat", Some(logical)) => {
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            let mut r = match ReadHandle::open(backend, cont) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let size = r.size();
+            let mut out = std::io::stdout().lock();
+            let mut off = 0u64;
+            while off < size {
+                let chunk = (size - off).min(1 << 20);
+                match r.read(off, chunk) {
+                    Ok(bytes) => {
+                        if out.write_all(&bytes).is_err() {
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("plfsctl: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                off += chunk;
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

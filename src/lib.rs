@@ -1,0 +1,14 @@
+//! Umbrella crate for the *Transformative I/O* reproduction.
+//!
+//! Re-exports every subsystem so examples and integration tests can address
+//! the whole stack through one dependency. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use formats;
+pub use harness;
+pub use mpio;
+pub use pfs;
+pub use plfs;
+pub use simcore;
+pub use simnet;
+pub use workloads;

@@ -1,0 +1,139 @@
+//! Property-based tests for the extension machinery: index compaction,
+//! fsck repair, and the gap-filling calendar resource.
+
+use plfs::{GlobalIndex, IndexEntry};
+use proptest::prelude::*;
+use simcore::{Calendar, Fifo, SimDuration, SimTime};
+use std::collections::HashMap;
+
+fn arb_entries() -> impl Strategy<Value = Vec<IndexEntry>> {
+    prop::collection::vec((0u64..5, 0u64..1500, 1u64..200, 1u64..40), 1..30).prop_map(|ws| {
+        let mut phys: HashMap<u64, u64> = HashMap::new();
+        ws.into_iter()
+            .map(|(w, off, len, ts)| {
+                let p = *phys.get(&w).unwrap_or(&0);
+                phys.insert(w, p + len);
+                IndexEntry {
+                    logical_offset: off,
+                    length: len,
+                    physical_offset: p,
+                    writer: w,
+                    timestamp: ts,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Byte-level resolution of an index over `[0, eof)`.
+fn resolve(idx: &GlobalIndex) -> Vec<(u64, Option<(u64, u64)>)> {
+    let eof = idx.eof();
+    let mut out = Vec::with_capacity(eof as usize);
+    for m in idx.lookup(0, eof) {
+        for i in 0..m.length {
+            let v = match m.source {
+                plfs::index::Source::Hole => None,
+                plfs::index::Source::Writer {
+                    writer,
+                    physical_offset,
+                } => Some((writer, physical_offset + i)),
+            };
+            out.push((m.logical_offset + i, v));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compaction_never_changes_resolution(entries in arb_entries()) {
+        let idx = GlobalIndex::from_entries(entries);
+        let mut compacted = idx.clone();
+        compacted.compact();
+        prop_assert!(compacted.span_count() <= idx.span_count());
+        prop_assert_eq!(compacted.eof(), idx.eof());
+        prop_assert_eq!(resolve(&compacted), resolve(&idx));
+    }
+
+    #[test]
+    fn compaction_is_idempotent(entries in arb_entries()) {
+        let mut once = GlobalIndex::from_entries(entries);
+        once.compact();
+        let mut twice = once.clone();
+        twice.compact();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn calendar_and_fifo_agree_for_sorted_arrivals(
+        mut jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..60),
+        servers in 1usize..4,
+    ) {
+        jobs.sort_by_key(|&(a, _)| a);
+        let mut cal = Calendar::new("c", servers);
+        let mut fifo = Fifo::new("f", servers);
+        for &(a, s) in &jobs {
+            let g1 = cal.acquire(SimTime(a), SimDuration(s));
+            let g2 = fifo.acquire(SimTime(a), SimDuration(s));
+            prop_assert_eq!(g1, g2);
+        }
+        prop_assert_eq!(cal.drained_at(), fifo.drained_at());
+        prop_assert_eq!(cal.busy_time(), fifo.busy_time());
+    }
+
+    #[test]
+    fn calendar_never_overlaps_work_on_one_server(
+        jobs in prop::collection::vec((0u64..5_000, 1u64..300), 1..50),
+    ) {
+        // Arbitrary (unsorted) arrivals on a single server: every grant
+        // must start at/after its arrival and the busy intervals must
+        // tile without overlap (total busy == sum of services).
+        let mut cal = Calendar::new("c", 1);
+        let mut grants = Vec::new();
+        for &(a, s) in &jobs {
+            let g = cal.acquire(SimTime(a), SimDuration(s));
+            prop_assert!(g.start >= SimTime(a));
+            prop_assert_eq!(g.finish.as_nanos() - g.start.as_nanos(), s);
+            grants.push((g.start.as_nanos(), g.finish.as_nanos()));
+        }
+        grants.sort_unstable();
+        for w in grants.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+    }
+}
+
+#[test]
+fn fsck_repair_is_idempotent_and_converges() {
+    use plfs::writer::{IndexPolicy, WriteHandle};
+    use plfs::{Backend, Container, Content, Federation, MemFs};
+    use std::sync::Arc;
+
+    let b = Arc::new(MemFs::new());
+    let cont = Container::new("/f", &Federation::single("/panfs", 3));
+    for w in 0..4u64 {
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose).unwrap();
+        for k in 0..6u64 {
+            h.write((k * 4 + w) * 128, &Content::synthetic(w, 128), k + 1)
+                .unwrap();
+        }
+        h.close(9).unwrap();
+    }
+    // Corrupt two index logs with different partial-record lengths.
+    for (w, junk) in [(1u64, 5usize), (3, 39)] {
+        let ipath = cont.index_log(&b, w).unwrap();
+        b.append(&ipath, &Content::bytes(vec![0xEE; junk])).unwrap();
+    }
+    let before = plfs::fsck::check(&b, &cont).unwrap();
+    assert_eq!(before.issues.len(), 2);
+    let after = plfs::fsck::repair(&b, &cont).unwrap();
+    assert!(after.is_clean(), "{:?}", after.issues);
+    // Repairing a clean container changes nothing.
+    let again = plfs::fsck::repair(&b, &cont).unwrap();
+    assert!(again.is_clean());
+    assert_eq!(again.logical_size, after.logical_size);
+    assert_eq!(again.spans, after.spans);
+}
