@@ -52,6 +52,32 @@ fn bench_lookup(c: &mut Criterion) {
     });
 }
 
+/// Reference build: one precedence-resolving insert per entry — the hot
+/// path the sorted-run bulk build replaced.
+fn build_via_insert(entries: &[IndexEntry]) -> GlobalIndex {
+    let mut g = GlobalIndex::new();
+    for e in entries {
+        g.insert(e);
+    }
+    g
+}
+
+/// The acceptance workload: a large strided checkpoint (64 writers ×
+/// 1,000 entries each), bulk build vs the per-entry overlay.
+fn bench_build_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build_large_64x1000");
+    let entries = strided_entries(64, 1000, 65536);
+    g.throughput(Throughput::Elements(entries.len() as u64));
+    g.sample_size(10);
+    g.bench_function("from_entries_bulk", |b| {
+        b.iter(|| GlobalIndex::from_entries(black_box(entries.clone())));
+    });
+    g.bench_function("per_entry_insert", |b| {
+        b.iter(|| build_via_insert(black_box(&entries)));
+    });
+    g.finish();
+}
+
 fn bench_merge(c: &mut Criterion) {
     // Group-leader merge: 4 partial indices of 64 writers each.
     let partials: Vec<GlobalIndex> = (0..4)
@@ -74,6 +100,74 @@ fn bench_merge(c: &mut Criterion) {
     });
 }
 
+/// Insert-based reference merge (what `merge` did before the zipper).
+fn merge_via_insert(mut acc: GlobalIndex, other: &GlobalIndex) -> GlobalIndex {
+    for e in other.to_entries() {
+        acc.insert(&e);
+    }
+    acc
+}
+
+/// Merge of two disjoint sorted indices — the Parallel Index Read group
+/// collapse on a strided checkpoint. Zipper vs per-span insertion.
+fn bench_merge_disjoint(c: &mut Criterion) {
+    let all = strided_entries(64, 1000, 65536);
+    let halves: Vec<GlobalIndex> = (0..2)
+        .map(|h| {
+            GlobalIndex::from_entries(all.iter().copied().filter(|e| e.writer % 2 == h))
+        })
+        .collect();
+    let mut g = c.benchmark_group("index_merge_disjoint_64x1000");
+    g.throughput(Throughput::Elements(all.len() as u64));
+    g.sample_size(10);
+    g.bench_function("zipper_merge", |b| {
+        b.iter(|| {
+            let mut m = halves[0].clone();
+            m.merge(black_box(&halves[1]));
+            black_box(m)
+        });
+    });
+    g.bench_function("per_span_insert", |b| {
+        b.iter(|| black_box(merge_via_insert(halves[0].clone(), black_box(&halves[1]))));
+    });
+    g.finish();
+}
+
+/// Hierarchical collapse of many per-shard partials, as threaded
+/// `acquire_index` and the Parallel Index Read hierarchy run it.
+fn bench_merge_all(c: &mut Criterion) {
+    let all = strided_entries(64, 1000, 65536);
+    let parts: Vec<GlobalIndex> = (0..8)
+        .map(|s| GlobalIndex::from_entries(all.iter().copied().filter(|e| e.writer % 8 == s)))
+        .collect();
+    let mut g = c.benchmark_group("index_merge_all_8_shards");
+    g.throughput(Throughput::Elements(all.len() as u64));
+    g.sample_size(10);
+    g.bench_function("hierarchical", |b| {
+        b.iter(|| black_box(GlobalIndex::merge_all(black_box(parts.clone()))));
+    });
+    g.finish();
+}
+
+fn bench_lookup_coalesced(c: &mut Criterion) {
+    // Contiguous single-writer file: coalescing collapses the whole range
+    // into one mapping.
+    let entries: Vec<IndexEntry> = (0..4096u64)
+        .map(|k| IndexEntry {
+            logical_offset: k * 4096,
+            length: 4096,
+            physical_offset: k * 4096,
+            writer: 0,
+            timestamp: 1,
+        })
+        .collect();
+    let idx = GlobalIndex::from_entries(entries);
+    let eof = idx.eof();
+    c.bench_function("index_lookup_coalesced_full", |b| {
+        b.iter(|| black_box(idx.lookup_coalesced(0, eof)));
+    });
+}
+
 fn bench_serialization(c: &mut Criterion) {
     let entries = strided_entries(64, 100, 65536);
     let bytes = IndexEntry::encode_all(&entries);
@@ -91,8 +185,12 @@ fn bench_serialization(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_build,
+    bench_build_large,
     bench_lookup,
+    bench_lookup_coalesced,
     bench_merge,
+    bench_merge_disjoint,
+    bench_merge_all,
     bench_serialization
 );
 criterion_main!(benches);

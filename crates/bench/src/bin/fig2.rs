@@ -46,7 +46,8 @@ fn main() {
 
     // The three file-system profiles of the original study, all attached
     // to the production cluster geometry.
-    let profiles: Vec<(&str, fn(usize) -> PfsParams)> = vec![
+    type ProfileFn = fn(usize) -> PfsParams;
+    let profiles: Vec<(&str, ProfileFn)> = vec![
         ("PanFS", PfsParams::panfs_production),
         ("Lustre", PfsParams::lustre_like),
         ("GPFS", PfsParams::gpfs_like),

@@ -55,6 +55,31 @@ fn main() {
         println!("# max PLFS speedup: {:.2}x at {} procs\n", best.1, best.0);
     }
 
+    // Parallel Index Read's merge stage, measured on this host: one
+    // partial index per 64-writer group (the driver's default group
+    // size), collapsed through the hierarchical merge.
+    let mut merged = harness::Series::new("hierarchical merge_all");
+    for &n in &xs {
+        let all = plfs_bench::agg_kernel::strided_entries(n as u64, 100, 1 << 20);
+        let parts: Vec<plfs::GlobalIndex> = all
+            .chunks(64 * 100)
+            .map(|c| plfs::GlobalIndex::from_entries(c.to_vec()))
+            .collect();
+        merged.push_value(
+            n as u64,
+            plfs_bench::agg_kernel::time_s(3, || plfs::GlobalIndex::merge_all(parts.clone())),
+        );
+    }
+    println!(
+        "{}",
+        render_figure(
+            "Figure 5x: measured Parallel Index Read merge stage (this host)",
+            "procs",
+            "seconds",
+            &[merged]
+        )
+    );
+
     println!("# Paper shapes: 5a direct wins small scale, PLFS scales better; 5b PLFS");
     println!("# up to 8x below ~300 procs, direct overtakes at large scale (strong");
     println!("# scaling: index time dominates); 5c PLFS up to 4.5x everywhere; 5d PLFS");

@@ -270,12 +270,65 @@ impl Container {
 
     /// Aggregate a global index by reading every writer's index log — the
     /// "Original PLFS Design" path (every reader does all the work itself).
+    ///
+    /// Serial reference implementation; [`Container::aggregate_index_parallel`]
+    /// produces the identical span set across a thread pool.
     pub fn aggregate_index<B: Backend>(&self, b: &B) -> Result<GlobalIndex> {
         let mut entries = Vec::new();
         for w in self.list_writers(b)? {
             entries.extend(self.read_index_log(b, w)?);
         }
         Ok(GlobalIndex::from_entries(entries))
+    }
+
+    /// Aggregate index logs across a bounded `std::thread::scope` pool —
+    /// the paper's Parallel Index Read choreography run intra-process.
+    /// Writers are sharded over at most `max_threads` threads; each shard
+    /// reads its logs and builds a partial [`GlobalIndex`], and the
+    /// partials collapse through the hierarchical [`GlobalIndex::merge_all`]
+    /// (disjoint shards — the checkpoint case — zipper linearly at every
+    /// level). The result equals [`Container::aggregate_index`] exactly.
+    pub fn aggregate_index_parallel<B: Backend>(
+        &self,
+        b: &B,
+        max_threads: usize,
+    ) -> Result<GlobalIndex> {
+        let writers = self.list_writers(b)?;
+        let threads = max_threads.clamp(1, writers.len().max(1));
+        if threads <= 1 {
+            // Serial shard, but reuse the writer listing already paid for
+            // rather than delegating to `aggregate_index` (which would
+            // re-list and double the metadata ops).
+            let mut entries = Vec::new();
+            for &w in &writers {
+                entries.extend(self.read_index_log(b, w)?);
+            }
+            return Ok(GlobalIndex::from_entries(entries));
+        }
+        let shard_size = writers.len().div_ceil(threads);
+        let partials: Vec<Result<GlobalIndex>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = writers
+                .chunks(shard_size)
+                .map(|shard| {
+                    scope.spawn(move || -> Result<GlobalIndex> {
+                        let mut entries = Vec::new();
+                        for &w in shard {
+                            entries.extend(self.read_index_log(b, w)?);
+                        }
+                        Ok(GlobalIndex::from_entries(entries))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index aggregation thread panicked"))
+                .collect()
+        });
+        let mut parts = Vec::with_capacity(partials.len());
+        for p in partials {
+            parts.push(p?);
+        }
+        Ok(GlobalIndex::merge_all(parts))
     }
 
     /// Write the flattened global index (Index Flatten, done at write
@@ -310,11 +363,18 @@ impl Container {
     }
 
     /// Preferred index acquisition for a lone (non-collective) reader:
-    /// the flattened index when present, else full aggregation.
+    /// the flattened index when present, else threaded aggregation of the
+    /// per-writer logs, compacted before use. Compaction is applied only
+    /// here — at the terminal aggregation point — never to partial indices
+    /// that may still be merged (see the complexity notes in DESIGN.md).
     pub fn acquire_index<B: Backend>(&self, b: &B) -> Result<GlobalIndex> {
         match self.read_flattened(b)? {
             Some(idx) => Ok(idx),
-            None => self.aggregate_index(b),
+            None => {
+                let mut idx = self.aggregate_index_parallel(b, default_aggregation_threads())?;
+                idx.compact();
+                Ok(idx)
+            }
         }
     }
 
@@ -341,6 +401,16 @@ impl Container {
     pub fn logical_name(&self) -> &str {
         basename(&self.logical)
     }
+}
+
+/// Pool width for threaded index aggregation: bounded so a reader on a
+/// login node doesn't fan out past the machine, capped because log reads
+/// on the in-process backends stop scaling long before core counts do.
+fn default_aggregation_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 #[cfg(test)]
@@ -453,6 +523,64 @@ mod tests {
         assert_eq!(c.read_flattened(&b).unwrap(), Some(idx.clone()));
         // acquire_index prefers the flattened copy.
         assert_eq!(c.acquire_index(&b).unwrap(), idx);
+    }
+
+    /// Populate `writers` index logs with a strided pattern and return the
+    /// entry count per writer.
+    fn seed_index_logs(b: &MemFs, c: &Container, writers: u64, blocks: u64) {
+        for w in 0..writers {
+            c.ensure_subdir(b, c.subdir_for(w)).unwrap();
+            let entries: Vec<IndexEntry> = (0..blocks)
+                .map(|blk| IndexEntry {
+                    logical_offset: (blk * writers + w) * 256,
+                    length: 256,
+                    physical_offset: blk * 256,
+                    writer: w,
+                    timestamp: 1 + (blk % 3),
+                })
+                .collect();
+            let ipath = c.index_log(b, w).unwrap();
+            b.create(&ipath, true).unwrap();
+            b.append(&ipath, &Content::bytes(IndexEntry::encode_all(&entries)))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_aggregation_equals_serial() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        seed_index_logs(&b, &c, 13, 7);
+        let serial = c.aggregate_index(&b).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = c.aggregate_index_parallel(&b, threads).unwrap();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_aggregation_of_empty_container_is_empty() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        assert!(c.aggregate_index_parallel(&b, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn acquire_index_compacts_terminal_aggregation() {
+        let b = MemFs::new();
+        let c = Container::new("/f", &fed1());
+        c.create(&b).unwrap();
+        // One writer, contiguous segments: aggregation yields 6 spans that
+        // compact to 1.
+        seed_index_logs(&b, &c, 1, 6);
+        let acquired = c.acquire_index(&b).unwrap();
+        let mut expect = c.aggregate_index(&b).unwrap();
+        assert_eq!(expect.span_count(), 6);
+        expect.compact();
+        assert_eq!(acquired, expect);
+        assert_eq!(acquired.span_count(), 1);
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn synth_bytes(seed: u64, start: u64, len: u64) -> Vec<u8> {
     let mut pos = start;
     let end = start + len;
     // Fill word-at-a-time where aligned; per-byte at the edges.
-    while pos < end && pos % 8 != 0 {
+    while pos < end && !pos.is_multiple_of(8) {
         out.push(synth_byte(seed, pos));
         pos += 1;
     }

@@ -79,7 +79,7 @@ impl IndexEntry {
 
     /// Deserialize a batch; the byte length must be a whole number of records.
     pub fn decode_all(bytes: &[u8]) -> Result<Vec<IndexEntry>> {
-        if bytes.len() % INDEX_RECORD_BYTES as usize != 0 {
+        if !bytes.len().is_multiple_of(INDEX_RECORD_BYTES as usize) {
             return Err(PlfsError::CorruptContainer(format!(
                 "index log length {} not a multiple of record size",
                 bytes.len()
@@ -157,8 +157,47 @@ impl GlobalIndex {
     }
 
     /// Build from unordered entries across any number of writers.
+    ///
+    /// Detects the dominant checkpoint shape — entries pairwise disjoint in
+    /// logical space (N-1 strided writes never overlap) — and bulk-builds
+    /// the interval map from one sorted run, skipping the per-entry overlay
+    /// with its blocker scans and span splitting. Genuinely overlapping
+    /// workloads fall back to the precedence-resolving overlay path.
+    /// Both paths produce the identical span set.
     pub fn from_entries<I: IntoIterator<Item = IndexEntry>>(entries: I) -> Self {
-        let mut v: Vec<IndexEntry> = entries.into_iter().collect();
+        let mut v: Vec<IndexEntry> = entries.into_iter().filter(|e| e.length > 0).collect();
+        // Probe for the disjoint shape on a sorted view of the entries; `v`
+        // itself must stay in issue order so that the fallback's stable
+        // precedence sort breaks (timestamp, writer) ties by issue order,
+        // exactly like overlaying one entry at a time.
+        let mut order: Vec<u32> = (0..v.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| v[i as usize].logical_offset);
+        let disjoint = order.windows(2).all(|w| {
+            let a = &v[w[0] as usize];
+            let b = &v[w[1] as usize];
+            a.logical_offset + a.length <= b.logical_offset
+        });
+        if disjoint {
+            // Sorted + disjoint: each entry is already the winner of its
+            // range, so the spans can be assembled in one ordered pass.
+            return GlobalIndex {
+                spans: order
+                    .into_iter()
+                    .map(|i| {
+                        let e = &v[i as usize];
+                        (
+                            e.logical_offset,
+                            Span {
+                                len: e.length,
+                                writer: e.writer,
+                                phys: e.physical_offset,
+                                ts: e.timestamp,
+                            },
+                        )
+                    })
+                    .collect(),
+            };
+        }
         // Sort so later-precedence entries are overlaid last.
         v.sort_by_key(|e| (e.timestamp, e.writer));
         let mut idx = GlobalIndex::new();
@@ -286,23 +325,112 @@ impl GlobalIndex {
             .range((
                 std::ops::Bound::Excluded(start),
                 std::ops::Bound::Excluded(end),
-            ))
-            .map(|(s, sp)| (s, sp));
+            ));
         pred.into_iter().chain(rest)
     }
 
     /// Merge another index into this one (used by Parallel Index Read group
     /// leaders). Order-independent: precedence decides, not merge order.
+    ///
+    /// When the two indices cover disjoint logical ranges — the common case
+    /// for partial indices built from different writers of a strided
+    /// checkpoint — the merge is a linear two-pointer zipper over the two
+    /// sorted span runs. Overlapping indices fall back to per-span
+    /// precedence-resolving insertion; both paths yield the same span set.
     pub fn merge(&mut self, other: &GlobalIndex) {
-        for (&start, span) in &other.spans {
-            self.insert(&IndexEntry {
-                logical_offset: start,
-                length: span.len,
-                physical_offset: span.phys,
-                writer: span.writer,
-                timestamp: span.ts,
-            });
+        if other.spans.is_empty() {
+            return;
         }
+        if self.spans.is_empty() {
+            self.spans = other.spans.clone();
+            return;
+        }
+        if self.disjoint_from(other) {
+            let mine = std::mem::take(&mut self.spans);
+            let mut merged: Vec<(u64, Span)> = Vec::with_capacity(mine.len() + other.spans.len());
+            let mut a = mine.into_iter().peekable();
+            let mut b = other.spans.iter().map(|(&s, sp)| (s, *sp)).peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(&(sa, _)), Some(&(sb, _))) => {
+                        if sa <= sb {
+                            merged.push(a.next().expect("peeked"));
+                        } else {
+                            merged.push(b.next().expect("peeked"));
+                        }
+                    }
+                    (Some(_), None) => {
+                        merged.extend(a);
+                        break;
+                    }
+                    (None, _) => {
+                        merged.extend(b);
+                        break;
+                    }
+                }
+            }
+            self.spans = merged.into_iter().collect();
+        } else {
+            for (&start, span) in &other.spans {
+                self.insert(&IndexEntry {
+                    logical_offset: start,
+                    length: span.len,
+                    physical_offset: span.phys,
+                    writer: span.writer,
+                    timestamp: span.ts,
+                });
+            }
+        }
+    }
+
+    /// Linear two-pointer test: do `self` and `other` cover disjoint
+    /// logical ranges?
+    fn disjoint_from(&self, other: &GlobalIndex) -> bool {
+        let mut a = self.spans.iter().peekable();
+        let mut b = other.spans.iter().peekable();
+        while let (Some(&(&sa, pa)), Some(&(&sb, pb))) = (a.peek(), b.peek()) {
+            if sa + pa.len <= sb {
+                a.next();
+            } else if sb + pb.len <= sa {
+                b.next();
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Merge many partial indices into one, hierarchically: pairwise
+    /// rounds, halving the population each time — the Parallel Index Read
+    /// group tree run in-process. Each span participates in O(log k)
+    /// merges instead of being re-inserted into one ever-growing
+    /// accumulator k−1 times, and disjoint pairs (the checkpoint case)
+    /// take the linear zipper at every level.
+    pub fn merge_all<I: IntoIterator<Item = GlobalIndex>>(parts: I) -> GlobalIndex {
+        let mut layer: Vec<GlobalIndex> = parts.into_iter().collect();
+        if layer.is_empty() {
+            return GlobalIndex::new();
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    // Merge the smaller into the larger: the zipper clones
+                    // `other`'s spans, the fallback re-inserts them.
+                    if b.span_count() > a.span_count() {
+                        let mut b = b;
+                        b.merge(&a);
+                        next.push(b);
+                        continue;
+                    }
+                    a.merge(&b);
+                }
+                next.push(a);
+            }
+            layer = next;
+        }
+        layer.pop().expect("at least one part")
     }
 
     /// Resolve a logical read into data-log extents and holes.
@@ -373,6 +501,38 @@ impl GlobalIndex {
                 }
             }
         }
+        out
+    }
+
+    /// Like [`GlobalIndex::lookup`], but coalesces adjacent mappings a
+    /// reader can serve with one backend `read_at`: consecutive pieces from
+    /// the same writer whose physical offsets are contiguous, and runs of
+    /// holes. A strided checkpoint read that tiles into hundreds of
+    /// per-block mappings collapses to one mapping per writer run, so the
+    /// read path issues proportionally fewer backend operations. The
+    /// BTreeMap is walked once; coalescing is a linear in-place pass.
+    pub fn lookup_coalesced(&self, offset: u64, len: u64) -> Vec<Mapping> {
+        let mut out = self.lookup(offset, len);
+        out.dedup_by(|next, prev| {
+            let mergeable = match (prev.source, next.source) {
+                (Source::Hole, Source::Hole) => true,
+                (
+                    Source::Writer {
+                        writer: pw,
+                        physical_offset: pp,
+                    },
+                    Source::Writer {
+                        writer: nw,
+                        physical_offset: np,
+                    },
+                ) => pw == nw && pp + prev.length == np,
+                _ => false,
+            };
+            if mergeable {
+                prev.length += next.length;
+            }
+            mergeable
+        });
         out
     }
 
@@ -786,5 +946,141 @@ mod tests {
         idx.insert(&e(5, 0, 0, 1, 1));
         assert!(idx.is_empty());
         assert_eq!(idx.eof(), 0);
+        // The bulk-build fast path must filter them too.
+        let bulk = GlobalIndex::from_entries([e(5, 0, 0, 1, 1), e(0, 4, 0, 2, 1)]);
+        assert_eq!(bulk.span_count(), 1);
+    }
+
+    /// Slow-path reference merge: per-span precedence-resolving insert,
+    /// exactly what `merge` did before the zipper fast path existed.
+    fn merge_by_insert(dst: &mut GlobalIndex, src: &GlobalIndex) {
+        for entry in src.to_entries() {
+            dst.insert(&entry);
+        }
+    }
+
+    #[test]
+    fn zipper_merge_of_disjoint_indices_matches_insert_path() {
+        // Interleaved strided halves: even blocks in one index, odd in the
+        // other — fully disjoint, so merge takes the zipper.
+        let evens = GlobalIndex::from_entries((0..64u64).map(|b| e(2 * b * 100, 100, b * 100, 1, 1)));
+        let odds =
+            GlobalIndex::from_entries((0..64u64).map(|b| e((2 * b + 1) * 100, 100, b * 100, 2, 1)));
+        let mut fast = evens.clone();
+        fast.merge(&odds);
+        let mut slow = evens.clone();
+        merge_by_insert(&mut slow, &odds);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.span_count(), 128);
+        assert_eq!(fast.eof(), 128 * 100);
+    }
+
+    #[test]
+    fn overlapping_merge_falls_back_to_precedence_resolution() {
+        let base = GlobalIndex::from_entries([e(0, 100, 0, 1, 1)]);
+        let over = GlobalIndex::from_entries([e(40, 20, 500, 2, 2), e(200, 10, 0, 2, 2)]);
+        let mut fast = base.clone();
+        fast.merge(&over);
+        let mut slow = base.clone();
+        merge_by_insert(&mut slow, &over);
+        assert_eq!(fast, slow);
+        // The overwrite split base's span: [0,40) [40,60) [60,100) [200,210).
+        assert_eq!(fast.span_count(), 4);
+    }
+
+    #[test]
+    fn merge_all_matches_bulk_build() {
+        // 8 writers × 8 strided blocks, one partial index per writer —
+        // the Parallel Index Read group tree collapsed in-process.
+        let mut all = Vec::new();
+        let mut parts = Vec::new();
+        for w in 0..8u64 {
+            let entries: Vec<IndexEntry> =
+                (0..8u64).map(|b| e((b * 8 + w) * 512, 512, b * 512, w, 1)).collect();
+            all.extend(entries.iter().copied());
+            parts.push(GlobalIndex::from_entries(entries));
+        }
+        let merged = GlobalIndex::merge_all(parts);
+        assert_eq!(merged, GlobalIndex::from_entries(all));
+        assert_eq!(GlobalIndex::merge_all(std::iter::empty()), GlobalIndex::new());
+    }
+
+    #[test]
+    fn merge_all_resolves_overlaps_like_serial_merge() {
+        let parts = vec![
+            GlobalIndex::from_entries([e(0, 100, 0, 1, 1)]),
+            GlobalIndex::from_entries([e(40, 20, 0, 2, 2)]),
+            GlobalIndex::from_entries([e(50, 100, 0, 3, 3)]),
+            GlobalIndex::from_entries([e(10, 10, 0, 4, 4)]),
+        ];
+        let mut serial = GlobalIndex::new();
+        for p in &parts {
+            serial.merge(p);
+        }
+        assert_eq!(GlobalIndex::merge_all(parts), serial);
+    }
+
+    #[test]
+    fn lookup_coalesced_merges_contiguous_runs_and_holes() {
+        // Writer 1's blocks land back-to-back in its log; writer 2 breaks
+        // the run; then a hole split across two unwritten gaps.
+        let idx = GlobalIndex::from_entries([
+            e(0, 10, 0, 1, 1),
+            e(10, 10, 10, 1, 1),
+            e(20, 10, 20, 1, 1),
+            e(30, 10, 0, 2, 1),
+            e(60, 10, 30, 1, 1),
+        ]);
+        let m = idx.lookup_coalesced(0, 80);
+        assert_eq!(
+            m,
+            vec![
+                Mapping {
+                    logical_offset: 0,
+                    length: 30,
+                    source: Source::Writer {
+                        writer: 1,
+                        physical_offset: 0
+                    }
+                },
+                Mapping {
+                    logical_offset: 30,
+                    length: 10,
+                    source: Source::Writer {
+                        writer: 2,
+                        physical_offset: 0
+                    }
+                },
+                Mapping {
+                    logical_offset: 40,
+                    length: 20,
+                    source: Source::Hole
+                },
+                Mapping {
+                    logical_offset: 60,
+                    length: 10,
+                    source: Source::Writer {
+                        writer: 1,
+                        physical_offset: 30
+                    }
+                },
+                Mapping {
+                    logical_offset: 70,
+                    length: 10,
+                    source: Source::Hole
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_coalesced_does_not_merge_discontiguous_phys() {
+        // Same writer, adjacent logical blocks, but a gap in the data log
+        // (an overwritten region was cut out): two separate reads.
+        let idx = GlobalIndex::from_entries([e(0, 10, 0, 1, 1), e(10, 10, 50, 1, 1)]);
+        assert_eq!(idx.lookup_coalesced(0, 20).len(), 2);
+        // And coalesced lookups tile exactly like plain lookups.
+        let total: u64 = idx.lookup_coalesced(0, 20).iter().map(|m| m.length).sum();
+        assert_eq!(total, 20);
     }
 }

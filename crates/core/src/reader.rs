@@ -20,9 +20,10 @@
 use crate::backend::Backend;
 use crate::container::Container;
 use crate::content::Content;
-use crate::error::Result;
+use crate::error::{PlfsError, Result};
 use crate::index::{GlobalIndex, Source, WriterId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An open-for-read PLFS file.
 pub struct ReadHandle<B: Backend> {
@@ -30,8 +31,9 @@ pub struct ReadHandle<B: Backend> {
     container: Container,
     index: GlobalIndex,
     /// Resolved data-log paths, cached so repeated reads skip metalink
-    /// resolution.
-    log_paths: HashMap<WriterId, String>,
+    /// resolution. `Arc<str>` so handing a path to each mapping is a
+    /// refcount bump, not a string copy.
+    log_paths: HashMap<WriterId, Arc<str>>,
 }
 
 impl<B: Backend> ReadHandle<B> {
@@ -71,12 +73,12 @@ impl<B: Backend> ReadHandle<B> {
         &self.container
     }
 
-    fn log_path(&mut self, writer: WriterId) -> Result<String> {
+    fn log_path(&mut self, writer: WriterId) -> Result<Arc<str>> {
         if let Some(p) = self.log_paths.get(&writer) {
-            return Ok(p.clone());
+            return Ok(Arc::clone(p));
         }
-        let p = self.container.data_log(&self.backend, writer)?;
-        self.log_paths.insert(writer, p.clone());
+        let p: Arc<str> = self.container.data_log(&self.backend, writer)?.into();
+        self.log_paths.insert(writer, Arc::clone(&p));
         Ok(p)
     }
 
@@ -99,9 +101,15 @@ impl<B: Backend> ReadHandle<B> {
     /// Read `len` logical bytes at `offset` as content pieces (keeps
     /// synthetic extents symbolic — this is what scale tests use to
     /// verify terabyte-logical files without materializing them).
+    ///
+    /// Mappings are resolved with one index walk and coalesced: adjacent
+    /// pieces from the same writer whose bytes are contiguous in its data
+    /// log become a single backend `read_at`, so a strided checkpoint read
+    /// costs one backend operation per writer run rather than per block.
     pub fn read_pieces(&mut self, offset: u64, len: u64) -> Result<Vec<Content>> {
-        let mut pieces = Vec::new();
-        for m in self.index.lookup(offset, len) {
+        let mappings = self.index.lookup_coalesced(offset, len);
+        let mut pieces = Vec::with_capacity(mappings.len());
+        for m in mappings {
             match m.source {
                 Source::Hole => pieces.push(Content::Zeros { len: m.length }),
                 Source::Writer {
@@ -110,11 +118,17 @@ impl<B: Backend> ReadHandle<B> {
                 } => {
                     let path = self.log_path(writer)?;
                     let c = self.backend.read_at(&path, physical_offset, m.length)?;
-                    debug_assert_eq!(
-                        c.len(),
-                        m.length,
-                        "index pointed past data log end: {path} @{physical_offset}"
-                    );
+                    if c.len() != m.length {
+                        // A short read here means the index references
+                        // bytes the data log doesn't have (truncated or
+                        // corrupted droppings) — surface it rather than
+                        // silently returning truncated data.
+                        return Err(PlfsError::CorruptContainer(format!(
+                            "data log {path} short read: wanted {} bytes at {physical_offset}, got {}",
+                            m.length,
+                            c.len()
+                        )));
+                    }
                     pieces.push(c);
                 }
             }
@@ -182,6 +196,7 @@ mod tests {
 
     #[test]
     fn flattened_and_aggregated_reads_agree() {
+        let total = 3 * 5 * 32u64;
         let mk = |flatten: bool| {
             let b = Arc::new(MemFs::new());
             let c = Container::new("/f", &Federation::single("/ns", 2));
@@ -200,10 +215,31 @@ mod tests {
                     h.close(9).unwrap();
                 }
             }
-            let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
-            r.read(0, 3 * 5 * 32).unwrap()
+            (b, c)
         };
-        assert_eq!(mk(true), mk(false));
+        let (fb, fc) = mk(true);
+        let flat = ReadHandle::open(Arc::clone(&fb), fc).unwrap().read(0, total).unwrap();
+
+        let (ab, ac) = mk(false);
+        // Default open path (threaded aggregation + terminal compaction).
+        let open = ReadHandle::open(Arc::clone(&ab), ac.clone()).unwrap().read(0, total).unwrap();
+        // Serial uncompacted, threaded, and explicitly compacted indices
+        // must all serve identical bytes.
+        let serial = ac.aggregate_index(&ab).unwrap();
+        let threaded = ac.aggregate_index_parallel(&ab, 4).unwrap();
+        assert_eq!(threaded, serial, "threaded aggregation diverged");
+        let mut compacted = serial.clone();
+        compacted.compact();
+        let read_with = |idx: GlobalIndex| {
+            ReadHandle::open_with_index(Arc::clone(&ab), ac.clone(), idx)
+                .unwrap()
+                .read(0, total)
+                .unwrap()
+        };
+        assert_eq!(flat, open);
+        assert_eq!(flat, read_with(serial));
+        assert_eq!(flat, read_with(threaded));
+        assert_eq!(flat, read_with(compacted));
     }
 
     #[test]
@@ -229,9 +265,71 @@ mod tests {
         }
         let mut merged = g1;
         merged.merge(&g2);
+        // The hierarchical merge must equal both the serial and threaded
+        // aggregations structurally.
+        assert_eq!(merged, c.aggregate_index(&b).unwrap());
+        assert_eq!(merged, c.aggregate_index_parallel(&b, 3).unwrap());
+        let mut compacted = merged.clone();
+        compacted.compact();
         let mut r1 = ReadHandle::open_with_index(Arc::clone(&b), c.clone(), merged).unwrap();
         let mut r2 = ReadHandle::open(Arc::clone(&b), c.clone()).unwrap();
-        assert_eq!(r1.read(0, 128).unwrap(), r2.read(0, 128).unwrap());
+        let mut r3 = ReadHandle::open_with_index(Arc::clone(&b), c.clone(), compacted).unwrap();
+        let want = r2.read(0, 128).unwrap();
+        assert_eq!(r1.read(0, 128).unwrap(), want);
+        assert_eq!(r3.read(0, 128).unwrap(), want);
+    }
+
+    #[test]
+    fn coalesced_read_issues_one_backend_op_per_run() {
+        use crate::backend::{BackendOp, TracingBackend};
+        let traced = Arc::new(TracingBackend::new(MemFs::new()));
+        let c = Container::new("/f", &Federation::single("/ns", 2));
+        let mut h =
+            WriteHandle::open(Arc::clone(&traced), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        for k in 0..4u64 {
+            h.write(k * 64, &Content::synthetic(0, (k + 1) * 64).slice(k * 64, 64), k + 1)
+                .unwrap();
+        }
+        h.close(9).unwrap();
+        // Inject the uncompacted index so coalescing (not compaction) is
+        // what's under test.
+        let idx = c.aggregate_index(&traced).unwrap();
+        assert_eq!(idx.span_count(), 4);
+        let mut r = ReadHandle::open_with_index(Arc::clone(&traced), c, idx).unwrap();
+        traced.take_trace();
+        let got = r.read(0, 256).unwrap();
+        assert_eq!(got, Content::synthetic(0, 256).materialize());
+        let data_reads = traced
+            .take_trace()
+            .iter()
+            .filter(|op| {
+                matches!(op, BackendOp::ReadAt { path, .. } if path.contains("dropping.data"))
+            })
+            .count();
+        assert_eq!(data_reads, 1, "4 contiguous spans must coalesce into one read_at");
+    }
+
+    #[test]
+    fn short_data_log_surfaces_corruption() {
+        use crate::error::PlfsError;
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 1));
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        h.write(0, &Content::bytes(vec![7; 100]), 1).unwrap();
+        h.close(2).unwrap();
+        // Truncate the data log behind the index's back.
+        let dpath = c.data_log(&b, 0).unwrap();
+        b.unlink(&dpath).unwrap();
+        b.create(&dpath, true).unwrap();
+        b.append(&dpath, &Content::bytes(vec![7; 10])).unwrap();
+        let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
+        match r.read(0, 100) {
+            Err(PlfsError::CorruptContainer(msg)) => {
+                assert!(msg.contains("short read"), "unexpected message: {msg}")
+            }
+            other => panic!("expected CorruptContainer, got {other:?}"),
+        }
     }
 
     #[test]

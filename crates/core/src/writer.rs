@@ -220,14 +220,17 @@ pub fn flatten_close<B: Backend>(
     timestamp: u64,
 ) -> Result<bool> {
     let all_can_flatten = handles.iter().all(|h| h.can_flatten());
-    let mut entries: Vec<IndexEntry> = Vec::new();
+    // Gather one partial index per writer (each writer's own entries are
+    // disjoint sorted runs, so the partial build and the hierarchical
+    // merge below both take the linear zipper path).
+    let mut partials: Vec<GlobalIndex> = Vec::with_capacity(handles.len());
     for h in handles {
-        entries.extend(h.close(timestamp)?);
+        partials.push(GlobalIndex::from_entries(h.close(timestamp)?));
     }
     if !all_can_flatten {
         return Ok(false);
     }
-    let mut global = GlobalIndex::from_entries(entries);
+    let mut global = GlobalIndex::merge_all(partials);
     // Compact before persisting: segmented checkpoints collapse to one
     // span per writer, shrinking the flattened index (and the broadcast
     // every reader pays for it) by the transfer-count factor.

@@ -5,11 +5,10 @@
 //! mean and stddev). `EXPERIMENTS.md` records these outputs against the
 //! paper's curves.
 
-use serde::Serialize;
 use simcore::Summary;
 
 /// One data point of a series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     pub x: u64,
     pub mean: f64,
@@ -17,7 +16,7 @@ pub struct Point {
 }
 
 /// One plotted line.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     pub label: String,
     pub points: Vec<Point>,

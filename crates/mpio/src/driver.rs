@@ -2,8 +2,8 @@
 //!
 //! A [`Driver`] is the simulation-side analogue of an ADIO driver: the
 //! execution loop hands it one logical op at a time for one rank, and it
-//! charges virtual time against the shared [`Ctx`] (simulated file system
-//! + interconnect). Collective ops block until every rank arrives, then
+//! charges virtual time against the shared [`Ctx`] (simulated file
+//! system plus interconnect). Collective ops block until every rank arrives, then
 //! the driver computes per-rank release times.
 
 use crate::layout::Layout;

@@ -59,6 +59,13 @@ pub struct PlfsDriverConfig {
     pub flatten_threshold_entries: u64,
     /// Group size for Parallel Index Read's hierarchy.
     pub group_size: usize,
+    /// CPU cost of merging one index entry into a global index. The
+    /// middleware's sorted-run zipper makes aggregation linear in entry
+    /// count, so every strategy is charged `entries × merge_ns_per_entry`
+    /// wherever it builds a global index: each Original reader for the
+    /// whole file, the Index Flatten root at close, and the Parallel
+    /// Index Read hierarchy at open.
+    pub merge_ns_per_entry: u64,
 }
 
 impl PlfsDriverConfig {
@@ -68,6 +75,7 @@ impl PlfsDriverConfig {
             strategy,
             flatten_threshold_entries: 1 << 20,
             group_size: 64,
+            merge_ns_per_entry: 20,
         }
     }
 }
@@ -111,6 +119,8 @@ enum Phys {
     Unlink { ns: usize, path: String },
     AppendBatch { path: String, reps: u64, len: u64 },
     ReadBatch { path: String, offset: u64, total: u64 },
+    /// Client-side CPU work (e.g. index merging) — no PFS traffic.
+    Cpu { nanos: u64 },
 }
 
 /// The PLFS simulation driver.
@@ -421,6 +431,7 @@ impl PlfsDriver {
                 offset,
                 total,
             } => ctx.pfs.read_batch(node, path, *offset, *total, 1, now),
+            Phys::Cpu { nanos } => now + simcore::SimDuration::from_nanos(*nanos),
         }
     }
 
@@ -502,7 +513,7 @@ impl Driver for PlfsDriver {
                 let first_write = self
                     .files
                     .get(&logical)
-                    .map_or(true, |f| !f.writers.contains_key(&(rank as u64)));
+                    .is_none_or(|f| !f.writers.contains_key(&(rank as u64)));
                 if first_write {
                     let plan = self.plan_droppings(&logical, rank as u64);
                     t = Self::exec_plan_chained(ctx, node, &plan, t);
@@ -554,6 +565,12 @@ impl Driver for PlfsDriver {
                             for w in writers {
                                 plan.extend(d.plan_read_index(&logical, w));
                             }
+                            // Every Original reader merges the whole
+                            // global index by itself.
+                            plan.push(Phys::Cpu {
+                                nanos: d.file_sim(&logical).total_entries()
+                                    * d.cfg.merge_ns_per_entry,
+                            });
                             plan
                         })
                     }
@@ -639,7 +656,13 @@ impl Driver for PlfsDriver {
                 }
                 let total_entries = fs.total_entries();
                 let per_rank_bytes = total_entries * INDEX_RECORD_BYTES / n.max(1) as u64;
-                let gathered = sync + ctx.net.gather(n, per_rank_bytes);
+                // The root zips the gathered per-writer runs into one
+                // flattened index before persisting it.
+                let gathered = sync
+                    + ctx.net.gather(n, per_rank_bytes)
+                    + simcore::SimDuration::from_nanos(
+                        total_entries * self.cfg.merge_ns_per_entry,
+                    );
                 let cns = self.container_ns(&logical);
                 let fpath = self.flattened_path(&logical);
                 let t = ctx.pfs.create_file(cns, &fpath, gathered);
@@ -703,7 +726,13 @@ impl Driver for PlfsDriver {
                             per_rank_bytes,
                             global_bytes,
                         );
-                        vec![worst + hier; n]
+                        // Merge CPU rides the hierarchy: the top-level
+                        // zipper over all entries dominates the partial
+                        // builds below it.
+                        let merge = simcore::SimDuration::from_nanos(
+                            total_entries * self.cfg.merge_ns_per_entry,
+                        );
+                        vec![worst + hier + merge; n]
                     }
                 }
             }
@@ -876,6 +905,25 @@ mod tests {
         assert!(
             flat_close > orig_close,
             "flatten close {flat_close} vs original {orig_close}"
+        );
+    }
+
+    #[test]
+    fn merge_cpu_cost_is_charged_at_aggregation_points() {
+        let mk = |ns_per_entry: u64| {
+            let prog = checkpoint_restart(8, 64 * 1024, 8);
+            let mut ctx = quiet_ctx(8, 16, 1);
+            let mut cfg = PlfsDriverConfig::new(fed(1, 4), ReadStrategy::Original);
+            cfg.merge_ns_per_entry = ns_per_entry;
+            let mut d = PlfsDriver::new(cfg);
+            Exec::new(&prog, &mut d, &mut ctx).run().metrics
+        };
+        let cheap = mk(0).mean_duration_s(OpKind::OpenRead);
+        // 1 ms/entry × 8 ranks × 8 entries ⇒ ≥ 64 ms extra per open.
+        let costly = mk(1_000_000).mean_duration_s(OpKind::OpenRead);
+        assert!(
+            costly > cheap + 0.05,
+            "merge cost not charged: cheap {cheap} vs costly {costly}"
         );
     }
 

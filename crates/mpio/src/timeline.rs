@@ -89,8 +89,8 @@ impl Timeline {
             let c1 = (s.finish.as_nanos() as u128 * width as u128 / end as u128) as usize;
             let c1 = c1.clamp(c0, width.saturating_sub(1));
             let ch = kind_letter(s.kind);
-            for c in c0..=c1.min(width - 1) {
-                rows[s.rank][c] = ch;
+            for cell in &mut rows[s.rank][c0..=c1.min(width - 1)] {
+                *cell = ch;
             }
         }
         let mut out = String::new();

@@ -82,6 +82,7 @@ impl SimPfs {
     }
 
     /// `reps` reads of `len` bytes at `start + k·stride`.
+    #[allow(clippy::too_many_arguments)]
     pub fn read_strided(
         &mut self,
         node: usize,
@@ -100,6 +101,7 @@ impl SimPfs {
     }
 
     /// Shared implementation for aggregated sequential transfers.
+    #[allow(clippy::too_many_arguments)]
     fn sequential_transfer(
         &mut self,
         node: usize,

@@ -213,6 +213,7 @@ impl SimPfs {
 
     /// Write `len` bytes at `offset` of `path` from `node`, issued by
     /// `client` (the rank — stripe-lock ownership is per client process).
+    #[allow(clippy::too_many_arguments)]
     pub fn write_at(
         &mut self,
         node: usize,
@@ -322,7 +323,7 @@ impl SimPfs {
             // (width − 1) stripes between consecutive owned stripes).
             let stride_gap = (self.stripe_width() as u64 - 1) * stripe;
             let sequential = match self.streams.get(&key).copied() {
-                Some(e) => cur == e || (cur % stripe == 0 && e % stripe == 0 && cur == e + stride_gap),
+                Some(e) => cur == e || (cur.is_multiple_of(stripe) && e % stripe == 0 && cur == e + stride_gap),
                 None => false,
             };
             let overhead = if sequential {
@@ -383,7 +384,7 @@ impl SimPfs {
         let stripe = self.params.stripe_size;
         let stride_gap = (self.stripe_width() as u64 - 1) * stripe;
         match self.streams.get(&(oss, file)).copied() {
-            Some(e) => cur == e || (cur % stripe == 0 && e % stripe == 0 && cur == e + stride_gap),
+            Some(e) => cur == e || (cur.is_multiple_of(stripe) && e % stripe == 0 && cur == e + stride_gap),
             None => false,
         }
     }

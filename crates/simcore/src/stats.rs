@@ -28,6 +28,7 @@ impl Summary {
     }
 
     /// Build a summary from an iterator of samples.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let mut s = Summary::new();
         for x in iter {

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and clippy with warnings
+# denied. Everything runs offline against the vendored dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --offline -- -D warnings

@@ -1,5 +1,6 @@
 //! Property-based tests for the extension machinery: index compaction,
-//! fsck repair, and the gap-filling calendar resource.
+//! the sorted-run merge paths, threaded aggregation, fsck repair, and
+//! the gap-filling calendar resource.
 
 use plfs::{GlobalIndex, IndexEntry};
 use proptest::prelude::*;
@@ -23,6 +24,39 @@ fn arb_entries() -> impl Strategy<Value = Vec<IndexEntry>> {
             })
             .collect()
     })
+}
+
+/// Disjoint entries: consecutive logical extents (with gaps) handed out
+/// to random writers — the shape that takes the zipper merge path.
+fn arb_disjoint_entries() -> impl Strategy<Value = Vec<IndexEntry>> {
+    prop::collection::vec((0u64..6, 1u64..300, 0u64..50, 1u64..40), 1..40).prop_map(|ws| {
+        let mut phys: HashMap<u64, u64> = HashMap::new();
+        let mut cursor = 0u64;
+        ws.into_iter()
+            .map(|(w, len, gap, ts)| {
+                let p = *phys.get(&w).unwrap_or(&0);
+                phys.insert(w, p + len);
+                let off = cursor + gap;
+                cursor = off + len;
+                IndexEntry {
+                    logical_offset: off,
+                    length: len,
+                    physical_offset: p,
+                    writer: w,
+                    timestamp: ts,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Reference merge: per-span precedence-resolving insertion — exactly
+/// what `GlobalIndex::merge` did before the zipper fast path.
+fn merge_via_insert(mut acc: GlobalIndex, other: &GlobalIndex) -> GlobalIndex {
+    for e in other.to_entries() {
+        acc.insert(&e);
+    }
+    acc
 }
 
 /// Byte-level resolution of an index over `[0, eof)`.
@@ -64,6 +98,99 @@ proptest! {
         let mut twice = once.clone();
         twice.compact();
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn zipper_merge_equals_insert_merge_on_overlapping_workloads(
+        entries in arb_entries(),
+        split in 2u64..5,
+    ) {
+        // Partition by writer into two (generally overlapping) partials;
+        // the merged result must match the per-span insert reference in
+        // both directions, structurally.
+        let a = GlobalIndex::from_entries(
+            entries.iter().copied().filter(|e| e.writer % split == 0));
+        let b = GlobalIndex::from_entries(
+            entries.iter().copied().filter(|e| e.writer % split != 0));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &merge_via_insert(a.clone(), &b));
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ba, &merge_via_insert(b, &a));
+        prop_assert_eq!(resolve(&ab), resolve(&ba));
+    }
+
+    #[test]
+    fn zipper_merge_equals_insert_merge_on_disjoint_workloads(
+        entries in arb_disjoint_entries(),
+        split in 2u64..5,
+    ) {
+        // Disjoint partials take the linear zipper; it must agree with
+        // the insert reference and with the bulk build of everything.
+        let a = GlobalIndex::from_entries(
+            entries.iter().copied().filter(|e| e.writer % split == 0));
+        let b = GlobalIndex::from_entries(
+            entries.iter().copied().filter(|e| e.writer % split != 0));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &merge_via_insert(a, &b));
+        prop_assert_eq!(&ab, &GlobalIndex::from_entries(entries));
+    }
+
+    #[test]
+    fn lookup_coalesced_resolves_identically(entries in arb_entries()) {
+        // Coalesced mappings must tile the same byte→(writer, phys)
+        // resolution as the uncoalesced walk, for both the raw and the
+        // compacted index.
+        let idx = GlobalIndex::from_entries(entries);
+        let eof = idx.eof();
+        let flat = resolve(&idx);
+        let mut coalesced = Vec::with_capacity(eof as usize);
+        for m in idx.lookup_coalesced(0, eof) {
+            for i in 0..m.length {
+                let v = match m.source {
+                    plfs::index::Source::Hole => None,
+                    plfs::index::Source::Writer { writer, physical_offset } =>
+                        Some((writer, physical_offset + i)),
+                };
+                coalesced.push((m.logical_offset + i, v));
+            }
+        }
+        prop_assert_eq!(coalesced, flat);
+    }
+
+    #[test]
+    fn threaded_aggregation_equals_serial(
+        writes in prop::collection::vec((0u64..4, 0u64..1200, 1u64..200, 1u64..30), 1..40),
+        threads in 2usize..6,
+    ) {
+        use plfs::writer::{IndexPolicy, WriteHandle};
+        use plfs::{Container, Content, Federation, MemFs};
+        use std::sync::Arc;
+
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/f", &Federation::single("/panfs", 2));
+        let mut handles: HashMap<u64, WriteHandle<Arc<MemFs>>> = HashMap::new();
+        for &(w, off, len, ts) in &writes {
+            let h = match handles.entry(w) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => v.insert(
+                    WriteHandle::open(
+                        Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose).unwrap()),
+            };
+            h.write(off, &Content::synthetic(w, len), ts).unwrap();
+        }
+        for (_, h) in handles {
+            h.close(99).unwrap();
+        }
+        let serial = cont.aggregate_index(&b).unwrap();
+        let parallel = cont.aggregate_index_parallel(&b, threads).unwrap();
+        prop_assert_eq!(&parallel, &serial);
+        // The default open path is the threaded aggregation, compacted.
+        let mut compacted = serial;
+        compacted.compact();
+        prop_assert_eq!(cont.acquire_index(&b).unwrap(), compacted);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny API subset it actually uses: an immutable,
+//! reference-counted byte buffer whose `slice` is O(1) (shares the
+//! allocation, narrows the view). Drop-in compatible with the real crate
+//! for that subset; swap back to upstream by repointing the workspace
+//! dependency.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A view of `range` within this buffer, sharing the allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let begin = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len,
+        };
+        assert!(
+            begin <= end && end <= self.len,
+            "slice [{begin}, {end}) out of bounds (len {})",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            len: end - begin,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len > 32 {
+            write!(f, "…({} bytes)", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_and_narrows() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        let ss = s.slice(1..2);
+        assert_eq!(ss.to_vec(), vec![3]);
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![7, 8, 9]);
+        let b = Bytes::from(vec![0, 7, 8, 9]).slice(1..);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_slice_panics() {
+        Bytes::from(vec![1]).slice(0..2);
+    }
+}

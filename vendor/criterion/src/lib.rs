@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock measurement loop: warm up briefly, size an
+//! iteration batch to a fixed measurement window, report mean ns/iter
+//! (plus derived throughput). No statistics, plots, or saved baselines;
+//! numbers are indicative medians-of-batches, adequate for the before/after
+//! comparisons recorded in `results/`.
+//!
+//! Under `cargo test` / `cargo bench --test` the harness passes `--test`;
+//! each benchmark then runs exactly one iteration (smoke test only).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(120);
+const BATCHES: u32 = 5;
+
+/// Per-unit-of-work scaling for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+
+        // Warm up and estimate per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size batches so all of them together fill the measurement window.
+        let budget = MEASURE.as_secs_f64() / BATCHES as f64;
+        let batch = ((budget / per_iter).round() as u64).max(1);
+        let mut batch_means = Vec::with_capacity(BATCHES as usize);
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch_means.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        batch_means.sort_by(|a, b| a.total_cmp(b));
+        // Median batch: robust against a stray slow batch (page faults, GC
+        // of the memfs, scheduler noise).
+        self.mean_ns = batch_means[batch_means.len() / 2] * 1e9;
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        test_mode,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test-mode {name}: ok (1 iteration)");
+        return;
+    }
+    let per_iter_s = b.mean_ns / 1e9;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter_s > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 / per_iter_s / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if per_iter_s > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter_s / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<56} {:>14.1} ns/iter{rate}", b.mean_ns);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from CLI args: honours `--test` (single-iteration smoke mode)
+    /// and treats the first free argument as a substring filter; all other
+    /// harness flags (`--bench`, ...) are ignored.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if self.selected(&id) {
+            run_benchmark(&id, self.test_mode, None, &mut f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.selected(&full) {
+            run_benchmark(&full, self.criterion.test_mode, self.throughput, &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.selected(&full) {
+            run_benchmark(&full, self.criterion.test_mode, self.throughput, &mut |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(21) * 2));
+        c.bench_function(format!("formatted_{}", 3), |b| b.iter(|| 1 + 2));
+    }
+
+    #[test]
+    fn runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        demo(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_everything_else() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("no-such-bench".into()),
+        };
+        demo(&mut c);
+    }
+}
