@@ -36,6 +36,10 @@ pub const FLATTENED_INDEX: &str = "flattened.index";
 pub const SUBDIR_PREFIX: &str = "subdir.";
 pub const DATA_PREFIX: &str = "dropping.data.";
 pub const INDEX_PREFIX: &str = "dropping.index.";
+/// Suffix of the staging file an index-log realignment writes before
+/// atomically swapping it into place (see `WriteHandle`); one left behind
+/// means the realigning writer died mid-stage and fsck may reclaim it.
+pub const REALIGN_SUFFIX: &str = ".realign";
 
 /// A handle to one logical file's container.
 ///
@@ -260,11 +264,16 @@ impl Container {
         Ok(ids)
     }
 
-    /// Read and decode one writer's index log.
+    /// Read and decode one writer's index log. Transient read failures
+    /// are retried with bounded backoff (index reads sit on the read-open
+    /// critical path, where a dropped RPC should not fail the open).
     pub fn read_index_log<B: Backend>(&self, b: &B, writer: WriterId) -> Result<Vec<IndexEntry>> {
         let path = self.index_log(b, writer)?;
         let len = b.size(&path)?;
-        let bytes = b.read_at(&path, 0, len)?.materialize();
+        let bytes = crate::error::retry_transient(crate::error::DEFAULT_RETRY_ATTEMPTS, || {
+            b.read_at(&path, 0, len)
+        })?
+        .materialize();
         IndexEntry::decode_all(&bytes)
     }
 

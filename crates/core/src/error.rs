@@ -20,8 +20,50 @@ pub enum PlfsError {
     /// Operation the backend or mode does not support (e.g. read-write open
     /// of a shared PLFS file — the paper notes PLFS rejects this).
     Unsupported(String),
+    /// Transient backend failure: the operation had no effect and may be
+    /// retried (a dropped RPC, a failed-over storage server). Call sites
+    /// on the data path retry these with [`retry_transient`]; everything
+    /// else surfaces them.
+    Transient(String),
     /// Underlying OS error (LocalFs).
     Io(String),
+}
+
+impl PlfsError {
+    /// Whether this error is safe to retry: the failed operation is
+    /// guaranteed to have had no effect on the backend.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PlfsError::Transient(_))
+    }
+}
+
+/// Default attempt budget for [`retry_transient`]: first try plus a
+/// bounded number of retries. Small enough that a persistently failing
+/// backend surfaces quickly; large enough that injected transient rates
+/// up to ~50% almost never exhaust it.
+pub const DEFAULT_RETRY_ATTEMPTS: u32 = 8;
+
+/// Run `op` up to `attempts` times, retrying only [`PlfsError::Transient`]
+/// failures with capped exponential backoff (microseconds — these are
+/// in-process backends; the bound is what matters, not the wait). Any
+/// non-transient error, or transient failure on the final attempt, is
+/// returned to the caller.
+pub fn retry_transient<T>(attempts: u32, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let attempts = attempts.max(1);
+    let mut backoff_us = 1u64;
+    let mut last = None;
+    for attempt in 0..attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(256);
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
 }
 
 impl fmt::Display for PlfsError {
@@ -36,6 +78,7 @@ impl fmt::Display for PlfsError {
             PlfsError::CorruptContainer(m) => write!(f, "corrupt container: {m}"),
             PlfsError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
             PlfsError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PlfsError::Transient(m) => write!(f, "transient backend error: {m}"),
             PlfsError::Io(m) => write!(f, "io error: {m}"),
         }
     }

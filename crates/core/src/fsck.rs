@@ -14,14 +14,24 @@
 //! * index entries pointing past the end of their data log;
 //! * orphan data logs (no matching index log) and orphan index logs;
 //! * a flattened index that disagrees with per-writer logs;
+//! * stale `openhosts` entries left by dead writers (fsck runs on
+//!   quiesced containers, so any surviving entry is stale);
+//! * staging files orphaned by a writer that died mid-realignment of its
+//!   index log (safe to reclaim — the real log still holds everything);
+//! * metadir size records disagreeing with the replayed indices;
+//! * data-log tail bytes no index record references (reported as
+//!   informational [`DataLogTail`]s, not issues — torn appends and
+//!   clip-truncates leave them behind legitimately);
 //!
-//! and can repair the truncated-record case in place.
+//! and [`repair`] fixes everything mechanical, explicitly reporting
+//! what it fixed and what it could not.
 
 use crate::backend::Backend;
-use crate::container::{Container, DATA_PREFIX, INDEX_PREFIX};
+use crate::container::{Container, DATA_PREFIX, INDEX_PREFIX, METADIR, REALIGN_SUFFIX};
 use crate::content::Content;
-use crate::error::{PlfsError, Result};
+use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
+use std::collections::BTreeSet;
 
 /// One problem found in a container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,12 +60,38 @@ pub enum Issue {
     /// The flattened index disagrees with aggregation of the per-writer
     /// logs (stale after a post-flatten write).
     StaleFlattenedIndex,
+    /// An `openhosts` entry survives with no live writer behind it. fsck
+    /// only runs on quiesced containers, so the writer died without
+    /// deregistering.
+    StaleOpenHost { writer: WriterId },
+    /// A realignment staging file survives in a subdir: the writer died
+    /// between staging its rewritten index log and swapping it in. The
+    /// real log was never touched, so the copy is pure garbage.
+    StaleRealignTemp { subdir: usize, name: String },
+    /// The metadir's cached size disagrees with the EOF the replayed
+    /// indices resolve to — `stat` would lie (typically a writer died
+    /// after flushing index records but before recording its meta entry).
+    MetadirDisagrees { cached_eof: u64, actual_eof: u64 },
+}
+
+/// Data-log bytes past the last indexed extent: torn appends and dead
+/// writers leave them. They were never acknowledged and are unreachable,
+/// so this is informational (not an [`Issue`]) — `repair` reclaims them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLogTail {
+    pub writer: WriterId,
+    /// Bytes the index actually references (end of the last extent).
+    pub indexed_bytes: u64,
+    /// Physical length of the data log.
+    pub physical_bytes: u64,
 }
 
 /// Result of a container check.
 #[derive(Debug, Clone, Default)]
 pub struct CheckReport {
     pub issues: Vec<Issue>,
+    /// Unreferenced trailing bytes per data log (informational).
+    pub tails: Vec<DataLogTail>,
     pub writers: Vec<WriterId>,
     pub logical_size: u64,
     pub spans: usize,
@@ -101,7 +137,11 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
             }
         };
         for name in names {
-            if let Some(w) = name.strip_prefix(DATA_PREFIX) {
+            if name.ends_with(REALIGN_SUFFIX) {
+                report
+                    .issues
+                    .push(Issue::StaleRealignTemp { subdir: i, name });
+            } else if let Some(w) = name.strip_prefix(DATA_PREFIX) {
                 if let Ok(w) = w.parse() {
                     data_logs.push(w);
                 }
@@ -140,16 +180,19 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
                 trailing_bytes: trailing,
             });
         }
-        let bytes = b
-            .read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)?
-            .materialize();
+        let bytes = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+            b.read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)
+        })?
+        .materialize();
         let decoded = IndexEntry::decode_all(&bytes)?;
 
-        let dsize = if data_logs.binary_search(&w).is_ok() {
+        let has_data_log = data_logs.binary_search(&w).is_ok();
+        let dsize = if has_data_log {
             b.size(&container.data_log(b, w)?)?
         } else {
             0
         };
+        let mut indexed_end = 0u64;
         for e in decoded {
             if e.physical_offset + e.length > dsize {
                 report.issues.push(Issue::DanglingExtent {
@@ -158,8 +201,16 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
                     data_log_size: dsize,
                 });
             } else {
+                indexed_end = indexed_end.max(e.physical_offset + e.length);
                 entries.push(e);
             }
+        }
+        if has_data_log && dsize > indexed_end {
+            report.tails.push(DataLogTail {
+                writer: w,
+                indexed_bytes: indexed_end,
+                physical_bytes: dsize,
+            });
         }
     }
 
@@ -173,6 +224,24 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         fresh_c.compact();
         if flat != fresh_c {
             report.issues.push(Issue::StaleFlattenedIndex);
+        }
+    }
+
+    // fsck only runs on quiesced containers, so any surviving openhosts
+    // entry belongs to a writer that died without deregistering.
+    for w in container.open_writers(b)? {
+        report.issues.push(Issue::StaleOpenHost { writer: w });
+    }
+
+    // A metadir record that disagrees with the replayed indices means
+    // `stat` lies (writer died between index flush and meta record, or a
+    // stale record survived a crashed truncate).
+    if let Some(cached) = container.cached_size(b)? {
+        if cached != fresh.eof() {
+            report.issues.push(Issue::MetadirDisagrees {
+                cached_eof: cached,
+                actual_eof: fresh.eof(),
+            });
         }
     }
 
@@ -230,39 +299,200 @@ pub fn space_usage<B: Backend>(b: &B, container: &Container) -> Result<SpaceUsag
     Ok(usage)
 }
 
-/// Repair what is mechanically repairable:
+/// What [`repair`] did — and, crucially, what it could *not* do. A
+/// repair never reports success while known issues remain: check
+/// [`RepairOutcome::fully_repaired`], not just the post-repair report.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Issues that were mechanically fixed.
+    pub fixed: Vec<Issue>,
+    /// Issues fsck cannot fix without losing or inventing data; they
+    /// need human judgment and remain in the container.
+    pub unrepaired: Vec<Issue>,
+    /// Unreferenced data-log tails that were trimmed away.
+    pub trimmed_tails: Vec<DataLogTail>,
+    /// Fresh check after all repairs.
+    pub post: CheckReport,
+}
+
+impl RepairOutcome {
+    /// True only when nothing was left behind: no unrepairable issues
+    /// and the post-repair check is clean.
+    pub fn fully_repaired(&self) -> bool {
+        self.unrepaired.is_empty() && self.post.is_clean()
+    }
+}
+
+/// Repair what is mechanically repairable, without inventing data:
 ///
-/// * truncated index logs are rewritten without the partial record;
-/// * a stale flattened index is deleted (readers fall back to
-///   aggregation).
+/// * index logs with torn trailing records and/or dangling extents are
+///   rewritten keeping exactly the whole records whose extents the data
+///   log can satisfy;
+/// * orphan index logs are deleted (their records reference a data log
+///   that does not exist — nothing readable is lost);
+/// * *empty* orphan data logs are deleted; non-empty ones are left for
+///   human judgment (the bytes may be recoverable by other means) and
+///   reported as unrepaired;
+/// * stale `openhosts` entries, orphaned realignment staging files, and
+///   a stale flattened index are removed;
+/// * unreferenced data-log tails are trimmed;
+/// * a disagreeing metadir is rebuilt from the replayed indices.
 ///
-/// Orphan/dangling issues are reported but left alone — they need human
-/// judgment (the data may be recoverable by other means).
-pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
+/// Every issue from the pre-repair check lands in exactly one of
+/// [`RepairOutcome::fixed`] or [`RepairOutcome::unrepaired`].
+pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome> {
     let before = check(b, container)?;
-    for issue in &before.issues {
+    let mut fixed = Vec::new();
+    let mut unrepaired = Vec::new();
+    let mut rewrite: BTreeSet<WriterId> = BTreeSet::new();
+    let mut drop_flattened = false;
+    let mut refresh_metadir = false;
+    let mut stale_hosts: Vec<WriterId> = Vec::new();
+    let mut orphan_index: Vec<WriterId> = Vec::new();
+    let mut realign_temps: Vec<(usize, String)> = Vec::new();
+
+    for issue in before.issues.iter().cloned() {
         match issue {
-            Issue::TruncatedIndexLog {
-                writer,
-                valid_records,
-                ..
-            } => {
-                let ipath = container.index_log(b, *writer)?;
-                let keep = b
-                    .read_at(&ipath, 0, valid_records * INDEX_RECORD_BYTES)?
-                    .materialize();
-                b.create(&ipath, false)?; // truncate
-                if !keep.is_empty() {
-                    b.append(&ipath, &Content::bytes(keep))?;
+            // Structural damage with nothing to rebuild from.
+            Issue::NotAContainer | Issue::BrokenSubdir { .. } => unrepaired.push(issue),
+            Issue::TruncatedIndexLog { writer, .. } => {
+                rewrite.insert(writer);
+                fixed.push(issue);
+            }
+            Issue::DanglingExtent { writer, .. } => {
+                rewrite.insert(writer);
+                fixed.push(issue);
+            }
+            Issue::OrphanDataLog { writer } => {
+                let path = container.data_log(b, writer)?;
+                if b.size(&path)? == 0 {
+                    b.unlink(&path)?;
+                    fixed.push(issue);
+                } else {
+                    // Real bytes with no index: deleting would destroy
+                    // possibly recoverable data, keeping them readable
+                    // would invent placement. Leave for a human.
+                    unrepaired.push(issue);
                 }
             }
-            Issue::StaleFlattenedIndex => {
-                container.remove_flattened(b)?;
+            Issue::OrphanIndexLog { writer } => {
+                orphan_index.push(writer);
+                fixed.push(issue);
             }
-            _ => {}
+            Issue::StaleOpenHost { writer } => {
+                stale_hosts.push(writer);
+                fixed.push(issue);
+            }
+            Issue::StaleRealignTemp {
+                subdir,
+                ref name,
+            } => {
+                realign_temps.push((subdir, name.clone()));
+                fixed.push(issue);
+            }
+            Issue::MetadirDisagrees { .. } => {
+                refresh_metadir = true;
+                fixed.push(issue);
+            }
+            Issue::StaleFlattenedIndex => {
+                drop_flattened = true;
+                fixed.push(issue);
+            }
         }
     }
-    check(b, container)
+
+    // One rewrite per damaged writer handles torn trailing records and
+    // dangling extents together: keep exactly the whole records whose
+    // extents fit inside the data log.
+    for &w in &rewrite {
+        let ipath = container.index_log(b, w)?;
+        let len = b.size(&ipath)?;
+        let whole = len / INDEX_RECORD_BYTES;
+        let bytes = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+            b.read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)
+        })?
+        .materialize();
+        let decoded = IndexEntry::decode_all(&bytes)?;
+        let dpath = container.data_log(b, w)?;
+        let dsize = if b.exists(&dpath) { b.size(&dpath)? } else { 0 };
+        let kept: Vec<IndexEntry> = decoded
+            .into_iter()
+            .filter(|e| e.physical_offset + e.length <= dsize)
+            .collect();
+        b.create(&ipath, false)?; // truncate
+        if !kept.is_empty() {
+            b.append(&ipath, &Content::bytes(IndexEntry::encode_all(&kept)))?;
+        }
+    }
+
+    // Orphan index logs reference a data log that does not exist; their
+    // records can never resolve to bytes, so deleting loses nothing.
+    for &w in &orphan_index {
+        b.unlink(&container.index_log(b, w)?)?;
+    }
+
+    for &w in &stale_hosts {
+        container.unregister_open(b, w)?;
+    }
+
+    // A staged realignment copy never holds records its real log lacks
+    // (the swap is the last step), so reclaiming it cannot lose data.
+    for (i, name) in &realign_temps {
+        let dir = container.subdir_phys(b, *i)?;
+        b.unlink(&format!("{dir}/{name}"))?;
+    }
+
+    if drop_flattened {
+        container.remove_flattened(b)?;
+    }
+
+    // Trim unreferenced data-log tails (recomputed after the index
+    // rewrites above, which may have changed what is referenced).
+    let mid = check(b, container)?;
+    let mut trimmed_tails = Vec::new();
+    for t in &mid.tails {
+        let dpath = container.data_log(b, t.writer)?;
+        let keep = if t.indexed_bytes > 0 {
+            Some(retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+                b.read_at(&dpath, 0, t.indexed_bytes)
+            })?)
+        } else {
+            None
+        };
+        b.create(&dpath, false)?; // truncate
+        if let Some(k) = keep {
+            b.append(&dpath, &k)?;
+        }
+        trimmed_tails.push(t.clone());
+    }
+
+    // Rebuild the metadir from the replayed (now repaired) indices so
+    // cached stat tells the truth again.
+    if refresh_metadir {
+        let idx = container.aggregate_index(b)?;
+        let metadir = format!("{}/{METADIR}", container.canonical_path());
+        match b.list(&metadir) {
+            Ok(names) => {
+                for n in names {
+                    if n.starts_with("meta.") {
+                        b.unlink(&format!("{metadir}/{n}"))?;
+                    }
+                }
+            }
+            Err(PlfsError::NotFound(_)) => {}
+            Err(e) => return Err(e),
+        }
+        let live: u64 = idx.to_entries().iter().map(|e| e.length).sum();
+        container.record_meta(b, 0, idx.eof(), live)?;
+    }
+
+    let post = check(b, container)?;
+    Ok(RepairOutcome {
+        fixed,
+        unrepaired,
+        trimmed_tails,
+        post,
+    })
 }
 
 #[cfg(test)]
@@ -323,12 +553,14 @@ mod tests {
             }]
         ));
         let after = repair(&b, &cont).unwrap();
-        assert!(after.is_clean(), "{:?}", after.issues);
-        assert_eq!(after.logical_size, 1500);
+        assert!(after.fully_repaired(), "{after:?}");
+        assert_eq!(after.fixed.len(), 1);
+        assert!(after.unrepaired.is_empty());
+        assert_eq!(after.post.logical_size, 1500);
     }
 
     #[test]
-    fn orphan_droppings_detected() {
+    fn orphan_droppings_detected_and_repaired() {
         let (b, cont) = healthy_container();
         // Fabricate an orphan data log and an orphan index log, each in
         // the subdir its writer id hashes to.
@@ -339,6 +571,151 @@ mod tests {
         let r = check(&b, &cont).unwrap();
         assert!(r.issues.contains(&Issue::OrphanDataLog { writer: 77 }));
         assert!(r.issues.contains(&Issue::OrphanIndexLog { writer: 88 }));
+        // Both orphans are empty: repair removes them.
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.fully_repaired(), "{after:?}");
+        assert_eq!(after.fixed.len(), 2);
+    }
+
+    #[test]
+    fn nonempty_orphan_data_log_is_reported_unrepaired() {
+        let (b, cont) = healthy_container();
+        let sub = cont.subdir_phys(&b, cont.subdir_for(77)).unwrap();
+        let path = format!("{sub}/{DATA_PREFIX}77");
+        b.create(&path, true).unwrap();
+        b.append(&path, &Content::bytes(vec![5; 64])).unwrap();
+        let after = repair(&b, &cont).unwrap();
+        // Repair must not claim success while real bytes sit unindexed —
+        // and must not delete them either.
+        assert!(!after.fully_repaired());
+        assert_eq!(after.unrepaired, vec![Issue::OrphanDataLog { writer: 77 }]);
+        assert_eq!(b.size(&path).unwrap(), 64, "orphan bytes preserved");
+        // And the issue is still visible in the post-repair check.
+        assert!(after.post.issues.contains(&Issue::OrphanDataLog { writer: 77 }));
+    }
+
+    #[test]
+    fn stale_open_host_detected_and_repaired() {
+        let (b, cont) = healthy_container();
+        // A writer that registered but died without deregistering.
+        cont.register_open(&b, 42).unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert_eq!(r.issues, vec![Issue::StaleOpenHost { writer: 42 }]);
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.fully_repaired(), "{after:?}");
+        assert!(cont.open_writers(&b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn orphaned_realign_staging_file_detected_and_reclaimed() {
+        let (b, cont) = healthy_container();
+        // A writer died between staging its realigned index log and the
+        // swap; the staging copy survives next to the untouched log.
+        let dir = cont.subdir_phys(&b, cont.subdir_for(0)).unwrap();
+        let staged = format!("{dir}/{INDEX_PREFIX}0{REALIGN_SUFFIX}");
+        b.create(&staged, true).unwrap();
+        b.append(&staged, &Content::bytes(vec![0; 40])).unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(matches!(r.issues[0], Issue::StaleRealignTemp { .. }));
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.fully_repaired(), "{after:?}");
+        assert!(!b.exists(&staged));
+        // The real logs were untouched by the reclaim.
+        assert_eq!(cont.read_index_log(&b, 0).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn metadir_disagreement_detected_and_rebuilt() {
+        let (b, cont) = healthy_container();
+        // A bogus meta record claiming a larger file than the indices
+        // resolve (e.g. left behind by a crashed truncate).
+        cont.record_meta(&b, 9, 9_999, 0).unwrap();
+        let r = check(&b, &cont).unwrap();
+        assert_eq!(
+            r.issues,
+            vec![Issue::MetadirDisagrees {
+                cached_eof: 9_999,
+                actual_eof: 1500
+            }]
+        );
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.fully_repaired(), "{after:?}");
+        assert_eq!(cont.cached_size(&b).unwrap(), Some(1500));
+    }
+
+    #[test]
+    fn unindexed_tail_is_informational_and_trimmed() {
+        let (b, cont) = healthy_container();
+        // Simulate a torn data append: bytes landed past the last
+        // indexed extent, with no index record.
+        let dpath = cont.data_log(&b, 2).unwrap();
+        b.append(&dpath, &Content::bytes(vec![0xAB; 33])).unwrap();
+        let r = check(&b, &cont).unwrap();
+        // Never-acknowledged bytes are not damage...
+        assert!(r.is_clean(), "{:?}", r.issues);
+        assert_eq!(
+            r.tails,
+            vec![DataLogTail {
+                writer: 2,
+                indexed_bytes: 500,
+                physical_bytes: 533
+            }]
+        );
+        // ...but repair reclaims the space.
+        let after = repair(&b, &cont).unwrap();
+        assert_eq!(after.trimmed_tails.len(), 1);
+        assert_eq!(b.size(&dpath).unwrap(), 500);
+        assert!(after.post.tails.is_empty());
+        assert_eq!(after.post.logical_size, 1500);
+    }
+
+    #[test]
+    fn dead_writer_recovery_end_to_end() {
+        // The canonical crash shape: a writer flushed some index records,
+        // then died mid-append leaving a torn index record, a data-log
+        // tail, a stale openhosts entry, and no meta record.
+        let (b, cont) = healthy_container();
+        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 7, IndexPolicy::WriteClose)
+            .unwrap();
+        h.write(2000, &Content::synthetic(7, 100), 50).unwrap();
+        h.flush_index().unwrap();
+        // Died here: torn second index record + unindexed data bytes.
+        h.write(2100, &Content::synthetic(7, 100), 51).unwrap();
+        let ipath = cont.index_log(&b, 7).unwrap();
+        let entry = IndexEntry {
+            logical_offset: 2100,
+            length: 100,
+            physical_offset: 100,
+            writer: 7,
+            timestamp: 51,
+        };
+        b.append(&ipath, &Content::bytes(entry.to_bytes()[..23].to_vec()))
+            .unwrap();
+        drop(h); // the handle is gone; never closed
+
+        let r = check(&b, &cont).unwrap();
+        assert!(r.issues.contains(&Issue::TruncatedIndexLog {
+            writer: 7,
+            valid_records: 1,
+            trailing_bytes: 23
+        }));
+        assert!(r.issues.contains(&Issue::StaleOpenHost { writer: 7 }));
+        assert!(r
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::MetadirDisagrees { .. })));
+
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.fully_repaired(), "{after:?}");
+        // The flushed write survives; the torn one is gone; stat is honest.
+        let mut reader = crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        assert_eq!(reader.size(), 2100);
+        assert_eq!(
+            reader.read(2000, 100).unwrap(),
+            Content::synthetic(7, 100).materialize()
+        );
+        assert_eq!(cont.cached_size(&b).unwrap(), Some(2100));
     }
 
     #[test]
@@ -394,7 +771,7 @@ mod tests {
         assert!(r.issues.contains(&Issue::StaleFlattenedIndex));
 
         let after = repair(&b, &cont).unwrap();
-        assert!(after.is_clean(), "{:?}", after.issues);
+        assert!(after.fully_repaired(), "{after:?}");
         // Readers now aggregate and see the full file.
         let reader =
             crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();

@@ -43,6 +43,7 @@ pub mod backend;
 pub mod container;
 pub mod content;
 pub mod error;
+pub mod faults;
 pub mod federation;
 pub mod fsck;
 pub mod index;
@@ -58,7 +59,8 @@ pub mod writer;
 pub use backend::{Backend, BackendOp, TracingBackend};
 pub use container::Container;
 pub use content::Content;
-pub use error::{PlfsError, Result};
+pub use error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
+pub use faults::{FaultBackend, FaultConfig, FaultStats};
 pub use federation::Federation;
 pub use index::{GlobalIndex, IndexEntry, Mapping, WriterId};
 pub use localfs::LocalFs;

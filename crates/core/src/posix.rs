@@ -19,6 +19,7 @@ use crate::writer::WriteHandle;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Open flags (the subset PLFS supports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,9 +40,14 @@ enum OpenFile<B: Backend> {
 }
 
 /// The descriptor table over a mount.
+///
+/// Each descriptor owns its own lock: the table mutex is held only long
+/// enough to look the entry up, so I/O on independent fds proceeds
+/// concurrently (the decoupled-writers contract `backend.rs` documents),
+/// while two threads sharing one fd still serialize on that fd alone.
 pub struct PosixShim<B: Backend + Clone> {
     fs: Plfs<B>,
-    table: Mutex<HashMap<Fd, OpenFile<B>>>,
+    table: Mutex<HashMap<Fd, Arc<Mutex<OpenFile<B>>>>>,
     next_fd: AtomicU64,
     /// Identity used for writer droppings: a FUSE daemon would use
     /// (hostname, pid); we take a base id and a counter.
@@ -75,60 +81,66 @@ impl<B: Backend + Clone> PosixShim<B> {
                 OpenFile::Writer(self.fs.open_write(path, writer)?)
             }
         };
-        self.table.lock().insert(fd, file);
+        self.table.lock().insert(fd, Arc::new(Mutex::new(file)));
         Ok(fd)
+    }
+
+    /// Look an fd up, holding the table lock only for the lookup.
+    fn entry(&self, fd: Fd) -> Result<Arc<Mutex<OpenFile<B>>>> {
+        self.table
+            .lock()
+            .get(&fd)
+            .cloned()
+            .ok_or_else(|| PlfsError::InvalidArg(format!("bad fd {fd}")))
     }
 
     /// `pwrite(2)`.
     pub fn pwrite(&self, fd: Fd, buf: &[u8], offset: u64) -> Result<usize> {
-        let mut table = self.table.lock();
-        match table.get_mut(&fd) {
-            Some(OpenFile::Writer(w)) => {
+        let entry = self.entry(fd)?;
+        let mut file = entry.lock();
+        match &mut *file {
+            OpenFile::Writer(w) => {
                 w.write(offset, &Content::bytes(buf.to_vec()), self.fs.timestamp())?;
                 Ok(buf.len())
             }
-            Some(OpenFile::Reader(_)) => {
-                Err(PlfsError::InvalidArg(format!("fd {fd} is read-only")))
-            }
-            None => Err(PlfsError::InvalidArg(format!("bad fd {fd}"))),
+            OpenFile::Reader(_) => Err(PlfsError::InvalidArg(format!("fd {fd} is read-only"))),
         }
     }
 
     /// `pread(2)`. Short reads at EOF, like POSIX.
     pub fn pread(&self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>> {
-        let mut table = self.table.lock();
-        match table.get_mut(&fd) {
-            Some(OpenFile::Reader(r)) => r.read(offset, len as u64),
-            Some(OpenFile::Writer(_)) => {
-                Err(PlfsError::InvalidArg(format!("fd {fd} is write-only")))
-            }
-            None => Err(PlfsError::InvalidArg(format!("bad fd {fd}"))),
+        let entry = self.entry(fd)?;
+        let mut file = entry.lock();
+        match &mut *file {
+            OpenFile::Reader(r) => r.read(offset, len as u64),
+            OpenFile::Writer(_) => Err(PlfsError::InvalidArg(format!("fd {fd} is write-only"))),
         }
     }
 
     /// `fsync(2)`: flush buffered index records.
     pub fn fsync(&self, fd: Fd) -> Result<()> {
-        let mut table = self.table.lock();
-        match table.get_mut(&fd) {
-            Some(OpenFile::Writer(w)) => w.flush_index(),
-            Some(OpenFile::Reader(_)) => Ok(()),
-            None => Err(PlfsError::InvalidArg(format!("bad fd {fd}"))),
+        let entry = self.entry(fd)?;
+        let mut file = entry.lock();
+        match &mut *file {
+            OpenFile::Writer(w) => w.flush_index(),
+            OpenFile::Reader(_) => Ok(()),
         }
     }
 
-    /// `close(2)`.
+    /// `close(2)`. On failure the descriptor stays in the table with its
+    /// buffered index entries intact, so the caller can retry — a failed
+    /// close must not silently discard acknowledged writes (the close is
+    /// idempotent once it has succeeded).
     pub fn close(&self, fd: Fd) -> Result<()> {
-        let file = self
-            .table
-            .lock()
-            .remove(&fd)
-            .ok_or_else(|| PlfsError::InvalidArg(format!("bad fd {fd}")))?;
-        match file {
-            OpenFile::Writer(w) => {
-                w.close(self.fs.timestamp())?;
+        let entry = self.entry(fd)?;
+        {
+            let mut file = entry.lock();
+            if let OpenFile::Writer(w) = &mut *file {
+                w.close_in_place(self.fs.timestamp())?;
             }
-            OpenFile::Reader(_) => {}
         }
+        // Only a fully-closed descriptor leaves the table.
+        self.table.lock().remove(&fd);
         Ok(())
     }
 
@@ -215,6 +227,63 @@ mod tests {
             .list_writers(s.mount().backend())
             .unwrap();
         assert_eq!(writers.len(), 2);
+    }
+
+    #[test]
+    fn independent_fds_do_io_concurrently() {
+        // Many threads, one fd each: with per-fd locking this completes
+        // without the table mutex serializing (or deadlocking) the I/O.
+        let s = Arc::new(shim());
+        let fds: Vec<Fd> = (0..8)
+            .map(|_| s.open("/f", OpenFlags::WriteOnly).unwrap())
+            .collect();
+        let mut threads = Vec::new();
+        for (i, &fd) in fds.iter().enumerate() {
+            let s = Arc::clone(&s);
+            threads.push(std::thread::spawn(move || {
+                for k in 0..50u64 {
+                    let off = (k * 8 + i as u64) * 16;
+                    s.pwrite(fd, &[i as u8 + 1; 16], off).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        for fd in fds {
+            s.close(fd).unwrap();
+        }
+        let rfd = s.open("/f", OpenFlags::ReadOnly).unwrap();
+        let bytes = s.pread(rfd, 8 * 50 * 16, 0).unwrap();
+        assert_eq!(bytes.len(), 8 * 50 * 16);
+        for (pos, b) in bytes.iter().enumerate() {
+            assert_eq!(*b, (pos / 16 % 8) as u8 + 1, "byte {pos}");
+        }
+    }
+
+    #[test]
+    fn failed_close_keeps_fd_and_buffered_index_for_retry() {
+        use crate::faults::{FaultBackend, FaultConfig};
+
+        // Crash the backend exactly at the close-time index flush: the
+        // two pwrites are data ops 1-2, the flush is op 3.
+        let fb = Arc::new(FaultBackend::new(MemFs::new(), FaultConfig::crash_at(5, 2)));
+        let fs = Plfs::new(Arc::clone(&fb), PlfsConfig::basic("/panfs")).unwrap();
+        let s = PosixShim::new(fs, 1000);
+        let wfd = s.open("/f", OpenFlags::WriteOnly).unwrap();
+        assert_eq!(s.pwrite(wfd, b"acknowledged", 0).unwrap(), 12);
+        assert_eq!(s.pwrite(wfd, b" data", 12).unwrap(), 5);
+        assert!(s.close(wfd).is_err(), "index flush must hit the crash");
+        // The fd survives the failed close...
+        assert_eq!(s.open_count(), 1);
+        // ...and once the backend recovers, the retry lands everything.
+        fb.revive();
+        s.close(wfd).unwrap();
+        assert_eq!(s.open_count(), 0);
+        let rfd = s.open("/f", OpenFlags::ReadOnly).unwrap();
+        assert_eq!(s.pread(rfd, 17, 0).unwrap(), b"acknowledged data");
+        // Double close of an already-gone fd is still an error.
+        assert!(s.close(wfd).is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use crate::backend::Backend;
 use crate::container::Container;
 use crate::content::Content;
-use crate::error::{PlfsError, Result};
+use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, Source, WriterId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -117,7 +117,11 @@ impl<B: Backend> ReadHandle<B> {
                     physical_offset,
                 } => {
                     let path = self.log_path(writer)?;
-                    let c = self.backend.read_at(&path, physical_offset, m.length)?;
+                    // Transient read failures (dropped RPC, failover) are
+                    // retried with bounded backoff before surfacing.
+                    let c = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+                        self.backend.read_at(&path, physical_offset, m.length)
+                    })?;
                     if c.len() != m.length {
                         // A short read here means the index references
                         // bytes the data log doesn't have (truncated or

@@ -36,7 +36,12 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
         return truncate_to_zero(b, container);
     }
 
-    // Rewrite every index log, clipping at `size`.
+    // Rewrite every index log, clipping at `size`, and account what
+    // survives: the physical bytes still referenced and the logical EOF
+    // the clipped indices actually resolve to (less than `size` when the
+    // cut lands in a hole or beyond the old EOF).
+    let mut surviving_bytes = 0u64;
+    let mut surviving_eof = 0u64;
     for w in container.list_writers(b)? {
         let entries = container.read_index_log(b, w)?;
         let kept: Vec<IndexEntry> = entries
@@ -55,6 +60,10 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
                 }
             })
             .collect();
+        for e in &kept {
+            surviving_bytes += e.length;
+            surviving_eof = surviving_eof.max(e.logical_offset + e.length);
+        }
         let ipath = container.index_log(b, w)?;
         b.create(&ipath, false)?; // truncate the log itself
         if !kept.is_empty() {
@@ -63,7 +72,7 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
     }
 
     // Metadir records and any flattened index are now stale.
-    refresh_metadata(b, container, size)?;
+    refresh_metadata(b, container, surviving_eof, surviving_bytes)?;
     Ok(())
 }
 
@@ -80,12 +89,15 @@ fn truncate_to_zero<B: Backend>(b: &B, container: &Container) -> Result<()> {
             }
         }
     }
-    refresh_metadata(b, container, 0)?;
+    refresh_metadata(b, container, 0, 0)?;
     Ok(())
 }
 
-/// Drop stale metadir records / flattened index and record the new size.
-fn refresh_metadata<B: Backend>(b: &B, container: &Container, size: u64) -> Result<()> {
+/// Drop stale metadir records / flattened index and record the new size
+/// *and* the physical bytes the clipped indices still reference — the
+/// record feeds cached stat and space accounting, so writing `bytes=0`
+/// here would make both lie after a clip-truncate.
+fn refresh_metadata<B: Backend>(b: &B, container: &Container, eof: u64, bytes: u64) -> Result<()> {
     container.remove_flattened(b)?;
     let metadir = format!("{}/metadir", container.canonical_path());
     match b.list(&metadir) {
@@ -99,7 +111,7 @@ fn refresh_metadata<B: Backend>(b: &B, container: &Container, size: u64) -> Resu
     }
     // One fresh record so stat stays cheap (writer id 0 by convention —
     // truncation is a single-actor operation).
-    container.record_meta(b, 0, size, 0)?;
+    container.record_meta(b, 0, eof, bytes)?;
     Ok(())
 }
 
@@ -164,6 +176,20 @@ mod tests {
         assert!(r.read(450, 100).unwrap().is_empty());
         // Stat agrees.
         assert_eq!(cont.cached_size(&b).unwrap(), Some(450));
+    }
+
+    #[test]
+    fn truncate_records_surviving_bytes_in_metadir() {
+        let (b, cont) = build();
+        truncate(&b, &cont, 450).unwrap();
+        // 450 logical bytes survive the clip (4 whole blocks + half of
+        // block 4), and the single fresh record must say so — not 0.
+        let metadir = format!("{}/metadir", cont.canonical_path());
+        let names = crate::backend::Backend::list(&*b, &metadir).unwrap();
+        assert_eq!(names, vec!["meta.450.450.0".to_string()]);
+        // fsck agrees with the record.
+        let report = crate::fsck::check(&b, &cont).unwrap();
+        assert!(report.is_clean(), "{:?}", report.issues);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 use crate::backend::Backend;
 use crate::container::Container;
 use crate::content::Content;
-use crate::error::{PlfsError, Result};
-use crate::index::{GlobalIndex, IndexEntry, WriterId};
+use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
+use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
 
 /// What to do with index information while writing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +48,9 @@ pub struct WriteHandle<B: Backend> {
     policy: IndexPolicy,
     /// Entries flushed early because the flatten threshold was exceeded.
     overflowed: bool,
+    /// A previous index-log flush failed partway (possibly tearing a
+    /// record); realign the log before appending to it again.
+    flush_failed: bool,
     bytes_written: u64,
     eof: u64,
     closed: bool,
@@ -77,6 +80,7 @@ impl<B: Backend> WriteHandle<B> {
             buffered: Vec::new(),
             policy,
             overflowed: false,
+            flush_failed: false,
             bytes_written: 0,
             eof: 0,
             closed: false,
@@ -101,8 +105,18 @@ impl<B: Backend> WriteHandle<B> {
             return Ok(());
         }
         let data_log = self.ensure_logs()?.0.clone();
-        let phys = self.backend.append(&data_log, content)?;
-        debug_assert_eq!(phys, self.data_off, "data log must be append-only");
+        // Transient failures are clean (nothing landed) and retried with
+        // backoff. A torn append is NOT transient: a prefix landed, and
+        // re-sending would duplicate it — the error surfaces, the write
+        // stays unacknowledged, and the dead prefix bytes are never
+        // referenced by any index entry (fsck reclaims such tails).
+        let phys = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+            self.backend.append(&data_log, content)
+        })?;
+        // The log may have grown past our last acknowledged write (dead
+        // bytes from a torn append), so trust the backend's offset rather
+        // than asserting contiguity.
+        debug_assert!(phys >= self.data_off, "data log must be append-only");
         let entry = IndexEntry {
             logical_offset: offset,
             length: content.len(),
@@ -110,7 +124,7 @@ impl<B: Backend> WriteHandle<B> {
             writer: self.writer,
             timestamp,
         };
-        self.data_off += content.len();
+        self.data_off = phys + content.len();
         self.bytes_written += content.len();
         self.eof = self.eof.max(offset + content.len());
         self.buffered.push(entry);
@@ -151,13 +165,69 @@ impl<B: Backend> WriteHandle<B> {
         if matches!(self.policy, IndexPolicy::Flatten { .. }) {
             self.overflowed = true;
         }
+        self.append_index_batch()
+    }
+
+    /// Append all buffered entries to the index log, clearing the buffer
+    /// only on success — a failed flush keeps every entry for a retry.
+    ///
+    /// A torn flush may leave a partial record at the log's tail; blindly
+    /// appending after it would corrupt every later record (fsck can only
+    /// trim *trailing* garbage). So after any flush failure the log is
+    /// realigned to a whole-record prefix before the next attempt. The
+    /// retried batch may duplicate records that did land — duplicates are
+    /// harmless, index resolution is idempotent per (writer, timestamp).
+    fn append_index_batch(&mut self) -> Result<()> {
         if self.buffered.is_empty() {
             return Ok(());
         }
-        let bytes = IndexEntry::encode_all(&self.buffered);
         let index_log = self.ensure_logs()?.1.clone();
-        self.backend.append(&index_log, &Content::bytes(bytes))?;
-        self.buffered.clear();
+        if self.flush_failed {
+            self.realign_index_log(&index_log)?;
+            self.flush_failed = false;
+        }
+        let bytes = Content::bytes(IndexEntry::encode_all(&self.buffered));
+        match retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+            self.backend.append(&index_log, &bytes)
+        }) {
+            Ok(_) => {
+                self.buffered.clear();
+                Ok(())
+            }
+            Err(e) => {
+                self.flush_failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Rewrite the index log as its longest whole-record prefix, dropping
+    /// any torn trailing record a failed flush left behind.
+    ///
+    /// The prefix is staged in a scratch file first so the only data-path
+    /// operation (the staging append, which can itself tear or crash)
+    /// happens while the real log is still intact: a failure here leaves
+    /// every already-flushed record where it was, to be realigned again on
+    /// the next attempt. Only once staging succeeds is the log swapped
+    /// out, with pure metadata operations. A scratch file orphaned by a
+    /// crash holds nothing the log doesn't, and fsck reclaims it.
+    fn realign_index_log(&self, index_log: &str) -> Result<()> {
+        let size = retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.size(index_log))?;
+        let rem = size % INDEX_RECORD_BYTES;
+        if rem == 0 {
+            return Ok(());
+        }
+        let keep = size - rem;
+        let staged = format!("{index_log}{}", crate::container::REALIGN_SUFFIX);
+        self.backend.create(&staged, false)?; // truncates an old attempt
+        if keep > 0 {
+            let prefix = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+                self.backend.read_at(index_log, 0, keep)
+            })?;
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.append(&staged, &prefix))?;
+        }
+        self.backend.unlink(index_log)?;
+        self.backend.rename(&staged, index_log)?;
         Ok(())
     }
 
@@ -185,24 +255,31 @@ impl<B: Backend> WriteHandle<B> {
     /// Close: flush the index log, record cached size metadata, and
     /// deregister from openhosts. Returns this writer's full index
     /// contribution (for a caller that is coordinating Index Flatten).
-    pub fn close(mut self, _timestamp: u64) -> Result<Vec<IndexEntry>> {
-        self.closed = true;
+    pub fn close(mut self, timestamp: u64) -> Result<Vec<IndexEntry>> {
+        self.close_in_place(timestamp)
+    }
+
+    /// Close without consuming the handle, so a failed close can be
+    /// retried with the buffered index entries intact (the POSIX shim
+    /// relies on this: losing the buffer on a failed `close(2)` would
+    /// silently drop acknowledged writes). Idempotent: closing an
+    /// already-closed handle is a no-op returning an empty contribution.
+    pub fn close_in_place(&mut self, _timestamp: u64) -> Result<Vec<IndexEntry>> {
+        if self.closed {
+            return Ok(Vec::new());
+        }
         let contribution = self.buffered.clone();
-        self.flush_index_all()?;
+        self.append_index_batch()?;
         self.container
             .record_meta(&self.backend, self.writer, self.eof, self.bytes_written)?;
         self.container.unregister_open(&self.backend, self.writer)?;
+        self.closed = true;
         Ok(contribution)
     }
 
-    fn flush_index_all(&mut self) -> Result<()> {
-        if !self.buffered.is_empty() {
-            let bytes = IndexEntry::encode_all(&self.buffered);
-            let index_log = self.ensure_logs()?.1.clone();
-            self.backend.append(&index_log, &Content::bytes(bytes))?;
-            self.buffered.clear();
-        }
-        Ok(())
+    /// Whether this handle has been successfully closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
     }
 }
 

@@ -6,6 +6,6 @@ pub mod profiles;
 pub mod report;
 pub mod runner;
 
-pub use profiles::ClusterProfile;
+pub use profiles::{ClusterProfile, FaultProfile};
 pub use report::{render_figure, render_table, Point, Series};
 pub use runner::{repeat, run_workload, run_workload_tweaked, Middleware, RunOutput};

@@ -66,6 +66,11 @@ pub struct PlfsDriverConfig {
     /// whole file, the Index Flatten root at close, and the Parallel
     /// Index Read hierarchy at open.
     pub merge_ns_per_entry: u64,
+    /// Fault knob: ranks that die just before their write close. A
+    /// crashed rank flushes no index records, writes no metadir record,
+    /// and never removes its openhosts entry — its unflushed entries are
+    /// lost, exactly the damage `plfs::fsck` repairs on real backends.
+    pub crash_at_close: std::collections::HashSet<u64>,
 }
 
 impl PlfsDriverConfig {
@@ -76,6 +81,7 @@ impl PlfsDriverConfig {
             flatten_threshold_entries: 1 << 20,
             group_size: 64,
             merge_ns_per_entry: 20,
+            crash_at_close: std::collections::HashSet::new(),
         }
     }
 }
@@ -88,6 +94,9 @@ struct FileSim {
     writers: HashMap<u64, (u64, u64)>,
     /// Any writer exceeded the flatten buffering threshold.
     overflowed: bool,
+    /// A writer died before close (see `PlfsDriverConfig::crash_at_close`):
+    /// close-time flattening cannot complete.
+    dead_writer: bool,
     /// Total entries in the flattened index, if one was written.
     flattened_entries: Option<u64>,
     container_created: bool,
@@ -303,6 +312,17 @@ impl PlfsDriver {
     /// Per-writer close: flush the index log, record metadir (creating
     /// the metadir on first use), deregister.
     fn plan_close_writer(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+        if self.cfg.crash_at_close.contains(&writer) {
+            // The process died before close: no index flush, no metadir
+            // record, and the openhosts entry stays behind. Its buffered
+            // index entries are gone — readers resolve none of its data.
+            let fs = self.files.entry(logical.to_string()).or_default();
+            if let Some(w) = fs.writers.get_mut(&writer) {
+                w.0 = 0;
+            }
+            fs.dead_writer = true;
+            return Vec::new();
+        }
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
         let entries = self.entries_of(logical, writer);
@@ -650,8 +670,9 @@ impl Driver for PlfsDriver {
                     .collect();
                 let sync = closes.iter().copied().max().unwrap_or(SimTime::ZERO);
                 let fs = self.files.entry(logical.clone()).or_default();
-                if fs.overflowed {
-                    // Someone buffered too much: no flattened index.
+                if fs.overflowed || fs.dead_writer {
+                    // Someone buffered too much — or died — so no
+                    // flattened index; readers fall back to aggregation.
                     return closes;
                 }
                 let total_entries = fs.total_entries();
@@ -906,6 +927,41 @@ mod tests {
             flat_close > orig_close,
             "flatten close {flat_close} vs original {orig_close}"
         );
+    }
+
+    #[test]
+    fn crashed_rank_leaves_recovery_debris_and_suppresses_flatten() {
+        let prog = checkpoint_restart(8, 64 * 1024, 8);
+        let mut ctx = quiet_ctx(8, 16, 1);
+        let mut cfg = PlfsDriverConfig::new(fed(1, 4), ReadStrategy::IndexFlatten);
+        cfg.crash_at_close.insert(3);
+        let mut d = PlfsDriver::new(cfg);
+        Exec::new(&prog, &mut d, &mut ctx).run();
+
+        // A dead writer means close-time aggregation cannot complete.
+        assert!(!d.flattened("/ckpt"));
+        let fs = ctx.pfs.namespace();
+        // The crashed rank never flushed its index...
+        assert_eq!(
+            ctx.pfs.file_size("/panfs/ckpt/subdir.3/dropping.index.3"),
+            0,
+            "dead writer's index log must stay empty"
+        );
+        // ...never recorded metadata, and never deregistered.
+        assert!(!fs.file_exists("/panfs/ckpt/metadir/meta.3"));
+        assert!(fs.file_exists("/panfs/ckpt/openhosts/host.3"));
+        // Surviving ranks closed normally.
+        for w in [0u64, 1, 2, 4, 5, 6, 7] {
+            let sub = (w % 4) as usize;
+            assert_eq!(
+                ctx.pfs
+                    .file_size(&format!("/panfs/ckpt/subdir.{sub}/dropping.index.{w}")),
+                8 * INDEX_RECORD_BYTES,
+                "writer {w}"
+            );
+            assert!(fs.file_exists(&format!("/panfs/ckpt/metadir/meta.{w}")));
+            assert!(!fs.file_exists(&format!("/panfs/ckpt/openhosts/host.{w}")));
+        }
     }
 
     #[test]

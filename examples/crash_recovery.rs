@@ -1,0 +1,128 @@
+//! Crash a checkpoint writer mid-stream, then recover with fsck.
+//!
+//! A checkpoint layer earns its keep on the unhappy path. This example
+//! wraps the in-memory backend in a [`plfs::FaultBackend`] that freezes
+//! (and tears the in-flight append) partway through a strided N-1
+//! checkpoint, then walks the operator's recovery playbook:
+//!
+//! 1. `fsck::check` — name the damage the dead writer left behind;
+//! 2. `fsck::repair` — fix what is mechanical, report the rest;
+//! 3. read back — every write the application saw acknowledged as durable
+//!    (index flushed) comes back byte-exact; nothing is invented.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use plfs::faults::{FaultBackend, FaultConfig};
+use plfs::writer::{IndexPolicy, WriteHandle};
+use plfs::{fsck, reader::ReadHandle, Container, Content, Federation, MemFs};
+use std::sync::Arc;
+
+const BLOCK: u64 = 4096;
+const WRITERS: u64 = 4;
+const ROUNDS: u64 = 8;
+
+fn main() {
+    // Freeze the backend after 20 data operations — mid-schedule, with
+    // the in-flight append torn (a strict prefix lands).
+    let cfg = FaultConfig::crash_at(2012, 20);
+    let backend = Arc::new(FaultBackend::new(MemFs::new(), cfg));
+    let container = Container::new("/ckpt", &Federation::single("/panfs", 4));
+
+    println!("== checkpointing: {WRITERS} writers, strided {BLOCK}-byte blocks ==");
+    let mut handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            WriteHandle::open(Arc::clone(&backend), container.clone(), w, IndexPolicy::WriteClose)
+                .expect("open")
+        })
+        .collect();
+
+    // Track what each writer saw acknowledged as durable: a write is only
+    // durable once a flush_index (or close) covering it succeeded.
+    let mut durable: Vec<Vec<u64>> = vec![Vec::new(); WRITERS as usize];
+    let mut written: Vec<Vec<u64>> = vec![Vec::new(); WRITERS as usize];
+    'job: for k in 0..ROUNDS {
+        for w in 0..WRITERS {
+            let block = k * WRITERS + w;
+            let h = &mut handles[w as usize];
+            match h.write(block * BLOCK, &Content::synthetic(block, BLOCK), block + 1) {
+                Ok(()) => written[w as usize].push(block),
+                Err(e) => {
+                    println!("  writer {w}: write of block {block} failed: {e}");
+                    if backend.crashed() {
+                        break 'job;
+                    }
+                }
+            }
+            if k % 2 == 1 {
+                match h.flush_index() {
+                    Ok(()) => durable[w as usize] = written[w as usize].clone(),
+                    Err(e) => {
+                        println!("  writer {w}: index flush failed: {e}");
+                        if backend.crashed() {
+                            break 'job;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let stats = backend.stats();
+    println!(
+        "crashed after {} data ops ({} torn, {} rejected while frozen)",
+        stats.data_ops, stats.torn_appends, stats.frozen_rejects
+    );
+    drop(handles); // the writer processes are gone; nothing closed cleanly
+
+    // Node restart: storage holds whatever survived; injection is over.
+    backend.revive();
+
+    println!("\n== fsck: what did the crash leave behind? ==");
+    let report = fsck::check(&backend, &container).expect("check");
+    for issue in &report.issues {
+        println!("  issue: {issue:?}");
+    }
+    for tail in &report.tails {
+        println!(
+            "  tail:  writer {} data log holds {} bytes, index references {}",
+            tail.writer, tail.physical_bytes, tail.indexed_bytes
+        );
+    }
+
+    println!("\n== repair ==");
+    let outcome = fsck::repair(&backend, &container).expect("repair");
+    for issue in &outcome.fixed {
+        println!("  fixed: {issue:?}");
+    }
+    for t in &outcome.trimmed_tails {
+        println!(
+            "  trimmed: {} unreferenced bytes from writer {}'s data log",
+            t.physical_bytes - t.indexed_bytes,
+            t.writer
+        );
+    }
+    for issue in &outcome.unrepaired {
+        println!("  UNREPAIRED: {issue:?}");
+    }
+    assert!(outcome.fully_repaired(), "repair must converge: {outcome:?}");
+
+    println!("\n== restart: read back every durable block ==");
+    let mut r = ReadHandle::open(Arc::clone(&backend), container).expect("open for read");
+    let mut verified = 0u64;
+    for w in 0..WRITERS as usize {
+        for &block in &durable[w] {
+            let got = r.read(block * BLOCK, BLOCK).expect("read");
+            assert_eq!(
+                got,
+                Content::synthetic(block, BLOCK).materialize(),
+                "durable block {block} must survive recovery"
+            );
+            verified += 1;
+        }
+    }
+    let lost: u64 = (0..WRITERS as usize)
+        .map(|w| (written[w].len() - durable[w].len()) as u64)
+        .sum();
+    println!("verified {verified} durable blocks byte-exact; {lost} unflushed blocks");
+    println!("were never acknowledged and are legitimately gone — lost work is bounded");
+    println!("by the flush interval, and recovery never invents a byte.");
+}

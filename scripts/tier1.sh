@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and clippy with warnings
-# denied. Everything runs offline against the vendored dependencies.
+# Tier-1 gate: release build, full test suite, clippy with warnings
+# denied, and the seeded crash-recovery suite under a pinned fault
+# schedule. Everything runs offline against the vendored dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --offline -- -D warnings
+
+# Crash-recovery under a fixed fault seed: the schedule replays
+# byte-identically, so any recovery regression reproduces exactly.
+PLFS_FAULT_SEED=3405691582 cargo test -q --offline --test crash_recovery

@@ -124,15 +124,10 @@ fn main() -> ExitCode {
                 }
             }
         }
-        ("check", Some(logical)) | ("repair", Some(logical)) => {
+        ("check", Some(logical)) => {
             let subdirs = detect_subdirs(&backend, logical);
             let cont = Container::new(logical, &Federation::single("/", subdirs));
-            let result = if cmd == "repair" {
-                fsck::repair(&backend, &cont)
-            } else {
-                fsck::check(&backend, &cont)
-            };
-            match result {
+            match fsck::check(&backend, &cont) {
                 Ok(r) if r.is_clean() => {
                     println!("{logical}: clean ({} writers, {} bytes)", r.writers.len(), r.logical_size);
                     ExitCode::SUCCESS
@@ -142,6 +137,41 @@ fn main() -> ExitCode {
                         println!("{logical}: {issue:?}");
                     }
                     ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("plfsctl: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("repair", Some(logical)) => {
+            let subdirs = detect_subdirs(&backend, logical);
+            let cont = Container::new(logical, &Federation::single("/", subdirs));
+            match fsck::repair(&backend, &cont) {
+                Ok(r) => {
+                    for issue in &r.fixed {
+                        println!("{logical}: fixed {issue:?}");
+                    }
+                    for tail in &r.trimmed_tails {
+                        println!(
+                            "{logical}: trimmed {} unreferenced tail bytes from writer {}'s data log",
+                            tail.physical_bytes - tail.indexed_bytes,
+                            tail.writer
+                        );
+                    }
+                    for issue in &r.unrepaired {
+                        println!("{logical}: UNREPAIRED {issue:?}");
+                    }
+                    if r.fully_repaired() {
+                        println!(
+                            "{logical}: clean ({} writers, {} bytes)",
+                            r.post.writers.len(),
+                            r.post.logical_size
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("plfsctl: {e}");

@@ -257,10 +257,12 @@ fn fsck_repair_is_idempotent_and_converges() {
     let before = plfs::fsck::check(&b, &cont).unwrap();
     assert_eq!(before.issues.len(), 2);
     let after = plfs::fsck::repair(&b, &cont).unwrap();
-    assert!(after.is_clean(), "{:?}", after.issues);
+    assert!(after.fully_repaired(), "{after:?}");
+    assert_eq!(after.fixed.len(), 2);
     // Repairing a clean container changes nothing.
     let again = plfs::fsck::repair(&b, &cont).unwrap();
-    assert!(again.is_clean());
-    assert_eq!(again.logical_size, after.logical_size);
-    assert_eq!(again.spans, after.spans);
+    assert!(again.fully_repaired());
+    assert!(again.fixed.is_empty());
+    assert_eq!(again.post.logical_size, after.post.logical_size);
+    assert_eq!(again.post.spans, after.post.spans);
 }
