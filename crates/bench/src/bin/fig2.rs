@@ -80,7 +80,7 @@ fn main() {
             rows.push((format!("{app} / {fs_name}"), speedup));
         }
     }
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "{}",
         render_table(

@@ -330,6 +330,7 @@ impl Container {
                 .collect();
             handles
                 .into_iter()
+                // plfs-lint: allow(panic-in-core): a panicked worker must propagate, not masquerade as an I/O error
                 .map(|h| h.join().expect("index aggregation thread panicked"))
                 .collect()
         });

@@ -51,19 +51,18 @@ pub const DEFAULT_RETRY_ATTEMPTS: u32 = 8;
 pub fn retry_transient<T>(attempts: u32, mut op: impl FnMut() -> Result<T>) -> Result<T> {
     let attempts = attempts.max(1);
     let mut backoff_us = 1u64;
-    let mut last = None;
-    for attempt in 0..attempts {
+    for _ in 1..attempts {
         match op() {
             Ok(v) => return Ok(v),
-            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+            Err(e) if e.is_transient() => {
                 std::thread::sleep(std::time::Duration::from_micros(backoff_us));
                 backoff_us = (backoff_us * 2).min(256);
-                last = Some(e);
             }
             Err(e) => return Err(e),
         }
     }
-    Err(last.expect("loop ran at least once"))
+    // Final attempt: whatever happens is the caller's to see.
+    op()
 }
 
 impl fmt::Display for PlfsError {

@@ -126,7 +126,7 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
                 continue;
             }
         };
-        let names = match b.list(&dir) {
+        let names = match retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.list(&dir)) {
             Ok(n) => n,
             Err(e) => {
                 report.issues.push(Issue::BrokenSubdir {
@@ -170,7 +170,7 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
     let mut entries: Vec<IndexEntry> = Vec::new();
     for &w in &index_logs {
         let ipath = container.index_log(b, w)?;
-        let len = b.size(&ipath)?;
+        let len = retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&ipath))?;
         let whole = len / INDEX_RECORD_BYTES;
         let trailing = len % INDEX_RECORD_BYTES;
         if trailing != 0 {
@@ -188,7 +188,8 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
 
         let has_data_log = data_logs.binary_search(&w).is_ok();
         let dsize = if has_data_log {
-            b.size(&container.data_log(b, w)?)?
+            let dpath = container.data_log(b, w)?;
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&dpath))?
         } else {
             0
         };
@@ -284,8 +285,10 @@ pub fn space_usage<B: Backend>(b: &B, container: &Container) -> Result<SpaceUsag
     let writers = container.list_writers(b)?;
     let mut entries: Vec<IndexEntry> = Vec::new();
     for &w in &writers {
-        usage.data_bytes += b.size(&container.data_log(b, w)?)?;
-        usage.index_bytes += b.size(&container.index_log(b, w)?)?;
+        let dpath = container.data_log(b, w)?;
+        let ipath = container.index_log(b, w)?;
+        usage.data_bytes += retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&dpath))?;
+        usage.index_bytes += retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&ipath))?;
         entries.extend(container.read_index_log(b, w)?);
     }
     let idx = GlobalIndex::from_entries(entries);
@@ -365,8 +368,8 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
             }
             Issue::OrphanDataLog { writer } => {
                 let path = container.data_log(b, writer)?;
-                if b.size(&path)? == 0 {
-                    b.unlink(&path)?;
+                if retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&path))? == 0 {
+                    retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&path))?;
                     fixed.push(issue);
                 } else {
                     // Real bytes with no index: deleting would destroy
@@ -406,7 +409,7 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     // extents fit inside the data log.
     for &w in &rewrite {
         let ipath = container.index_log(b, w)?;
-        let len = b.size(&ipath)?;
+        let len = retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&ipath))?;
         let whole = len / INDEX_RECORD_BYTES;
         let bytes = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
             b.read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)
@@ -414,21 +417,28 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
         .materialize();
         let decoded = IndexEntry::decode_all(&bytes)?;
         let dpath = container.data_log(b, w)?;
-        let dsize = if b.exists(&dpath) { b.size(&dpath)? } else { 0 };
+        let dsize = if b.exists(&dpath) {
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&dpath))?
+        } else {
+            0
+        };
         let kept: Vec<IndexEntry> = decoded
             .into_iter()
             .filter(|e| e.physical_offset + e.length <= dsize)
             .collect();
-        b.create(&ipath, false)?; // truncate
+        // truncate
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.create(&ipath, false))?;
         if !kept.is_empty() {
-            b.append(&ipath, &Content::bytes(IndexEntry::encode_all(&kept)))?;
+            let bytes = Content::bytes(IndexEntry::encode_all(&kept));
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.append(&ipath, &bytes))?;
         }
     }
 
     // Orphan index logs reference a data log that does not exist; their
     // records can never resolve to bytes, so deleting loses nothing.
     for &w in &orphan_index {
-        b.unlink(&container.index_log(b, w)?)?;
+        let ipath = container.index_log(b, w)?;
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&ipath))?;
     }
 
     for &w in &stale_hosts {
@@ -439,7 +449,8 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     // (the swap is the last step), so reclaiming it cannot lose data.
     for (i, name) in &realign_temps {
         let dir = container.subdir_phys(b, *i)?;
-        b.unlink(&format!("{dir}/{name}"))?;
+        let temp = format!("{dir}/{name}");
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&temp))?;
     }
 
     if drop_flattened {
@@ -459,9 +470,10 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
         } else {
             None
         };
-        b.create(&dpath, false)?; // truncate
+        // truncate
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.create(&dpath, false))?;
         if let Some(k) = keep {
-            b.append(&dpath, &k)?;
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.append(&dpath, &k))?;
         }
         trimmed_tails.push(t.clone());
     }
@@ -471,11 +483,12 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     if refresh_metadir {
         let idx = container.aggregate_index(b)?;
         let metadir = format!("{}/{METADIR}", container.canonical_path());
-        match b.list(&metadir) {
+        match retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.list(&metadir)) {
             Ok(names) => {
                 for n in names {
                     if n.starts_with("meta.") {
-                        b.unlink(&format!("{metadir}/{n}"))?;
+                        let stale = format!("{metadir}/{n}");
+                        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&stale))?;
                     }
                 }
             }
@@ -845,7 +858,9 @@ mod tests {
             .or_else(|| (0..4).find(|&i| fed.shadow_subdir_path("/f", i).is_some()));
         if let Some(i) = victim {
             let entry = format!("{}/subdir.{i}", cont.canonical_path());
-            let _ = b.unlink(&entry);
+            if b.exists(&entry) {
+                b.unlink(&entry).unwrap();
+            }
             b.create(&entry, false).unwrap();
             b.append(&entry, &Content::bytes(b"/gone/away".to_vec()))
                 .unwrap();

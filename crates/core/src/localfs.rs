@@ -8,7 +8,7 @@
 use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
 use crate::error::{PlfsError, Result};
-use crate::path::normalize;
+use crate::path::try_normalize;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -28,29 +28,29 @@ impl LocalFs {
         })
     }
 
-    fn host(&self, path: &str) -> PathBuf {
-        let norm = normalize(path);
+    fn host(&self, path: &str) -> Result<PathBuf> {
+        let norm = try_normalize(path)?;
         let mut p = self.root.clone();
         for seg in norm.split('/').filter(|s| !s.is_empty()) {
             p.push(seg);
         }
-        p
+        Ok(p)
     }
 }
 
 impl Backend for LocalFs {
     fn mkdir(&self, path: &str) -> Result<()> {
-        fs::create_dir(self.host(path))?;
+        fs::create_dir(self.host(path)?)?;
         Ok(())
     }
 
     fn mkdir_all(&self, path: &str) -> Result<()> {
-        fs::create_dir_all(self.host(path))?;
+        fs::create_dir_all(self.host(path)?)?;
         Ok(())
     }
 
     fn create(&self, path: &str, exclusive: bool) -> Result<()> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         let res = fs::OpenOptions::new()
             .write(true)
             .create(true)
@@ -67,7 +67,7 @@ impl Backend for LocalFs {
     }
 
     fn append(&self, path: &str, content: &Content) -> Result<u64> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         if !host.is_file() {
             return Err(PlfsError::NotFound(path.to_string()));
         }
@@ -78,7 +78,7 @@ impl Backend for LocalFs {
     }
 
     fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         if host.is_dir() {
             return Err(PlfsError::WrongKind {
                 path: path.to_string(),
@@ -99,7 +99,7 @@ impl Backend for LocalFs {
     }
 
     fn size(&self, path: &str) -> Result<u64> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         let md = fs::metadata(&host).map_err(|e| match e.kind() {
             std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
             _ => PlfsError::from(e),
@@ -114,7 +114,7 @@ impl Backend for LocalFs {
     }
 
     fn kind(&self, path: &str) -> Result<NodeKind> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         let md = fs::metadata(&host).map_err(|e| match e.kind() {
             std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
             _ => PlfsError::from(e),
@@ -127,7 +127,7 @@ impl Backend for LocalFs {
     }
 
     fn list(&self, path: &str) -> Result<Vec<String>> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         if host.is_file() {
             return Err(PlfsError::WrongKind {
                 path: path.to_string(),
@@ -147,7 +147,7 @@ impl Backend for LocalFs {
     }
 
     fn unlink(&self, path: &str) -> Result<()> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         if host.is_dir() {
             return Err(PlfsError::WrongKind {
                 path: path.to_string(),
@@ -161,7 +161,7 @@ impl Backend for LocalFs {
     }
 
     fn remove_all(&self, path: &str) -> Result<()> {
-        let host = self.host(path);
+        let host = self.host(path)?;
         if !host.exists() {
             return Err(PlfsError::NotFound(path.to_string()));
         }
@@ -174,8 +174,8 @@ impl Backend for LocalFs {
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
-        let from_host = self.host(from);
-        let to_host = self.host(to);
+        let from_host = self.host(from)?;
+        let to_host = self.host(to)?;
         if !from_host.exists() {
             return Err(PlfsError::NotFound(from.to_string()));
         }
@@ -197,7 +197,11 @@ mod tests {
             std::process::id(),
             std::thread::current().id()
         ));
-        let _ = fs::remove_dir_all(&dir);
+        // Pre-clean from an earlier run; only "nothing to remove" is OK.
+        match fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+        }
         (LocalFs::new(&dir).unwrap(), dir)
     }
 
@@ -217,7 +221,7 @@ mod tests {
         assert_eq!(fs_.size("/a/b/f").unwrap(), 11);
         assert_eq!(fs_.kind("/a/b").unwrap(), NodeKind::Dir);
         assert_eq!(fs_.list("/a/b").unwrap(), vec!["f"]);
-        let _ = fs::remove_dir_all(dir);
+        fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
@@ -232,7 +236,7 @@ mod tests {
             fs_.create("/f", true),
             Err(PlfsError::AlreadyExists(_))
         ));
-        let _ = fs::remove_dir_all(dir);
+        fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
@@ -244,7 +248,7 @@ mod tests {
         assert!(fs_.exists("/c2/sub/f"));
         fs_.remove_all("/c2").unwrap();
         assert!(!fs_.exists("/c2"));
-        let _ = fs::remove_dir_all(dir);
+        fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
@@ -254,6 +258,6 @@ mod tests {
         fs_.append("/f", &Content::bytes(vec![1, 2, 3])).unwrap();
         assert_eq!(fs_.read_at("/f", 2, 100).unwrap().len(), 1);
         assert_eq!(fs_.read_at("/f", 50, 10).unwrap().len(), 0);
-        let _ = fs::remove_dir_all(dir);
+        fs::remove_dir_all(dir).unwrap();
     }
 }

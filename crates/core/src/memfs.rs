@@ -8,7 +8,7 @@
 use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
 use crate::error::{PlfsError, Result};
-use crate::path::{normalize, parent};
+use crate::path::{parent, try_normalize};
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
 
@@ -81,7 +81,7 @@ impl MemFs {
 
 impl Backend for MemFs {
     fn mkdir(&self, path: &str) -> Result<()> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let mut nodes = self.nodes.write();
         if nodes.contains_key(&path) {
             return Err(PlfsError::AlreadyExists(path));
@@ -90,7 +90,7 @@ impl Backend for MemFs {
     }
 
     fn mkdir_all(&self, path: &str) -> Result<()> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let mut nodes = self.nodes.write();
         let mut cur = String::new();
         for seg in path.split('/').filter(|s| !s.is_empty()) {
@@ -113,7 +113,7 @@ impl Backend for MemFs {
     }
 
     fn create(&self, path: &str, exclusive: bool) -> Result<()> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let mut nodes = self.nodes.write();
         match nodes.get_mut(&path) {
             Some(Node::File(bytes)) => {
@@ -133,7 +133,7 @@ impl Backend for MemFs {
     }
 
     fn append(&self, path: &str, content: &Content) -> Result<u64> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let mut nodes = self.nodes.write();
         match nodes.get_mut(&path) {
             Some(Node::File(bytes)) => {
@@ -150,7 +150,7 @@ impl Backend for MemFs {
     }
 
     fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let nodes = self.nodes.read();
         match nodes.get(&path) {
             Some(Node::File(bytes)) => {
@@ -167,7 +167,7 @@ impl Backend for MemFs {
     }
 
     fn size(&self, path: &str) -> Result<u64> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let nodes = self.nodes.read();
         match nodes.get(&path) {
             Some(Node::File(bytes)) => Ok(bytes.len() as u64),
@@ -180,7 +180,7 @@ impl Backend for MemFs {
     }
 
     fn kind(&self, path: &str) -> Result<NodeKind> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         match self.nodes.read().get(&path) {
             Some(Node::File(_)) => Ok(NodeKind::File),
             Some(Node::Dir(_)) => Ok(NodeKind::Dir),
@@ -189,7 +189,7 @@ impl Backend for MemFs {
     }
 
     fn list(&self, path: &str) -> Result<Vec<String>> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         match self.nodes.read().get(&path) {
             Some(Node::Dir(children)) => Ok(children.iter().cloned().collect()),
             Some(Node::File(_)) => Err(PlfsError::WrongKind {
@@ -201,7 +201,7 @@ impl Backend for MemFs {
     }
 
     fn unlink(&self, path: &str) -> Result<()> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let mut nodes = self.nodes.write();
         match nodes.get(&path) {
             Some(Node::File(_)) => {}
@@ -221,7 +221,7 @@ impl Backend for MemFs {
     }
 
     fn remove_all(&self, path: &str) -> Result<()> {
-        let path = normalize(path);
+        let path = try_normalize(path)?;
         let mut nodes = self.nodes.write();
         if path == "/" {
             return Err(PlfsError::InvalidArg("cannot remove root".into()));
@@ -238,8 +238,8 @@ impl Backend for MemFs {
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
-        let from = normalize(from);
-        let to = normalize(to);
+        let from = try_normalize(from)?;
+        let to = try_normalize(to)?;
         let mut nodes = self.nodes.write();
         if !nodes.contains_key(&from) {
             return Err(PlfsError::NotFound(from));
@@ -258,6 +258,7 @@ impl Backend for MemFs {
             .cloned()
             .collect();
         for old in moves {
+            // plfs-lint: allow(panic-in-core): paths were collected from this map above, under the exclusive write lock
             let node = nodes.remove(&old).expect("collected above");
             let new = format!("{to}{}", &old[from.len()..]);
             nodes.insert(new, node);

@@ -4,15 +4,24 @@
 //! (`/a/b/c`), which keeps `MemFs` and the simulated file system free of
 //! platform path semantics; `LocalFs` maps these onto a real root.
 
+use crate::error::{PlfsError, Result};
+
 /// Normalize a path: collapse `//`, resolve `.` segments, require absolute.
 /// `..` is rejected rather than resolved — PLFS never emits it and
-/// resolving it silently would mask container-layout bugs.
-pub fn normalize(path: &str) -> String {
+/// resolving it silently would mask container-layout bugs. Paths that
+/// arrive from *outside* (VFS entry points, backends fed user strings)
+/// go through this fallible form so a hostile path is an error, not an
+/// abort.
+pub fn try_normalize(path: &str) -> Result<String> {
     let mut out = String::with_capacity(path.len() + 1);
     for seg in path.split('/') {
         match seg {
             "" | "." => {}
-            ".." => panic!("'..' not supported in PLFS paths: {path}"),
+            ".." => {
+                return Err(PlfsError::InvalidArg(format!(
+                    "'..' not supported in PLFS paths: {path}"
+                )))
+            }
             s => {
                 out.push('/');
                 out.push_str(s);
@@ -22,7 +31,17 @@ pub fn normalize(path: &str) -> String {
     if out.is_empty() {
         out.push('/');
     }
-    out
+    Ok(out)
+}
+
+/// Infallible [`try_normalize`] for internally-generated paths, whose
+/// segments the container layer controls end to end.
+pub fn normalize(path: &str) -> String {
+    match try_normalize(path) {
+        Ok(p) => p,
+        // plfs-lint: allow(panic-in-core): internal paths never contain '..'; a hit here is a container-layout bug worth aborting on
+        Err(_) => panic!("'..' not supported in PLFS paths: {path}"),
+    }
 }
 
 /// Join a base path and a child name.

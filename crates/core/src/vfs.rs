@@ -7,7 +7,7 @@ use crate::backend::{Backend, NodeKind};
 use crate::container::Container;
 use crate::error::{PlfsError, Result};
 use crate::federation::Federation;
-use crate::path::{join, normalize};
+use crate::path::{join, try_normalize};
 use crate::reader::ReadHandle;
 use crate::writer::{reject_read_write, IndexPolicy, WriteHandle};
 use std::collections::BTreeMap;
@@ -134,7 +134,7 @@ impl<B: Backend + Clone> Plfs<B> {
     pub fn open_read(&self, logical: &str) -> Result<ReadHandle<B>> {
         let c = self.container(logical);
         if !c.exists(&self.backend) {
-            return Err(PlfsError::NotFound(normalize(logical)));
+            return Err(PlfsError::NotFound(try_normalize(logical)?));
         }
         ReadHandle::open(self.backend.clone(), c)
     }
@@ -147,7 +147,7 @@ impl<B: Backend + Clone> Plfs<B> {
                 if self.container(logical).exists(&self.backend) {
                     Ok(())
                 } else {
-                    Err(PlfsError::NotFound(normalize(logical)))
+                    Err(PlfsError::NotFound(try_normalize(logical)?))
                 }
             }
             OpenMode::Write => Ok(()),
@@ -159,7 +159,7 @@ impl<B: Backend + Clone> Plfs<B> {
     pub fn stat(&self, logical: &str) -> Result<FileStat> {
         let c = self.container(logical);
         if !c.exists(&self.backend) {
-            return Err(PlfsError::NotFound(normalize(logical)));
+            return Err(PlfsError::NotFound(try_normalize(logical)?));
         }
         if let Some(size) = c.cached_size(&self.backend)? {
             // Cached records only cover closed writers; if anyone still
@@ -180,7 +180,8 @@ impl<B: Backend + Clone> Plfs<B> {
 
     /// Whether a logical path exists, and as what.
     pub fn lookup(&self, logical: &str) -> Option<LogicalKind> {
-        let logical = normalize(logical);
+        // A path PLFS cannot even normalize certainly does not exist.
+        let logical = try_normalize(logical).ok()?;
         let c = self.container(&logical);
         if c.exists(&self.backend) {
             return Some(LogicalKind::File);
@@ -198,7 +199,7 @@ impl<B: Backend + Clone> Plfs<B> {
     /// Create a logical directory (in every namespace, so listings and
     /// future container creates work wherever hashing lands them).
     pub fn mkdir(&self, logical: &str) -> Result<()> {
-        let logical = normalize(logical);
+        let logical = try_normalize(logical)?;
         for ns in self.config.federation.namespaces() {
             self.backend.mkdir_all(&phys_path(ns, &logical))?;
         }
@@ -209,7 +210,7 @@ impl<B: Backend + Clone> Plfs<B> {
     /// directories as directories, shadow internals are hidden. Unions
     /// across all namespaces (container spreading scatters entries).
     pub fn readdir(&self, logical: &str) -> Result<Vec<(String, LogicalKind)>> {
-        let logical = normalize(logical);
+        let logical = try_normalize(logical)?;
         let mut out: BTreeMap<String, LogicalKind> = BTreeMap::new();
         let mut found_any = false;
         for ns in self.config.federation.namespaces() {
@@ -272,7 +273,7 @@ impl<B: Backend + Clone> Plfs<B> {
     pub fn unlink(&self, logical: &str) -> Result<()> {
         let c = self.container(logical);
         if !c.exists(&self.backend) {
-            return Err(PlfsError::NotFound(normalize(logical)));
+            return Err(PlfsError::NotFound(try_normalize(logical)?));
         }
         c.remove(&self.backend)
     }
@@ -283,8 +284,8 @@ impl<B: Backend + Clone> Plfs<B> {
     /// rewritten — costs the N-1 create path never pays, which is why PLFS
     /// targets checkpoint (write-once) workloads.
     pub fn rename(&self, from: &str, to: &str) -> Result<()> {
-        let from = normalize(from);
-        let to = normalize(to);
+        let from = try_normalize(from)?;
+        let to = try_normalize(to)?;
         let cf = self.container(&from);
         if !cf.exists(&self.backend) {
             return Err(PlfsError::NotFound(from));

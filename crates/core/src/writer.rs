@@ -63,7 +63,10 @@ impl<B: Backend> WriteHandle<B> {
     /// (The container skeleton itself stays minimal; subdirs appear only
     /// as writers land in them.)
     pub fn open(backend: B, container: Container, writer: WriterId, policy: IndexPolicy) -> Result<Self> {
-        container.create(&backend)?;
+        // Container::create is idempotent (first creator wins; racers see
+        // AlreadyExists internally and succeed), so retrying the whole
+        // composite after a transient is safe.
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || container.create(&backend))?;
         container.register_open(&backend, writer)?;
         let mut handle = Self::bare(backend, container, writer, policy);
         handle.ensure_logs()?;
@@ -100,7 +103,9 @@ impl<B: Backend> WriteHandle<B> {
     /// The data goes to the end of this writer's data log regardless of
     /// `offset`; only the index remembers where it logically belongs.
     pub fn write(&mut self, offset: u64, content: &Content, timestamp: u64) -> Result<()> {
-        assert!(!self.closed, "write after close");
+        if self.closed {
+            return Err(PlfsError::InvalidArg("write after close".into()));
+        }
         if content.is_empty() {
             return Ok(());
         }
@@ -148,11 +153,13 @@ impl<B: Backend> WriteHandle<B> {
                 .ensure_subdir(&self.backend, self.container.subdir_for(self.writer))?;
             let data = format!("{sub}/{}{}", crate::container::DATA_PREFIX, self.writer);
             let index = format!("{sub}/{}{}", crate::container::INDEX_PREFIX, self.writer);
-            self.backend.create(&data, false)?;
-            self.backend.create(&index, false)?;
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.create(&data, false))?;
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.create(&index, false))?;
             self.logs = Some((data, index));
         }
-        Ok(self.logs.as_ref().expect("just set"))
+        self.logs
+            .as_ref()
+            .ok_or_else(|| PlfsError::Io("writer dropping paths unset after initialisation".into()))
     }
 
     /// Persist buffered index entries to the index log and drop them from
@@ -219,15 +226,16 @@ impl<B: Backend> WriteHandle<B> {
         }
         let keep = size - rem;
         let staged = format!("{index_log}{}", crate::container::REALIGN_SUFFIX);
-        self.backend.create(&staged, false)?; // truncates an old attempt
+        // truncates an old attempt
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.create(&staged, false))?;
         if keep > 0 {
             let prefix = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
                 self.backend.read_at(index_log, 0, keep)
             })?;
             retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.append(&staged, &prefix))?;
         }
-        self.backend.unlink(index_log)?;
-        self.backend.rename(&staged, index_log)?;
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.unlink(index_log))?;
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.rename(&staged, index_log))?;
         Ok(())
     }
 

@@ -118,8 +118,10 @@ impl<B: Backend + Clone> NcWriter<B> {
 
     /// Close the dataset (flushes the PLFS index).
     pub fn close(self) -> Result<()> {
-        self.clock.checked_add(1).expect("clock overflow");
-        self.handle.close(self.clock + 1)?;
+        let ts = self.clock.checked_add(1).ok_or_else(|| {
+            PlfsError::InvalidArg("write clock overflow at close".into())
+        })?;
+        self.handle.close(ts)?;
         Ok(())
     }
 }

@@ -1,0 +1,208 @@
+//! format-drift: on-disk format constants must match the authoritative
+//! table in DESIGN.md.
+//!
+//! The table lives between `<!-- plfs-lint:format-table -->` and
+//! `<!-- /plfs-lint:format-table -->` markers, one markdown row per
+//! constant: `` | `NAME` | `VALUE` | `path/to/file.rs` | ``. Values are
+//! compared token-wise (both sides lexed and re-joined), so whitespace
+//! and comment differences don't matter but any semantic edit does.
+//! The doc is authoritative: changing a constant without updating the
+//! table — or vice versa — is a finding, as is a table row pointing at
+//! a file or constant that no longer exists.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{RawFinding, RuleId};
+
+#[derive(Debug, Clone)]
+pub struct FormatRow {
+    pub name: String,
+    /// Expected initializer, token-normalized.
+    pub value: String,
+    /// Repo-relative path (forward slashes) of the defining file.
+    pub file: String,
+    /// Line in DESIGN.md, for reporting table-side problems.
+    pub doc_line: u32,
+}
+
+/// Token-normalize a Rust expression: lex and re-join with single
+/// spaces so `b"NCL1"` and `b"NCL1" /* magic */` compare equal.
+pub fn normalize_expr(src: &str) -> String {
+    lex(src)
+        .toks
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn unbacktick(cell: &str) -> &str {
+    cell.trim().trim_matches('`').trim()
+}
+
+/// Parse the format table out of DESIGN.md. Errors if the markers are
+/// missing or unbalanced — the gate must not silently pass because the
+/// doc moved.
+pub fn parse_format_table(doc: &str) -> Result<Vec<FormatRow>, String> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut seen_open = false;
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.contains("<!-- plfs-lint:format-table -->") {
+            inside = true;
+            seen_open = true;
+            continue;
+        }
+        if trimmed.contains("<!-- /plfs-lint:format-table -->") {
+            inside = false;
+            continue;
+        }
+        if !inside || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() != 3 {
+            continue;
+        }
+        let (name, value, file) = (unbacktick(cells[0]), unbacktick(cells[1]), unbacktick(cells[2]));
+        // Skip the header and separator rows.
+        if name.is_empty() || name == "constant" || name.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        rows.push(FormatRow {
+            name: name.to_string(),
+            value: normalize_expr(value),
+            file: file.to_string(),
+            doc_line: lineno,
+        });
+    }
+    if !seen_open {
+        return Err("DESIGN.md has no `<!-- plfs-lint:format-table -->` marker; the format-drift rule has nothing to check against".into());
+    }
+    if inside {
+        return Err("DESIGN.md format table is missing its closing `<!-- /plfs-lint:format-table -->` marker".into());
+    }
+    if rows.is_empty() {
+        return Err("DESIGN.md format table is empty".into());
+    }
+    Ok(rows)
+}
+
+/// Extract `const NAME ... = <expr> ;` initializer tokens from a file.
+fn const_value(toks: &[Tok], name: &str) -> Option<(u32, String)> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is(TokKind::Ident, "const") && toks[i + 1].is(TokKind::Ident, name) {
+            // Find `=` then collect to the terminating `;`.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is(TokKind::Punct, "=") {
+                j += 1;
+            }
+            let start = j + 1;
+            let mut k = start;
+            while k < toks.len() && !toks[k].is(TokKind::Punct, ";") {
+                k += 1;
+            }
+            let value = toks[start..k]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            return Some((toks[i].line, value));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Check one scanned file against the table. Returns findings plus the
+/// indices of rows this file satisfied (the caller reports rows never
+/// claimed by any file).
+pub fn check_file(rows: &[FormatRow], rel_path: &str, toks: &[Tok]) -> (Vec<RawFinding>, Vec<usize>) {
+    let mut findings = Vec::new();
+    let mut matched = Vec::new();
+    for (idx, row) in rows.iter().enumerate() {
+        if row.file != rel_path {
+            continue;
+        }
+        match const_value(toks, &row.name) {
+            Some((_, actual)) if actual == row.value => matched.push(idx),
+            Some((line, actual)) => {
+                matched.push(idx);
+                findings.push(RawFinding {
+                    rule: RuleId::FormatDrift,
+                    line,
+                    message: format!(
+                        "on-disk format constant `{}` is `{}` but DESIGN.md (line {}) says `{}`; \
+                         update the authoritative table or revert the constant",
+                        row.name, actual, row.doc_line, row.value
+                    ),
+                });
+            }
+            None => {
+                matched.push(idx);
+                findings.push(RawFinding {
+                    rule: RuleId::FormatDrift,
+                    line: 1,
+                    message: format!(
+                        "DESIGN.md (line {}) expects constant `{}` in this file, but no \
+                         `const {}` declaration was found",
+                        row.doc_line, row.name, row.name
+                    ),
+                });
+            }
+        }
+    }
+    (findings, matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+intro text
+
+<!-- plfs-lint:format-table -->
+| constant | value | file |
+| --- | --- | --- |
+| `MAGIC` | `b\"NCL1\"` | `a/header.rs` |
+| `HEADER_REGION` | `8192` | `a/lib.rs` |
+<!-- /plfs-lint:format-table -->
+";
+
+    #[test]
+    fn table_parses_and_matches() {
+        let rows = parse_format_table(DOC).unwrap();
+        assert_eq!(rows.len(), 2);
+        let toks = lex("const MAGIC: &[u8; 4] = b\"NCL1\"; // four-byte magic").toks;
+        let (f, m) = check_file(&rows, "a/header.rs", &toks);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(m, vec![0]);
+    }
+
+    #[test]
+    fn drifted_value_is_flagged() {
+        let rows = parse_format_table(DOC).unwrap();
+        let toks = lex("pub const HEADER_REGION: u64 = 4096;").toks;
+        let (f, _) = check_file(&rows, "a/lib.rs", &toks);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("4096"));
+    }
+
+    #[test]
+    fn missing_const_is_flagged() {
+        let rows = parse_format_table(DOC).unwrap();
+        let toks = lex("fn unrelated() {}").toks;
+        let (f, _) = check_file(&rows, "a/lib.rs", &toks);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no `const HEADER_REGION`"));
+    }
+
+    #[test]
+    fn missing_markers_error() {
+        assert!(parse_format_table("no table here").is_err());
+        assert!(parse_format_table("<!-- plfs-lint:format-table -->\n| `A` | `1` | `f.rs` |\n").is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! plfs-lint: workspace-wide static invariant checker for the PLFS
+//! middleware. See DESIGN.md §5d for the rule catalogue and rationale.
+//!
+//! The pipeline per file: [`lexer::lex`] → [`rules::test_ranges`] →
+//! the per-rule scanners → pragma resolution (findings suppressed by a
+//! `// plfs-lint: allow(<rule>): <reason>` on the flagged line or the
+//! comment line directly above become [`report::AllowedFinding`]s).
+//! Pragmas are never free: malformed ones, ones naming unknown rules,
+//! and ones that suppress nothing are all surfaced as warnings.
+
+pub mod drift;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use drift::FormatRow;
+use lexer::lex;
+use report::{AllowedFinding, Finding, LintReport, LintWarning};
+use rules::{RawFinding, RuleId};
+
+/// What to lint.
+pub struct LintConfig {
+    /// Workspace root; `crates/` and `src/` beneath it are scanned.
+    pub root: PathBuf,
+    /// The authoritative format doc; defaults to `<root>/DESIGN.md`.
+    pub design_doc: Option<PathBuf>,
+}
+
+impl LintConfig {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LintConfig {
+            root: root.into(),
+            design_doc: None,
+        }
+    }
+}
+
+/// Directory names that are never scanned: vendored deps, build output,
+/// test/bench/example code (exempt by design), and lint fixtures (which
+/// are deliberately full of violations).
+const SKIP_DIRS: &[&str] = &[
+    "vendor", "target", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+/// guard-across-io only applies where lock guards and backend handles
+/// coexist; the simulators hold locks over pure in-memory models.
+fn guard_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/") || rel.starts_with("crates/formats/") || rel.starts_with("src/")
+}
+
+/// unretried-backend-call applies to the data/recovery paths only.
+fn unretried_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/")
+        && (rel.ends_with("/writer.rs") || rel.ends_with("/reader.rs") || rel.ends_with("/fsck.rs"))
+}
+
+/// Per-file lint result, pre-aggregation.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    pub findings: Vec<Finding>,
+    pub allowed: Vec<AllowedFinding>,
+    pub warnings: Vec<LintWarning>,
+}
+
+/// Lint one source file given as a string. `rel` selects path-scoped
+/// rules (guard-across-io, unretried-backend-call); `extra` carries
+/// caller-computed findings (format-drift) through pragma resolution.
+pub fn lint_source_with(rel: &str, src: &str, extra: Vec<RawFinding>) -> FileLint {
+    let lexed = lex(src);
+    let tests = rules::test_ranges(&lexed.toks);
+
+    let mut raw: Vec<RawFinding> = extra;
+    raw.extend(rules::panic_in_core(&lexed.toks, &tests));
+    raw.extend(rules::swallowed_result(&lexed.toks, &tests));
+    if guard_scope(rel) {
+        raw.extend(rules::guard_across_io(&lexed.toks, &tests));
+    }
+    if unretried_scope(rel) {
+        raw.extend(rules::unretried_backend_call(&lexed.toks, &tests));
+    }
+
+    // Line spans of test regions: pragmas inside them are inert (test
+    // code is rule-exempt, so there is nothing for them to suppress).
+    let test_lines: Vec<(u32, u32)> = tests
+        .iter()
+        .map(|&(s, e)| (lexed.toks[s].line, lexed.toks[e].line))
+        .collect();
+    let in_test_lines = |line: u32| test_lines.iter().any(|&(s, e)| s <= line && line <= e);
+
+    // Sorted token lines, for "first code line after the pragma".
+    let tok_lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let next_code_line = |after: u32| -> Option<u32> {
+        let idx = tok_lines.partition_point(|&l| l <= after);
+        tok_lines.get(idx).copied()
+    };
+
+    let mut out = FileLint::default();
+    let snippet = |line: u32| -> String {
+        src.lines()
+            .nth(line as usize - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+
+    let mut suppressed = vec![false; raw.len()];
+    for pragma in &lexed.pragmas {
+        if in_test_lines(pragma.line) {
+            continue;
+        }
+        let Some(rule_name) = &pragma.rule else {
+            out.warnings.push(LintWarning {
+                file: rel.to_string(),
+                line: pragma.line,
+                message: "malformed plfs-lint pragma; expected `// plfs-lint: allow(<rule>): <reason>`"
+                    .into(),
+            });
+            continue;
+        };
+        let Some(rule) = RuleId::parse(rule_name) else {
+            out.warnings.push(LintWarning {
+                file: rel.to_string(),
+                line: pragma.line,
+                message: format!(
+                    "plfs-lint pragma names unknown rule `{rule_name}` (known: {})",
+                    RuleId::all()
+                        .map(RuleId::as_str)
+                        .join(", ")
+                ),
+            });
+            continue;
+        };
+        // A pragma covers its own line (trailing form) and the first
+        // code line after it (comment-line-above form).
+        let anchor = next_code_line(pragma.line);
+        let mut used = false;
+        for (i, f) in raw.iter().enumerate() {
+            if suppressed[i] || f.rule != rule {
+                continue;
+            }
+            if f.line == pragma.line || Some(f.line) == anchor {
+                suppressed[i] = true;
+                used = true;
+                out.allowed.push(AllowedFinding {
+                    rule,
+                    file: rel.to_string(),
+                    line: f.line,
+                    reason: pragma.reason.clone(),
+                });
+            }
+        }
+        if !used {
+            out.warnings.push(LintWarning {
+                file: rel.to_string(),
+                line: pragma.line,
+                message: format!(
+                    "unused plfs-lint pragma for `{}`: no finding on this or the next code line",
+                    rule.as_str()
+                ),
+            });
+        }
+    }
+
+    for (i, f) in raw.into_iter().enumerate() {
+        if suppressed[i] {
+            continue;
+        }
+        out.findings.push(Finding {
+            rule: f.rule,
+            file: rel.to_string(),
+            line: f.line,
+            message: f.message,
+            snippet: snippet(f.line),
+        });
+    }
+    out
+}
+
+/// Lint one in-memory source file with no format-drift context (the
+/// entry point fixture tests use).
+pub fn lint_source(rel: &str, src: &str) -> FileLint {
+    lint_source_with(rel, src, Vec::new())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run the full workspace lint. Errors (as opposed to findings) are
+/// configuration problems: unreadable root, missing DESIGN.md, missing
+/// or malformed format table.
+pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
+    let design_path = cfg
+        .design_doc
+        .clone()
+        .unwrap_or_else(|| cfg.root.join("DESIGN.md"));
+    let doc = fs::read_to_string(&design_path)
+        .map_err(|e| format!("cannot read {}: {e}", design_path.display()))?;
+    let rows: Vec<FormatRow> = drift::parse_format_table(&doc)?;
+    let mut row_matched = vec![false; rows.len()];
+
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs_files(&cfg.root.join(top), &mut files);
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no Rust sources found under {} (crates/, src/)",
+            cfg.root.display()
+        ));
+    }
+
+    let mut report = LintReport::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let lexed_for_drift = lex(&src);
+        let (drift_findings, matched) = drift::check_file(&rows, &rel, &lexed_for_drift.toks);
+        for idx in matched {
+            row_matched[idx] = true;
+        }
+        let file_lint = lint_source_with(&rel, &src, drift_findings);
+        report.findings.extend(file_lint.findings);
+        report.allowed.extend(file_lint.allowed);
+        report.warnings.extend(file_lint.warnings);
+        report.files_scanned += 1;
+    }
+
+    for (row, matched) in rows.iter().zip(&row_matched) {
+        if !matched {
+            report.findings.push(Finding {
+                rule: RuleId::FormatDrift,
+                file: "DESIGN.md".into(),
+                line: row.doc_line,
+                message: format!(
+                    "format table row for `{}` points at `{}`, which was not scanned \
+                     (file moved or deleted without updating the table)",
+                    row.name, row.file
+                ),
+                snippet: doc
+                    .lines()
+                    .nth(row.doc_line as usize - 1)
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+            });
+        }
+    }
+
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_pragma_suppresses_and_is_counted() {
+        let src = "fn f() { x.unwrap(); } // plfs-lint: allow(panic-in-core): test scaffolding\n";
+        let r = lint_source("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allowed.len(), 1);
+        assert_eq!(r.allowed[0].reason, "test scaffolding");
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn line_above_pragma_suppresses() {
+        let src = "\
+fn f() {
+    // plfs-lint: allow(panic-in-core): invariant established two lines up
+    x.unwrap();
+}
+";
+        let r = lint_source("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allowed.len(), 1);
+    }
+
+    #[test]
+    fn unused_and_malformed_pragmas_warn() {
+        let src = "\
+// plfs-lint: allow(panic-in-core): nothing here panics
+fn clean() {}
+// plfs-lint: allow(no-such-rule): typo
+// plfs-lint: allow(panic-in-core) missing colon and reason
+fn also_clean() {}
+";
+        let r = lint_source("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.warnings.len(), 3, "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn pragma_for_wrong_rule_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // plfs-lint: allow(swallowed-result): wrong rule\n";
+        let r = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.warnings.len(), 1, "wrong-rule pragma is unused");
+    }
+
+    #[test]
+    fn scoped_rules_respect_paths() {
+        let src = "fn f(&self) { let g = self.m.lock(); self.backend.append(a, b); }\n\
+                   // plfs-lint: allow(guard-across-io): n/a\n";
+        // Out of guard scope: no finding, pragma unused.
+        let sim = lint_source("crates/mpio/src/sim.rs", "fn f(&self) { let g = self.m.lock(); self.backend.append(a, b); }\n");
+        assert!(sim.findings.is_empty());
+        let core = lint_source("crates/core/src/posix.rs", src);
+        assert!(core.findings.iter().any(|f| f.rule == RuleId::GuardAcrossIo) || !core.allowed.is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture for `format-drift`: the magic constant was changed
+//! in code without updating the DESIGN.md table, which is exactly the
+//! silent on-disk format break the rule exists to catch.
+
+pub const MAGIC: &[u8; 4] = b"NCL2";

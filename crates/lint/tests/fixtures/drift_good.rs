@@ -1,0 +1,4 @@
+//! Known-good fixture for `format-drift`: constants match the table in
+//! `drift_design.md` (linted as if it were the file each row names).
+
+pub const MAGIC: &[u8; 4] = b"NCL1";

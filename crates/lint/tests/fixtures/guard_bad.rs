@@ -1,0 +1,23 @@
+//! Known-bad fixture for `guard-across-io`.
+//!
+//! This is the pre-fault-PR posix shim shape: the shared descriptor
+//! table's mutex is still held when the per-file writer performs backend
+//! I/O, so one slow storage operation serializes every descriptor in
+//! the mount. The linter must flag the `w.write(...)` and
+//! `w.flush_index()` calls while `guard` is live.
+
+pub struct PosixShim {
+    table: Mutex<Vec<OpenFile>>,
+}
+
+impl PosixShim {
+    pub fn pwrite(&self, fd: usize, data: &[u8], off: u64) -> Result<u64> {
+        let mut guard = self.table.lock();
+        let w = guard
+            .get_mut(fd)
+            .ok_or_else(|| PlfsError::InvalidArg(format!("bad fd {fd}")))?;
+        let n = w.writer.write(data, off)?;
+        w.writer.flush_index()?;
+        Ok(n)
+    }
+}

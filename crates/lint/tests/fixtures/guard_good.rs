@@ -1,0 +1,30 @@
+//! Known-good fixture for `guard-across-io`.
+//!
+//! The fixed posix shim shape: the table lock is only held long enough
+//! to clone the per-descriptor handle, and is dropped (by scope or by
+//! `drop`) before any backend I/O runs.
+
+pub struct PosixShim {
+    table: Mutex<Vec<OpenFile>>,
+}
+
+impl PosixShim {
+    pub fn pwrite(&self, fd: usize, data: &[u8], off: u64) -> Result<u64> {
+        let writer = {
+            let guard = self.table.lock();
+            guard
+                .get(fd)
+                .ok_or_else(|| PlfsError::InvalidArg(format!("bad fd {fd}")))?
+                .writer
+                .clone()
+        };
+        writer.write(data, off)
+    }
+
+    pub fn fsync(&self, fd: usize) -> Result<()> {
+        let guard = self.table.lock();
+        let writer = guard[fd].writer.clone();
+        drop(guard);
+        writer.flush_index()
+    }
+}

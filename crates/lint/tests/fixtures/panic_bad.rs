@@ -1,0 +1,17 @@
+//! Known-bad fixture for `panic-in-core`.
+//!
+//! Middleware runs linked into the host application: an `unwrap` here
+//! aborts the scientist's job, not a CLI. All four shapes below must be
+//! flagged.
+
+pub fn decode_header(bytes: &[u8]) -> Header {
+    let magic: [u8; 4] = bytes[..4].try_into().unwrap();
+    let version = parse_version(&bytes[4..]).expect("valid version");
+    if magic != MAGIC {
+        panic!("bad magic {magic:?}");
+    }
+    match version {
+        1 => Header { version },
+        _ => todo!("future header versions"),
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-good fixture for `panic-in-core`.
+//!
+//! Library code returns typed errors; test code is exempt and may
+//! unwrap freely.
+
+pub fn decode_header(bytes: &[u8]) -> Result<Header> {
+    let magic: [u8; 4] = bytes
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| PlfsError::Corrupt("short header".into()))?;
+    if magic != MAGIC {
+        return Err(PlfsError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let version = parse_version(&bytes[4..])?;
+    Ok(Header { version })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let h = decode_header(&GOOD_BYTES).unwrap();
+        assert_eq!(h.version, 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture for pragma resolution: each finding below carries an
+//! explicit `plfs-lint: allow` with a reason, so the file lints clean
+//! with every hit accounted for in the allowed list.
+
+pub fn spawn_workers(handles: Vec<JoinHandle<Result<()>>>) -> Result<()> {
+    for h in handles {
+        // plfs-lint: allow(panic-in-core): a panicked worker must propagate, not masquerade as an I/O error
+        h.join().expect("worker panicked")?;
+    }
+    Ok(())
+}
+
+pub fn cat<B: Backend>(b: &B, r: &mut ReadHandle, size: u64) -> Result<()> {
+    let mut out = stdout().lock();
+    // plfs-lint: allow(guard-across-io): stdout lock is not shared container state; holding it across reads is the point
+    let bytes = r.read(0, size)?;
+    out.write_all(&bytes)?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture for `unretried-backend-call` (linted as if it were
+//! `crates/core/src/fsck.rs`).
+//!
+//! Direct backend calls on the recovery path: a transient storage blip
+//! during `list`/`size` turns a repairable container into a failed
+//! fsck, even though transient errors are guaranteed side-effect-free
+//! and safe to retry.
+
+pub fn scan_subdir<B: Backend>(b: &B, dir: &str) -> Result<u64> {
+    let names = b.list(dir)?;
+    let mut total = 0;
+    for name in names {
+        total += b.size(&join(dir, &name))?;
+    }
+    Ok(total)
+}

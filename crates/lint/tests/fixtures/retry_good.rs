@@ -1,0 +1,16 @@
+//! Known-good fixture for `unretried-backend-call` (linted as if it
+//! were `crates/core/src/fsck.rs`).
+//!
+//! Every backend call on the recovery path is wrapped in
+//! `retry_transient`, so guaranteed-no-effect failures are retried with
+//! backoff instead of failing the fsck.
+
+pub fn scan_subdir<B: Backend>(b: &B, dir: &str) -> Result<u64> {
+    let names = retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.list(dir))?;
+    let mut total = 0;
+    for name in names {
+        let path = join(dir, &name);
+        total += retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&path))?;
+    }
+    Ok(total)
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture for `swallowed-result`.
+//!
+//! `repair_one` is the pre-fault-PR fsck shape: a match over [`Issue`]
+//! whose wildcard arm is an empty block, so every issue variant added
+//! later is silently "repaired" by doing nothing. The other two shapes
+//! (`let _ = ...` and a statement-final `.ok();`) discard errors the
+//! recovery path needed to see.
+
+pub fn repair_one<B: Backend>(b: &B, container: &Container, issue: &Issue) {
+    match issue {
+        Issue::TruncatedIndexLog { writer, .. } => {
+            clip_index_log(b, container, *writer);
+        }
+        _ => {}
+    }
+}
+
+pub fn reclaim<B: Backend>(b: &B, path: &str) {
+    let _ = b.unlink(path);
+}
+
+pub fn best_effort_flush(w: &mut WriteHandle) {
+    w.flush_index().ok();
+}

@@ -1,0 +1,22 @@
+//! Known-good fixture for `swallowed-result`.
+//!
+//! The post-fault-PR fsck shape: every [`Issue`] variant is either
+//! handled or explicitly forwarded, discards are propagated with `?`,
+//! and fallible flushes surface their errors.
+
+pub fn repair_one<B: Backend>(b: &B, container: &Container, issue: &Issue) -> Result<Fix> {
+    match issue {
+        Issue::TruncatedIndexLog { writer, .. } => clip_index_log(b, container, *writer),
+        Issue::OrphanDataLog { writer } => reclaim_data_log(b, container, *writer),
+        other => Ok(Fix::Unfixable(other.clone())),
+    }
+}
+
+pub fn reclaim<B: Backend>(b: &B, path: &str) -> Result<()> {
+    b.unlink(path)?;
+    Ok(())
+}
+
+pub fn flush(w: &mut WriteHandle) -> Result<()> {
+    w.flush_index()
+}

@@ -1,0 +1,160 @@
+//! Seeded regression tests: each rule must catch the PR-shaped
+//! counterexample it was written for, and must stay quiet on the fixed
+//! shape. The bad fixtures are distilled from real bugs this repo has
+//! already fixed by hand (the posix shim's table mutex held across
+//! backend I/O; fsck's empty `_ => {}` wildcard over `Issue`).
+
+use plfs_lint::drift;
+use plfs_lint::lexer::lex;
+use plfs_lint::rules::RuleId;
+use plfs_lint::{lint_source, lint_source_with};
+
+fn rule_lines(rel: &str, src: &str, rule: RuleId) -> Vec<u32> {
+    lint_source(rel, src)
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+fn total_findings(rel: &str, src: &str) -> usize {
+    lint_source(rel, src).findings.len()
+}
+
+#[test]
+fn guard_bad_flags_table_mutex_across_io() {
+    let src = include_str!("fixtures/guard_bad.rs");
+    let lines = rule_lines("crates/core/src/posix.rs", src, RuleId::GuardAcrossIo);
+    // Both the `w.writer.write(data, off)` and the `flush_index()` run
+    // with the table guard live.
+    assert_eq!(lines.len(), 2, "findings: {lines:?}");
+}
+
+#[test]
+fn guard_good_is_clean() {
+    let src = include_str!("fixtures/guard_good.rs");
+    assert_eq!(total_findings("crates/core/src/posix.rs", src), 0);
+}
+
+#[test]
+fn swallowed_bad_flags_all_three_shapes() {
+    let src = include_str!("fixtures/swallowed_bad.rs");
+    let lines = rule_lines("crates/core/src/repair.rs", src, RuleId::SwallowedResult);
+    // One empty wildcard arm over Issue, one `let _ =`, one `.ok();`.
+    assert_eq!(lines.len(), 3, "findings: {lines:?}");
+}
+
+#[test]
+fn swallowed_good_is_clean() {
+    let src = include_str!("fixtures/swallowed_good.rs");
+    assert_eq!(total_findings("crates/core/src/repair.rs", src), 0);
+}
+
+#[test]
+fn panic_bad_flags_unwrap_expect_panic_todo() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    let lines = rule_lines("crates/formats/src/header.rs", src, RuleId::PanicInCore);
+    assert_eq!(lines.len(), 4, "findings: {lines:?}");
+}
+
+#[test]
+fn panic_good_is_clean_and_tests_are_exempt() {
+    let src = include_str!("fixtures/panic_good.rs");
+    assert_eq!(total_findings("crates/formats/src/header.rs", src), 0);
+}
+
+#[test]
+fn retry_bad_flags_direct_backend_calls_on_recovery_path() {
+    let src = include_str!("fixtures/retry_bad.rs");
+    let lines = rule_lines(
+        "crates/core/src/fsck.rs",
+        src,
+        RuleId::UnretriedBackendCall,
+    );
+    // `b.list(dir)` and `b.size(...)`.
+    assert_eq!(lines.len(), 2, "findings: {lines:?}");
+}
+
+#[test]
+fn retry_rule_only_applies_to_recovery_paths() {
+    // The same source outside writer/reader/fsck is not in scope.
+    let src = include_str!("fixtures/retry_bad.rs");
+    let lines = rule_lines(
+        "crates/core/src/container.rs",
+        src,
+        RuleId::UnretriedBackendCall,
+    );
+    assert!(lines.is_empty(), "findings: {lines:?}");
+}
+
+#[test]
+fn retry_good_is_clean() {
+    let src = include_str!("fixtures/retry_good.rs");
+    assert_eq!(total_findings("crates/core/src/fsck.rs", src), 0);
+}
+
+#[test]
+fn drift_bad_flags_changed_constant() {
+    let rows = drift::parse_format_table(include_str!("fixtures/drift_design.md")).unwrap();
+    let src = include_str!("fixtures/drift_bad.rs");
+    let (raw, matched) = drift::check_file(&rows, "crates/formats/src/header.rs", &lex(src).toks);
+    assert_eq!(raw.len(), 1, "findings: {raw:?}");
+    assert!(raw[0].message.contains("MAGIC"), "message: {}", raw[0].message);
+    // The MAGIC row matched (by name) even though its value drifted.
+    assert!(matched.contains(&0));
+}
+
+#[test]
+fn drift_good_matches_table() {
+    let rows = drift::parse_format_table(include_str!("fixtures/drift_design.md")).unwrap();
+    let src = include_str!("fixtures/drift_good.rs");
+    let (raw, matched) = drift::check_file(&rows, "crates/formats/src/header.rs", &lex(src).toks);
+    assert!(raw.is_empty(), "findings: {raw:?}");
+    assert_eq!(matched, vec![0]);
+}
+
+#[test]
+fn drift_rows_only_checked_in_their_own_file() {
+    let rows = drift::parse_format_table(include_str!("fixtures/drift_design.md")).unwrap();
+    let src = include_str!("fixtures/drift_bad.rs");
+    // Wrong file: no table row names writer.rs, so it is silent even
+    // though it declares a drifted MAGIC.
+    let (raw, matched) = drift::check_file(&rows, "crates/core/src/writer.rs", &lex(src).toks);
+    assert!(raw.is_empty(), "findings: {raw:?}");
+    assert!(matched.is_empty());
+}
+
+#[test]
+fn pragma_annotated_findings_move_to_allowed() {
+    let src = include_str!("fixtures/pragma_allowed.rs");
+    let out = lint_source("crates/core/src/pragma.rs", src);
+    assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    assert_eq!(out.allowed.len(), 2, "allowed: {:?}", out.allowed);
+    assert!(out.warnings.is_empty(), "warnings: {:?}", out.warnings);
+    let rules: Vec<&str> = out.allowed.iter().map(|a| a.rule.as_str()).collect();
+    assert!(rules.contains(&"panic-in-core"));
+    assert!(rules.contains(&"guard-across-io"));
+}
+
+#[test]
+fn unused_pragma_warns() {
+    let src = "// plfs-lint: allow(panic-in-core): nothing here panics\npub fn fine() {}\n";
+    let out = lint_source("crates/core/src/x.rs", src);
+    assert!(out.findings.is_empty());
+    assert_eq!(out.warnings.len(), 1, "warnings: {:?}", out.warnings);
+}
+
+#[test]
+fn extra_findings_flow_through_pragma_resolution() {
+    use plfs_lint::rules::RawFinding;
+    let src = "// plfs-lint: allow(format-drift): transitional value during migration\npub const MAGIC: &[u8; 4] = b\"NCL2\";\n";
+    let extra = vec![RawFinding {
+        rule: RuleId::FormatDrift,
+        line: 2,
+        message: "`MAGIC` drifted".into(),
+    }];
+    let out = lint_source_with("crates/formats/src/header.rs", src, extra);
+    assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    assert_eq!(out.allowed.len(), 1);
+}

@@ -246,9 +246,8 @@ mod tests {
     fn nn_program(block: u64, reps: u64) -> impl Program {
         FnProgram {
             count: 4,
-            f: move |rank, pc| {
+            f: move |_rank, pc| {
                 let file = FileTag::per_rank("/out", 0);
-                let _ = rank;
                 match pc {
                     0 => LogicalOp::OpenWrite { file },
                     1 => LogicalOp::Write {

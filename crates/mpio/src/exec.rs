@@ -102,6 +102,7 @@ impl<'a, P: Program, D: Driver> Exec<'a, P, D> {
                     entry.arrivals.push((rank, now));
                     blocked += 1;
                     if entry.arrivals.len() == n {
+                        // plfs-lint: allow(panic-in-core): or_insert above guarantees the entry exists on this branch
                         let pending = collectives.remove(&pc[rank]).expect("just inserted");
                         blocked -= n;
                         let mut arrivals = vec![SimTime::ZERO; n];

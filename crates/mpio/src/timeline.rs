@@ -101,7 +101,7 @@ impl Timeline {
         ));
         for (rank, row) in rows.iter().enumerate() {
             out.push_str(&format!("{rank:>5} |"));
-            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str(&String::from_utf8_lossy(row));
             out.push_str("|\n");
         }
         out

@@ -116,6 +116,7 @@ impl SimPfs {
         let file = self
             .namespace()
             .file(path)
+            // plfs-lint: allow(panic-in-core): DES contract — create precedes transfer; a miss is a workload bug worth halting the simulation
             .unwrap_or_else(|| panic!("batch transfer on missing file {path}"));
         let node = node % p.nodes.max(1);
 

@@ -206,6 +206,7 @@ impl SimPfs {
     /// finish time). Appends are exclusive by construction (one writer per
     /// log).
     pub fn append(&mut self, node: usize, path: &str, len: u64, arrival: SimTime) -> (u64, SimTime) {
+        // plfs-lint: allow(panic-in-core): DES contract — create precedes append; a miss is a workload bug worth halting the simulation
         let offset = self.ns.file(path).expect("append to missing file").size;
         let finish = self.write_at(node, node as u64, path, offset, len, AccessMode::Exclusive, arrival);
         (offset, finish)
@@ -224,6 +225,7 @@ impl SimPfs {
         mode: AccessMode,
         arrival: SimTime,
     ) -> SimTime {
+        // plfs-lint: allow(panic-in-core): DES contract — create precedes write; a miss is a workload bug worth halting the simulation
         let file = self.ns.file(path).expect("write to missing file");
         let node = node % self.mem.len();
         let mut t = arrival;
@@ -256,6 +258,7 @@ impl SimPfs {
         len: u64,
         arrival: SimTime,
     ) -> SimTime {
+        // plfs-lint: allow(panic-in-core): DES contract — create precedes read; a miss is a workload bug worth halting the simulation
         let file = self.ns.file(path).expect("read of missing file");
         let node = node % self.mem.len();
         let len = len.min(file.size.saturating_sub(offset));
@@ -292,14 +295,13 @@ impl SimPfs {
     /// so many clients' round trips overlap.
     fn transfer(
         &mut self,
-        node: usize,
+        _node: usize,
         file: FileId,
         offset: u64,
         len: u64,
         is_write: bool,
         arrival: SimTime,
     ) -> SimTime {
-        let _ = node;
         let net_service = self.jitter.apply(SimDuration::from_secs_f64(
             len as f64 / self.params.net.channel_bw(),
         ));

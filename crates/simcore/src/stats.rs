@@ -91,7 +91,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;

@@ -26,6 +26,7 @@ fn file_of(w: &Workload) -> FileTag {
             return f.clone();
         }
     }
+    // plfs-lint: allow(panic-in-core): fmtlib wraps only workloads built by this crate, all of which open for write
     panic!("workload {} has no OpenWrite phase", w.name);
 }
 
@@ -87,6 +88,7 @@ fn insert_after_open_write(w: &mut Workload, op: OpSpec) {
         .specs
         .iter()
         .position(|s| matches!(s, OpSpec::OpenWrite(_)))
+        // plfs-lint: allow(panic-in-core): fmtlib wraps only workloads built by this crate, all of which have this phase
         .expect("OpenWrite phase");
     w.specs.insert(i + 1, op);
 }
@@ -96,6 +98,7 @@ fn insert_before_close_write(w: &mut Workload, op: OpSpec) {
         .specs
         .iter()
         .position(|s| matches!(s, OpSpec::CloseWrite(_)))
+        // plfs-lint: allow(panic-in-core): fmtlib wraps only workloads built by this crate, all of which have this phase
         .expect("CloseWrite phase");
     w.specs.insert(i, op);
 }
@@ -105,6 +108,7 @@ fn insert_after_open_read(w: &mut Workload, op: OpSpec) {
         .specs
         .iter()
         .position(|s| matches!(s, OpSpec::OpenRead(_)))
+        // plfs-lint: allow(panic-in-core): fmtlib wraps only workloads built by this crate, all of which have this phase
         .expect("OpenRead phase");
     w.specs.insert(i + 1, op);
 }

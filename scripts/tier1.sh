@@ -9,6 +9,17 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --offline -- -D warnings
 
+# Pedantic subset on the crates that ship in the I/O path: unwrap() is
+# banned outright there (tests are cfg'd out of --lib/--bins).
+cargo clippy --offline -p plfs -p formats -p harness -p mpio -p plfs-lint \
+    -p transformative-io --lib --bins -- -D warnings -D clippy::unwrap_used
+
+# Workspace invariant checker (DESIGN.md §5d): zero unannotated
+# findings, no malformed/unknown/unused pragmas, and the per-rule
+# pragma budget in results/lint_baseline.md only ratchets down.
+cargo run --release --offline --bin plfsctl -- lint --deny-warnings \
+    --baseline results/lint_baseline.md
+
 # Crash-recovery under a fixed fault seed: the schedule replays
 # byte-identically, so any recovery regression reproduces exactly.
 PLFS_FAULT_SEED=3405691582 cargo test -q --offline --test crash_recovery
