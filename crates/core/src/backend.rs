@@ -14,9 +14,16 @@
 //! All methods take `&self`; implementations provide interior locking so
 //! multiple writer threads can target one container concurrently, as real
 //! N-1 checkpoint processes do.
+//!
+//! Multi-op call sites do not loop over these methods: they build
+//! [`IoOp`] batches and go through [`Backend::submit`] (usually via
+//! [`crate::ioplane::submit_retried`], which adds per-op retry and the
+//! plane counters). The per-op methods remain the primitive vocabulary —
+//! and the default `submit` is exactly a sequential loop over them.
 
 use crate::content::Content;
-use crate::error::Result;
+use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
+use crate::ioplane::{self, IoOp, IoOutcome};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -54,8 +61,19 @@ pub trait Backend: Send + Sync {
     fn kind(&self, path: &str) -> Result<NodeKind>;
 
     /// Whether `path` exists at all.
+    ///
+    /// Only a definitive `NotFound` means "no": a transient or permission
+    /// failure proves nothing about absence, and reporting absent on one
+    /// misleads fsck's orphan detection and federation's placement
+    /// probes. Transients are retried; a probe that still fails
+    /// conservatively reports existence, so the caller falls through to
+    /// the operation that surfaces the real error instead of re-creating
+    /// over (or writing off) state it could not see.
     fn exists(&self, path: &str) -> bool {
-        self.kind(path).is_ok()
+        !matches!(
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.kind(path)),
+            Err(PlfsError::NotFound(_))
+        )
     }
 
     /// Names (not full paths) of entries in a directory, sorted.
@@ -69,42 +87,29 @@ pub trait Backend: Send + Sync {
 
     /// Atomically rename a file or directory.
     fn rename(&self, from: &str, to: &str) -> Result<()>;
-}
 
-/// A recorded backend operation (structure + size, no payloads).
-///
-/// The simulation layer in `mpio` re-creates these op sequences from its
-/// own cost-model drivers; integration tests replay small workloads through
-/// the *real* middleware under a `TracingBackend` and assert the simulated
-/// driver issues the same structural sequence. This is what keeps the
-/// simulator honest about what PLFS actually does.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BackendOp {
-    Mkdir { path: String },
-    MkdirAll { path: String },
-    Create { path: String, exclusive: bool },
-    Append { path: String, len: u64 },
-    ReadAt { path: String, offset: u64, len: u64 },
-    Size { path: String },
-    Kind { path: String },
-    List { path: String },
-    Unlink { path: String },
-    RemoveAll { path: String },
-    Rename { from: String, to: String },
-}
-
-impl BackendOp {
-    /// Is this a metadata operation (served by an MDS) as opposed to a data
-    /// transfer (served by storage servers)?
-    pub fn is_metadata(&self) -> bool {
-        !matches!(self, BackendOp::Append { .. } | BackendOp::ReadAt { .. })
+    /// Execute a batch of ops **in order**, returning one outcome per op.
+    ///
+    /// A failed op never aborts the ops after it; outcomes are per-op
+    /// (partial-batch semantics). The default implementation is a
+    /// sequential loop over the per-op methods; backends with a cheaper
+    /// native shape override it (`MemFs`: whole batch under one lock
+    /// acquisition; `LocalFs`: adjacent same-file appends and reads share
+    /// one descriptor) — observable behaviour must stay identical, which
+    /// `tests/prop_ioplane.rs` pins.
+    fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
+        batch.iter().map(|op| ioplane::dispatch_one(self, op)).collect()
     }
 }
 
-/// Wraps any backend and records every operation issued through it.
+/// Wraps any backend and records every operation issued through it as
+/// [`IoOp`] values — the same vocabulary the plane executes and the
+/// `mpio` simulation driver replays, so a recording *is* a replayable
+/// program ([`crate::ioplane::replay`]). `Append` payloads are refcounted
+/// (`Bytes`) or symbolic (`Synthetic`), so recording stays cheap.
 pub struct TracingBackend<B: Backend> {
     inner: B,
-    trace: Arc<Mutex<Vec<BackendOp>>>,
+    trace: Arc<Mutex<Vec<IoOp>>>,
 }
 
 impl<B: Backend> TracingBackend<B> {
@@ -116,33 +121,33 @@ impl<B: Backend> TracingBackend<B> {
     }
 
     /// A handle to the trace that survives moving `self` into PLFS.
-    pub fn trace_handle(&self) -> Arc<Mutex<Vec<BackendOp>>> {
+    pub fn trace_handle(&self) -> Arc<Mutex<Vec<IoOp>>> {
         Arc::clone(&self.trace)
     }
 
     /// Snapshot of operations recorded so far.
-    pub fn take_trace(&self) -> Vec<BackendOp> {
+    pub fn take_trace(&self) -> Vec<IoOp> {
         std::mem::take(&mut *self.trace.lock())
     }
 
-    fn record(&self, op: BackendOp) {
+    fn record(&self, op: IoOp) {
         self.trace.lock().push(op);
     }
 }
 
 impl<B: Backend> Backend for TracingBackend<B> {
     fn mkdir(&self, path: &str) -> Result<()> {
-        self.record(BackendOp::Mkdir { path: path.into() });
+        self.record(IoOp::Mkdir { path: path.into() });
         self.inner.mkdir(path)
     }
 
     fn mkdir_all(&self, path: &str) -> Result<()> {
-        self.record(BackendOp::MkdirAll { path: path.into() });
+        self.record(IoOp::MkdirAll { path: path.into() });
         self.inner.mkdir_all(path)
     }
 
     fn create(&self, path: &str, exclusive: bool) -> Result<()> {
-        self.record(BackendOp::Create {
+        self.record(IoOp::Create {
             path: path.into(),
             exclusive,
         });
@@ -150,15 +155,15 @@ impl<B: Backend> Backend for TracingBackend<B> {
     }
 
     fn append(&self, path: &str, content: &Content) -> Result<u64> {
-        self.record(BackendOp::Append {
+        self.record(IoOp::Append {
             path: path.into(),
-            len: content.len(),
+            content: content.clone(),
         });
         self.inner.append(path, content)
     }
 
     fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
-        self.record(BackendOp::ReadAt {
+        self.record(IoOp::ReadAt {
             path: path.into(),
             offset,
             len,
@@ -167,36 +172,45 @@ impl<B: Backend> Backend for TracingBackend<B> {
     }
 
     fn size(&self, path: &str) -> Result<u64> {
-        self.record(BackendOp::Size { path: path.into() });
+        self.record(IoOp::Size { path: path.into() });
         self.inner.size(path)
     }
 
     fn kind(&self, path: &str) -> Result<NodeKind> {
-        self.record(BackendOp::Kind { path: path.into() });
+        self.record(IoOp::Kind { path: path.into() });
         self.inner.kind(path)
     }
 
     fn list(&self, path: &str) -> Result<Vec<String>> {
-        self.record(BackendOp::List { path: path.into() });
+        self.record(IoOp::Readdir { path: path.into() });
         self.inner.list(path)
     }
 
     fn unlink(&self, path: &str) -> Result<()> {
-        self.record(BackendOp::Unlink { path: path.into() });
+        self.record(IoOp::Unlink { path: path.into() });
         self.inner.unlink(path)
     }
 
     fn remove_all(&self, path: &str) -> Result<()> {
-        self.record(BackendOp::RemoveAll { path: path.into() });
+        self.record(IoOp::RemoveAll { path: path.into() });
         self.inner.remove_all(path)
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
-        self.record(BackendOp::Rename {
+        self.record(IoOp::Rename {
             from: from.into(),
             to: to.into(),
         });
         self.inner.rename(from, to)
+    }
+
+    /// Record every op in the batch, then forward the batch whole so the
+    /// inner backend's native fast path still runs. Per-op visibility in
+    /// the trace is preserved: a batch of N ops records N entries,
+    /// exactly as the sequential path would.
+    fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
+        self.trace.lock().extend(batch.iter().cloned());
+        self.inner.submit(batch)
     }
 }
 
@@ -239,6 +253,9 @@ impl<B: Backend + ?Sized> Backend for Arc<B> {
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         (**self).rename(from, to)
     }
+    fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
+        (**self).submit(batch)
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +264,7 @@ mod tests {
     use crate::memfs::MemFs;
 
     #[test]
-    fn tracing_records_structure_not_payload() {
+    fn tracing_records_the_io_plane_vocabulary() {
         let t = TracingBackend::new(MemFs::new());
         t.mkdir_all("/a/b").unwrap();
         t.create("/a/b/f", true).unwrap();
@@ -257,16 +274,16 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                BackendOp::MkdirAll { path: "/a/b".into() },
-                BackendOp::Create {
+                IoOp::MkdirAll { path: "/a/b".into() },
+                IoOp::Create {
                     path: "/a/b/f".into(),
                     exclusive: true
                 },
-                BackendOp::Append {
+                IoOp::Append {
                     path: "/a/b/f".into(),
-                    len: 3
+                    content: Content::bytes(vec![1, 2, 3])
                 },
-                BackendOp::ReadAt {
+                IoOp::ReadAt {
                     path: "/a/b/f".into(),
                     offset: 0,
                     len: 2
@@ -278,24 +295,18 @@ mod tests {
     }
 
     #[test]
-    fn metadata_classification() {
-        assert!(BackendOp::Create {
-            path: "/x".into(),
-            exclusive: false
-        }
-        .is_metadata());
-        assert!(BackendOp::List { path: "/x".into() }.is_metadata());
-        assert!(!BackendOp::Append {
-            path: "/x".into(),
-            len: 1
-        }
-        .is_metadata());
-        assert!(!BackendOp::ReadAt {
-            path: "/x".into(),
-            offset: 0,
-            len: 1
-        }
-        .is_metadata());
+    fn tracing_submit_records_per_op_and_forwards_whole_batch() {
+        let t = TracingBackend::new(MemFs::new());
+        let batch = vec![
+            IoOp::Mkdir { path: "/d".into() },
+            IoOp::Create {
+                path: "/d/f".into(),
+                exclusive: true,
+            },
+        ];
+        let out = t.submit(&batch);
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(t.take_trace(), batch, "batch of N records N entries");
     }
 
     #[test]
@@ -305,5 +316,116 @@ mod tests {
         fs.create("/d/f", true).unwrap();
         assert!(fs.exists("/d/f"));
         assert_eq!(fs.kind("/d").unwrap(), NodeKind::Dir);
+    }
+
+    /// Satellite fix: `exists` must not report a file absent on errors
+    /// other than `NotFound`.
+    #[test]
+    fn exists_distinguishes_not_found_from_other_errors() {
+        struct Failing(&'static str);
+        impl Backend for Failing {
+            fn mkdir(&self, _: &str) -> Result<()> {
+                unreachable!()
+            }
+            fn mkdir_all(&self, _: &str) -> Result<()> {
+                unreachable!()
+            }
+            fn create(&self, _: &str, _: bool) -> Result<()> {
+                unreachable!()
+            }
+            fn append(&self, _: &str, _: &Content) -> Result<u64> {
+                unreachable!()
+            }
+            fn read_at(&self, _: &str, _: u64, _: u64) -> Result<Content> {
+                unreachable!()
+            }
+            fn size(&self, _: &str) -> Result<u64> {
+                unreachable!()
+            }
+            fn kind(&self, path: &str) -> Result<NodeKind> {
+                match self.0 {
+                    "notfound" => Err(PlfsError::NotFound(path.into())),
+                    "io" => Err(PlfsError::Io("permission denied".into())),
+                    _ => Err(PlfsError::Transient("dropped rpc".into())),
+                }
+            }
+            fn list(&self, _: &str) -> Result<Vec<String>> {
+                unreachable!()
+            }
+            fn unlink(&self, _: &str) -> Result<()> {
+                unreachable!()
+            }
+            fn remove_all(&self, _: &str) -> Result<()> {
+                unreachable!()
+            }
+            fn rename(&self, _: &str, _: &str) -> Result<()> {
+                unreachable!()
+            }
+        }
+        assert!(!Failing("notfound").exists("/f"), "NotFound means absent");
+        assert!(
+            Failing("io").exists("/f"),
+            "a permission error is not evidence of absence"
+        );
+        assert!(
+            Failing("transient").exists("/f"),
+            "a persistent transient is not evidence of absence"
+        );
+    }
+
+    /// Transient blips on the probe are retried away entirely.
+    #[test]
+    fn exists_retries_transient_probes() {
+        use parking_lot::Mutex;
+        struct FlakyKind {
+            inner: MemFs,
+            failures: Mutex<u32>,
+        }
+        impl Backend for FlakyKind {
+            fn mkdir(&self, p: &str) -> Result<()> {
+                self.inner.mkdir(p)
+            }
+            fn mkdir_all(&self, p: &str) -> Result<()> {
+                self.inner.mkdir_all(p)
+            }
+            fn create(&self, p: &str, e: bool) -> Result<()> {
+                self.inner.create(p, e)
+            }
+            fn append(&self, p: &str, c: &Content) -> Result<u64> {
+                self.inner.append(p, c)
+            }
+            fn read_at(&self, p: &str, o: u64, l: u64) -> Result<Content> {
+                self.inner.read_at(p, o, l)
+            }
+            fn size(&self, p: &str) -> Result<u64> {
+                self.inner.size(p)
+            }
+            fn kind(&self, p: &str) -> Result<NodeKind> {
+                let mut f = self.failures.lock();
+                if *f > 0 {
+                    *f -= 1;
+                    return Err(PlfsError::Transient("blip".into()));
+                }
+                self.inner.kind(p)
+            }
+            fn list(&self, p: &str) -> Result<Vec<String>> {
+                self.inner.list(p)
+            }
+            fn unlink(&self, p: &str) -> Result<()> {
+                self.inner.unlink(p)
+            }
+            fn remove_all(&self, p: &str) -> Result<()> {
+                self.inner.remove_all(p)
+            }
+            fn rename(&self, a: &str, b: &str) -> Result<()> {
+                self.inner.rename(a, b)
+            }
+        }
+        let b = FlakyKind {
+            inner: MemFs::new(),
+            failures: Mutex::new(2),
+        };
+        // Nothing created: after the blips clear, the honest answer is no.
+        assert!(!b.exists("/nope"));
     }
 }

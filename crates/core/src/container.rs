@@ -20,11 +20,12 @@
 //! ever appended) and `dropping.index.<id>` (the index log of
 //! [`crate::index::IndexEntry`] records).
 
-use crate::backend::Backend;
+use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
-use crate::error::{PlfsError, Result};
+use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::federation::Federation;
 use crate::index::{GlobalIndex, IndexEntry, WriterId};
+use crate::ioplane::{self, IoOp};
 use crate::path::{basename, join, normalize, parent};
 
 /// Name of the marker file that distinguishes a container from a plain
@@ -92,12 +93,29 @@ impl Container {
     /// Safe to race: the first creator wins; everyone else sees
     /// `AlreadyExists` internally and succeeds.
     pub fn create<B: Backend>(&self, b: &B) -> Result<()> {
-        b.mkdir_all(&parent(&self.canonical))?;
-        match b.mkdir(&self.canonical) {
+        // One batched submission (the batch executes in order, so the
+        // marker create sees the directory the mkdir just made) instead
+        // of three sequential round-trips; `AlreadyExists` from racing
+        // creators stays tolerated per op.
+        let batch = [
+            IoOp::MkdirAll {
+                path: parent(&self.canonical),
+            },
+            IoOp::Mkdir {
+                path: self.canonical.clone(),
+            },
+            IoOp::Create {
+                path: join(&self.canonical, ACCESS_FILE),
+                exclusive: true,
+            },
+        ];
+        let mut out = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+        ioplane::as_unit(ioplane::take(&mut out))?;
+        match ioplane::as_unit(ioplane::take(&mut out)) {
             Ok(()) | Err(PlfsError::AlreadyExists(_)) => {}
             Err(e) => return Err(e),
         }
-        match b.create(&join(&self.canonical, ACCESS_FILE), true) {
+        match ioplane::as_unit(ioplane::take(&mut out)) {
             Ok(()) | Err(PlfsError::AlreadyExists(_)) => Ok(()),
             Err(e) => Err(e),
         }
@@ -119,8 +137,23 @@ impl Container {
             Some(shadow) => {
                 // Subdir lives in another namespace: create the shadow
                 // directory there and a metalink here pointing at it.
-                b.mkdir_all(&shadow)?;
-                match b.create(&entry, true) {
+                // Shadow mkdir and metalink create batch together; the
+                // metalink *body* append stays conditional on winning the
+                // exclusive create (appending to a raced metalink would
+                // double its payload), so it cannot join the batch.
+                let stage = [
+                    IoOp::MkdirAll {
+                        path: shadow.clone(),
+                    },
+                    IoOp::Create {
+                        path: entry.clone(),
+                        exclusive: true,
+                    },
+                ];
+                let mut out =
+                    ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &stage).into_iter();
+                ioplane::as_unit(ioplane::take(&mut out))?;
+                match ioplane::as_unit(ioplane::take(&mut out)) {
                     Ok(()) => {
                         b.append(&entry, &Content::bytes(shadow.clone().into_bytes()))?;
                         Ok(shadow)
@@ -133,13 +166,11 @@ impl Container {
         }
     }
 
-    /// Ensure a container-internal directory (metadir/openhosts) exists.
-    fn ensure_inner_dir<B: Backend>(&self, b: &B, name: &str) -> Result<String> {
-        let dir = join(&self.canonical, name);
-        match b.mkdir(&dir) {
-            Ok(()) | Err(PlfsError::AlreadyExists(_)) => Ok(dir),
-            Err(e) => Err(e),
-        }
+    /// Ensure a container-internal directory (metadir/openhosts) exists,
+    /// as the first op of a larger batch: returns the ops to prepend and
+    /// the directory path (callers tolerate `AlreadyExists` per op).
+    fn inner_dir_path(&self, name: &str) -> String {
+        join(&self.canonical, name)
     }
 
     /// Physical directory that holds subdir `i`'s droppings, resolving a
@@ -147,8 +178,8 @@ impl Container {
     pub fn subdir_phys<B: Backend>(&self, b: &B, i: usize) -> Result<String> {
         let entry = join(&self.canonical, &format!("{SUBDIR_PREFIX}{i}"));
         match b.kind(&entry)? {
-            crate::backend::NodeKind::Dir => Ok(entry),
-            crate::backend::NodeKind::File => {
+            NodeKind::Dir => Ok(entry),
+            NodeKind::File => {
                 let len = b.size(&entry)?;
                 let bytes = b.read_at(&entry, 0, len)?.materialize();
                 String::from_utf8(bytes).map_err(|_| {
@@ -156,6 +187,59 @@ impl Container {
                 })
             }
         }
+    }
+
+    /// Resolve the physical path of **every** subdir with batched
+    /// submissions: one `Kind` probe batch over all entries, then (only
+    /// for metalinked subdirs) one `Size` batch and one `ReadAt` batch —
+    /// three plane round-trips for the whole container instead of one to
+    /// three per subdir. `None` marks a subdir no writer has created yet.
+    pub fn subdirs_phys_batch<B: Backend>(&self, b: &B) -> Result<Vec<Option<String>>> {
+        let k = self.fed.subdirs_per_container();
+        let entries: Vec<String> = (0..k)
+            .map(|i| join(&self.canonical, &format!("{SUBDIR_PREFIX}{i}")))
+            .collect();
+        let probes: Vec<IoOp> = entries
+            .iter()
+            .map(|e| IoOp::Kind { path: e.clone() })
+            .collect();
+        let kinds = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &probes);
+        let mut resolved: Vec<Option<String>> = vec![None; k];
+        let mut links: Vec<usize> = Vec::new();
+        for (i, outcome) in kinds.into_iter().enumerate() {
+            match ioplane::as_kind(outcome) {
+                Ok(NodeKind::Dir) => resolved[i] = Some(entries[i].clone()),
+                Ok(NodeKind::File) => links.push(i),
+                Err(PlfsError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if links.is_empty() {
+            return Ok(resolved);
+        }
+        let size_ops: Vec<IoOp> = links
+            .iter()
+            .map(|&i| IoOp::Size {
+                path: entries[i].clone(),
+            })
+            .collect();
+        let sizes = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops);
+        let mut read_ops = Vec::with_capacity(links.len());
+        for (&i, outcome) in links.iter().zip(sizes) {
+            read_ops.push(IoOp::ReadAt {
+                path: entries[i].clone(),
+                offset: 0,
+                len: ioplane::as_size(outcome)?,
+            });
+        }
+        let reads = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops);
+        for (&i, outcome) in links.iter().zip(reads) {
+            let bytes = ioplane::as_data(outcome)?.materialize();
+            resolved[i] = Some(String::from_utf8(bytes).map_err(|_| {
+                PlfsError::CorruptContainer(format!("metalink {} not utf-8", entries[i]))
+            })?);
+        }
+        Ok(resolved)
     }
 
     /// Which subdir a writer's droppings land in (static assignment).
@@ -181,10 +265,23 @@ impl Container {
     }
 
     /// Mark `writer` as having the file open for write (creating the
-    /// openhosts directory on first use).
+    /// openhosts directory on first use). One two-op batch: the mkdir
+    /// tolerates `AlreadyExists`, the host-entry create follows in order.
     pub fn register_open<B: Backend>(&self, b: &B, writer: WriterId) -> Result<()> {
-        let dir = self.ensure_inner_dir(b, OPENHOSTS)?;
-        b.create(&join(&dir, &format!("host.{writer}")), false)
+        let dir = self.inner_dir_path(OPENHOSTS);
+        let batch = [
+            IoOp::Mkdir { path: dir.clone() },
+            IoOp::Create {
+                path: join(&dir, &format!("host.{writer}")),
+                exclusive: false,
+            },
+        ];
+        let mut out = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+        match ioplane::as_unit(ioplane::take(&mut out)) {
+            Ok(()) | Err(PlfsError::AlreadyExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        ioplane::as_unit(ioplane::take(&mut out))
     }
 
     /// Remove `writer`'s openhosts entry (on close).
@@ -214,9 +311,56 @@ impl Container {
     /// cached records make `stat` cheap: no index aggregation needed.
     pub fn record_meta<B: Backend>(&self, b: &B, writer: WriterId, eof: u64, bytes: u64) -> Result<()> {
         // Encode in the name, like real PLFS: meta.<eof>.<bytes>.<writer>
-        let dir = self.ensure_inner_dir(b, METADIR)?;
-        let name = format!("meta.{eof}.{bytes}.{writer}");
-        b.create(&join(&dir, &name), false)
+        let dir = self.inner_dir_path(METADIR);
+        let batch = [
+            IoOp::Mkdir { path: dir.clone() },
+            IoOp::Create {
+                path: join(&dir, &format!("meta.{eof}.{bytes}.{writer}")),
+                exclusive: false,
+            },
+        ];
+        let mut out = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+        match ioplane::as_unit(ioplane::take(&mut out)) {
+            Ok(()) | Err(PlfsError::AlreadyExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        ioplane::as_unit(ioplane::take(&mut out))
+    }
+
+    /// Batched close-time bookkeeping for one writer: metadir record and
+    /// openhosts deregistration in a single three-op submission instead
+    /// of three sequential round-trips (the write-close hot path —
+    /// every writer of an N-1 job pays this at the same moment).
+    pub fn finish_close<B: Backend>(
+        &self,
+        b: &B,
+        writer: WriterId,
+        eof: u64,
+        bytes: u64,
+    ) -> Result<()> {
+        let metadir = self.inner_dir_path(METADIR);
+        let batch = [
+            IoOp::Mkdir {
+                path: metadir.clone(),
+            },
+            IoOp::Create {
+                path: join(&metadir, &format!("meta.{eof}.{bytes}.{writer}")),
+                exclusive: false,
+            },
+            IoOp::Unlink {
+                path: join(&self.inner_dir_path(OPENHOSTS), &format!("host.{writer}")),
+            },
+        ];
+        let mut out = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+        match ioplane::as_unit(ioplane::take(&mut out)) {
+            Ok(()) | Err(PlfsError::AlreadyExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        ioplane::as_unit(ioplane::take(&mut out))?;
+        match ioplane::as_unit(ioplane::take(&mut out)) {
+            Ok(()) | Err(PlfsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     /// Cheap logical size from metadir records: max EOF over closed
@@ -242,17 +386,19 @@ impl Container {
     }
 
     /// All writer ids that have droppings in this container, across all
-    /// subdirs, sorted.
+    /// subdirs, sorted. One batched subdir resolution plus one `Readdir`
+    /// batch over the resolved dirs (absent subdirs simply hold no
+    /// droppings — lazy creation).
     pub fn list_writers<B: Backend>(&self, b: &B) -> Result<Vec<WriterId>> {
         let mut ids = Vec::new();
-        for i in 0..self.fed.subdirs_per_container() {
-            // Lazily created: absent subdirs simply hold no droppings.
-            let dir = match self.subdir_phys(b, i) {
-                Ok(d) => d,
-                Err(PlfsError::NotFound(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            for name in b.list(&dir)? {
+        let resolved = self.subdirs_phys_batch(b)?;
+        let lists: Vec<IoOp> = resolved
+            .iter()
+            .flatten()
+            .map(|d| IoOp::Readdir { path: d.clone() })
+            .collect();
+        for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &lists) {
+            for name in ioplane::as_names(outcome)? {
                 if let Some(id) = name.strip_prefix(INDEX_PREFIX) {
                     if let Ok(w) = id.parse::<u64>() {
                         ids.push(w);
@@ -264,17 +410,66 @@ impl Container {
         Ok(ids)
     }
 
-    /// Read and decode one writer's index log. Transient read failures
-    /// are retried with bounded backoff (index reads sit on the read-open
-    /// critical path, where a dropped RPC should not fail the open).
+    /// Read and decode one writer's index log. Transient failures are
+    /// retried with bounded backoff by the plane (index reads sit on the
+    /// read-open critical path, where a dropped RPC should not fail the
+    /// open).
     pub fn read_index_log<B: Backend>(&self, b: &B, writer: WriterId) -> Result<Vec<IndexEntry>> {
         let path = self.index_log(b, writer)?;
-        let len = b.size(&path)?;
-        let bytes = crate::error::retry_transient(crate::error::DEFAULT_RETRY_ATTEMPTS, || {
-            b.read_at(&path, 0, len)
-        })?
-        .materialize();
-        IndexEntry::decode_all(&bytes)
+        Self::read_logs_whole(b, &[path]).map(|mut v| v.pop().unwrap_or_default())
+    }
+
+    /// Read and decode many writers' index logs through the plane: one
+    /// `Size` batch and one `ReadAt` batch for the whole set, instead of
+    /// two round-trips per writer. Entries come back concatenated in
+    /// writer order. `resolved` is a [`Container::subdirs_phys_batch`]
+    /// result, so the subdir probes are paid once per aggregation, not
+    /// once per writer.
+    pub fn read_index_logs<B: Backend>(
+        &self,
+        b: &B,
+        resolved: &[Option<String>],
+        writers: &[WriterId],
+    ) -> Result<Vec<IndexEntry>> {
+        let mut paths = Vec::with_capacity(writers.len());
+        for &w in writers {
+            let sub = self.subdir_for(w);
+            let dir = resolved.get(sub).and_then(Option::as_ref).ok_or_else(|| {
+                PlfsError::NotFound(join(&self.canonical, &format!("{SUBDIR_PREFIX}{sub}")))
+            })?;
+            paths.push(join(dir, &format!("{INDEX_PREFIX}{w}")));
+        }
+        let mut entries = Vec::new();
+        for decoded in Self::read_logs_whole(b, &paths)? {
+            entries.extend(decoded);
+        }
+        Ok(entries)
+    }
+
+    /// Size-then-read each path whole in two batched submissions and
+    /// decode the records.
+    fn read_logs_whole<B: Backend>(b: &B, paths: &[String]) -> Result<Vec<Vec<IndexEntry>>> {
+        let size_ops: Vec<IoOp> = paths
+            .iter()
+            .map(|p| IoOp::Size { path: p.clone() })
+            .collect();
+        let sizes = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops);
+        let mut read_ops = Vec::with_capacity(paths.len());
+        for (p, outcome) in paths.iter().zip(sizes) {
+            read_ops.push(IoOp::ReadAt {
+                path: p.clone(),
+                offset: 0,
+                len: ioplane::as_size(outcome)?,
+            });
+        }
+        let reads = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops);
+        let mut out = Vec::with_capacity(paths.len());
+        for outcome in reads {
+            out.push(IndexEntry::decode_all(
+                &ioplane::as_data(outcome)?.materialize(),
+            )?);
+        }
+        Ok(out)
     }
 
     /// Aggregate a global index by reading every writer's index log — the
@@ -283,11 +478,11 @@ impl Container {
     /// Serial reference implementation; [`Container::aggregate_index_parallel`]
     /// produces the identical span set across a thread pool.
     pub fn aggregate_index<B: Backend>(&self, b: &B) -> Result<GlobalIndex> {
-        let mut entries = Vec::new();
-        for w in self.list_writers(b)? {
-            entries.extend(self.read_index_log(b, w)?);
-        }
-        Ok(GlobalIndex::from_entries(entries))
+        let resolved = self.subdirs_phys_batch(b)?;
+        let writers = self.list_writers(b)?;
+        Ok(GlobalIndex::from_entries(self.read_index_logs(
+            b, &resolved, &writers,
+        )?))
     }
 
     /// Aggregate index logs across a bounded `std::thread::scope` pool —
@@ -302,29 +497,29 @@ impl Container {
         b: &B,
         max_threads: usize,
     ) -> Result<GlobalIndex> {
+        let resolved = self.subdirs_phys_batch(b)?;
         let writers = self.list_writers(b)?;
         let threads = max_threads.clamp(1, writers.len().max(1));
         if threads <= 1 {
-            // Serial shard, but reuse the writer listing already paid for
-            // rather than delegating to `aggregate_index` (which would
-            // re-list and double the metadata ops).
-            let mut entries = Vec::new();
-            for &w in &writers {
-                entries.extend(self.read_index_log(b, w)?);
-            }
-            return Ok(GlobalIndex::from_entries(entries));
+            // Serial shard, but reuse the listing and subdir resolution
+            // already paid for rather than delegating to
+            // `aggregate_index` (which would re-probe everything).
+            return Ok(GlobalIndex::from_entries(self.read_index_logs(
+                b, &resolved, &writers,
+            )?));
         }
         let shard_size = writers.len().div_ceil(threads);
         let partials: Vec<Result<GlobalIndex>> = std::thread::scope(|scope| {
             let handles: Vec<_> = writers
                 .chunks(shard_size)
                 .map(|shard| {
+                    let resolved = &resolved;
                     scope.spawn(move || -> Result<GlobalIndex> {
-                        let mut entries = Vec::new();
-                        for &w in shard {
-                            entries.extend(self.read_index_log(b, w)?);
-                        }
-                        Ok(GlobalIndex::from_entries(entries))
+                        // Each shard submits its whole log set as two
+                        // batches (sizes, then reads).
+                        Ok(GlobalIndex::from_entries(
+                            self.read_index_logs(b, resolved, shard)?,
+                        ))
                     })
                 })
                 .collect();
@@ -345,8 +540,19 @@ impl Container {
     /// close by the root process after gathering buffered indices).
     pub fn write_flattened<B: Backend>(&self, b: &B, index: &GlobalIndex) -> Result<()> {
         let path = join(&self.canonical, FLATTENED_INDEX);
-        b.create(&path, false)?;
-        b.append(&path, &Content::bytes(IndexEntry::encode_all(&index.to_entries())))?;
+        let batch = [
+            IoOp::Create {
+                path: path.clone(),
+                exclusive: false,
+            },
+            IoOp::Append {
+                path,
+                content: Content::bytes(IndexEntry::encode_all(&index.to_entries())),
+            },
+        ];
+        let mut out = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+        ioplane::as_unit(ioplane::take(&mut out))?;
+        ioplane::as_offset(ioplane::take(&mut out))?;
         Ok(())
     }
 
@@ -388,17 +594,29 @@ impl Container {
         }
     }
 
-    /// Remove the container and any shadow subdirs in other namespaces.
+    /// Remove the container and any shadow subdirs in other namespaces:
+    /// one `RemoveAll` batch (shadows tolerate `NotFound`; the canonical
+    /// tree, last in the batch, does not).
     pub fn remove<B: Backend>(&self, b: &B) -> Result<()> {
-        for i in 0..self.fed.subdirs_per_container() {
-            if let Some(shadow) = self.fed.shadow_subdir_path(&self.logical, i) {
-                match b.remove_all(&shadow) {
-                    Ok(()) | Err(PlfsError::NotFound(_)) => {}
-                    Err(e) => return Err(e),
-                }
+        let mut batch: Vec<IoOp> = (0..self.fed.subdirs_per_container())
+            .filter_map(|i| self.fed.shadow_subdir_path(&self.logical, i))
+            .map(|path| IoOp::RemoveAll { path })
+            .collect();
+        let shadows = batch.len();
+        batch.push(IoOp::RemoveAll {
+            path: self.canonical.clone(),
+        });
+        for (i, outcome) in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch)
+            .into_iter()
+            .enumerate()
+        {
+            match ioplane::as_unit(outcome) {
+                Ok(()) => {}
+                Err(PlfsError::NotFound(_)) if i < shadows => {}
+                Err(e) => return Err(e),
             }
         }
-        b.remove_all(&self.canonical)
+        Ok(())
     }
 
     /// Does `name` inside a directory listing look like a container entry

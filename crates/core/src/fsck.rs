@@ -26,11 +26,14 @@
 //! and [`repair`] fixes everything mechanical, explicitly reporting
 //! what it fixed and what it could not.
 
-use crate::backend::Backend;
-use crate::container::{Container, DATA_PREFIX, INDEX_PREFIX, METADIR, REALIGN_SUFFIX};
+use crate::backend::{Backend, NodeKind};
+use crate::container::{
+    Container, DATA_PREFIX, INDEX_PREFIX, METADIR, REALIGN_SUFFIX, SUBDIR_PREFIX,
+};
 use crate::content::Content;
 use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
+use crate::ioplane::{self, IoOp};
 use std::collections::BTreeSet;
 
 /// One problem found in a container.
@@ -111,26 +114,104 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         return Ok(report);
     }
 
-    // Walk subdirs, collecting dropping inventories.
-    let mut data_logs: Vec<WriterId> = Vec::new();
-    let mut index_logs: Vec<WriterId> = Vec::new();
-    for i in 0..container.federation_subdirs() {
-        let dir = match container.subdir_phys(b, i) {
-            Ok(d) => d,
-            Err(PlfsError::NotFound(_)) => continue, // lazily absent
-            Err(e) => {
-                report.issues.push(Issue::BrokenSubdir {
+    // Phase 1: resolve every subdir with batched probes (one `Kind`
+    // batch, then `Size`/`ReadAt` batches for just the metalinks),
+    // classifying per-subdir failures as BrokenSubdir without aborting
+    // the scan of the others.
+    let k = container.federation_subdirs();
+    let entries: Vec<String> = (0..k)
+        .map(|i| format!("{}/{SUBDIR_PREFIX}{i}", container.canonical_path()))
+        .collect();
+    let probes: Vec<IoOp> = entries
+        .iter()
+        .map(|e| IoOp::Kind { path: e.clone() })
+        .collect();
+    let mut resolved: Vec<Option<String>> = vec![None; k];
+    let mut links: Vec<usize> = Vec::new();
+    for (i, outcome) in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &probes)
+        .into_iter()
+        .enumerate()
+    {
+        match ioplane::as_kind(outcome) {
+            Ok(NodeKind::Dir) => resolved[i] = Some(entries[i].clone()),
+            Ok(NodeKind::File) => links.push(i),
+            Err(PlfsError::NotFound(_)) => {} // lazily absent
+            Err(e) => report.issues.push(Issue::BrokenSubdir {
+                index: i,
+                reason: e.to_string(),
+            }),
+        }
+    }
+    if !links.is_empty() {
+        let size_ops: Vec<IoOp> = links
+            .iter()
+            .map(|&i| IoOp::Size {
+                path: entries[i].clone(),
+            })
+            .collect();
+        let mut read_links = Vec::with_capacity(links.len());
+        let mut read_ops = Vec::with_capacity(links.len());
+        for (&i, outcome) in links
+            .iter()
+            .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops))
+        {
+            match ioplane::as_size(outcome) {
+                Ok(len) => {
+                    read_links.push(i);
+                    read_ops.push(IoOp::ReadAt {
+                        path: entries[i].clone(),
+                        offset: 0,
+                        len,
+                    });
+                }
+                Err(e) => report.issues.push(Issue::BrokenSubdir {
                     index: i,
                     reason: e.to_string(),
-                });
-                continue;
+                }),
             }
-        };
-        let names = match retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.list(&dir)) {
+        }
+        for (&i, outcome) in read_links
+            .iter()
+            .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops))
+        {
+            match ioplane::as_data(outcome).map(|c| String::from_utf8(c.materialize())) {
+                Ok(Ok(target)) => resolved[i] = Some(target),
+                Ok(Err(_)) => report.issues.push(Issue::BrokenSubdir {
+                    index: i,
+                    reason: format!("metalink {} not utf-8", entries[i]),
+                }),
+                Err(e) => report.issues.push(Issue::BrokenSubdir {
+                    index: i,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+    }
+
+    // Phase 2: one `Readdir` batch over every resolved subdir collects
+    // the dropping inventories.
+    let mut data_logs: Vec<WriterId> = Vec::new();
+    let mut index_logs: Vec<WriterId> = Vec::new();
+    let list_targets: Vec<(usize, &String)> = resolved
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.as_ref().map(|d| (i, d)))
+        .collect();
+    let list_ops: Vec<IoOp> = list_targets
+        .iter()
+        .map(|(_, d)| IoOp::Readdir {
+            path: (*d).clone(),
+        })
+        .collect();
+    for ((i, _), outcome) in list_targets
+        .iter()
+        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &list_ops))
+    {
+        let names = match ioplane::as_names(outcome) {
             Ok(n) => n,
             Err(e) => {
                 report.issues.push(Issue::BrokenSubdir {
-                    index: i,
+                    index: *i,
                     reason: e.to_string(),
                 });
                 continue;
@@ -140,7 +221,7 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
             if name.ends_with(REALIGN_SUFFIX) {
                 report
                     .issues
-                    .push(Issue::StaleRealignTemp { subdir: i, name });
+                    .push(Issue::StaleRealignTemp { subdir: *i, name });
             } else if let Some(w) = name.strip_prefix(DATA_PREFIX) {
                 if let Ok(w) = w.parse() {
                     data_logs.push(w);
@@ -166,11 +247,33 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         }
     }
 
-    // Validate index logs record by record.
-    let mut entries: Vec<IndexEntry> = Vec::new();
+    // Phase 3: validate index logs record by record. All per-writer
+    // probes of the same kind go as one batch: index-log sizes, then the
+    // whole-record reads, then data-log sizes — three plane submissions
+    // for the container instead of three per writer.
+    let writer_dir = |w: WriterId| -> Result<&String> {
+        resolved
+            .get(container.subdir_for(w))
+            .and_then(Option::as_ref)
+            .ok_or_else(|| {
+                PlfsError::CorruptContainer(format!("writer {w} found in an unresolved subdir"))
+            })
+    };
+    let mut ipaths = Vec::with_capacity(index_logs.len());
     for &w in &index_logs {
-        let ipath = container.index_log(b, w)?;
-        let len = retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&ipath))?;
+        ipaths.push(format!("{}/{INDEX_PREFIX}{w}", writer_dir(w)?));
+    }
+    let size_ops: Vec<IoOp> = ipaths
+        .iter()
+        .map(|p| IoOp::Size { path: p.clone() })
+        .collect();
+    let mut read_ops = Vec::with_capacity(index_logs.len());
+    for ((&w, ipath), outcome) in index_logs
+        .iter()
+        .zip(&ipaths)
+        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops))
+    {
+        let len = ioplane::as_size(outcome)?;
         let whole = len / INDEX_RECORD_BYTES;
         let trailing = len % INDEX_RECORD_BYTES;
         if trailing != 0 {
@@ -180,19 +283,42 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
                 trailing_bytes: trailing,
             });
         }
-        let bytes = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
-            b.read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)
-        })?
-        .materialize();
-        let decoded = IndexEntry::decode_all(&bytes)?;
+        read_ops.push(IoOp::ReadAt {
+            path: ipath.clone(),
+            offset: 0,
+            len: whole * INDEX_RECORD_BYTES,
+        });
+    }
+    let mut decoded_per_writer = Vec::with_capacity(index_logs.len());
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops) {
+        decoded_per_writer.push(IndexEntry::decode_all(
+            &ioplane::as_data(outcome)?.materialize(),
+        )?);
+    }
+    // Data-log sizes for the writers that have one, as a single batch.
+    let with_data: Vec<WriterId> = index_logs
+        .iter()
+        .copied()
+        .filter(|w| data_logs.binary_search(w).is_ok())
+        .collect();
+    let mut dsize_ops = Vec::with_capacity(with_data.len());
+    for &w in &with_data {
+        dsize_ops.push(IoOp::Size {
+            path: format!("{}/{DATA_PREFIX}{w}", writer_dir(w)?),
+        });
+    }
+    let mut dsizes: std::collections::HashMap<WriterId, u64> = std::collections::HashMap::new();
+    for (&w, outcome) in with_data
+        .iter()
+        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &dsize_ops))
+    {
+        dsizes.insert(w, ioplane::as_size(outcome)?);
+    }
 
-        let has_data_log = data_logs.binary_search(&w).is_ok();
-        let dsize = if has_data_log {
-            let dpath = container.data_log(b, w)?;
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&dpath))?
-        } else {
-            0
-        };
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    for (&w, decoded) in index_logs.iter().zip(decoded_per_writer) {
+        let has_data_log = dsizes.contains_key(&w);
+        let dsize = dsizes.get(&w).copied().unwrap_or(0);
         let mut indexed_end = 0u64;
         for e in decoded {
             if e.physical_offset + e.length > dsize {
@@ -282,16 +408,30 @@ impl SpaceUsage {
 /// Measure a container's physical footprint against its logical size.
 pub fn space_usage<B: Backend>(b: &B, container: &Container) -> Result<SpaceUsage> {
     let mut usage = SpaceUsage::default();
+    let resolved = container.subdirs_phys_batch(b)?;
     let writers = container.list_writers(b)?;
-    let mut entries: Vec<IndexEntry> = Vec::new();
+    // One Size batch covers every data and index log.
+    let mut size_ops = Vec::with_capacity(writers.len() * 2);
     for &w in &writers {
-        let dpath = container.data_log(b, w)?;
-        let ipath = container.index_log(b, w)?;
-        usage.data_bytes += retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&dpath))?;
-        usage.index_bytes += retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&ipath))?;
-        entries.extend(container.read_index_log(b, w)?);
+        let dir = resolved
+            .get(container.subdir_for(w))
+            .and_then(Option::as_ref)
+            .ok_or_else(|| {
+                PlfsError::CorruptContainer(format!("writer {w} found in an unresolved subdir"))
+            })?;
+        size_ops.push(IoOp::Size {
+            path: format!("{dir}/{DATA_PREFIX}{w}"),
+        });
+        size_ops.push(IoOp::Size {
+            path: format!("{dir}/{INDEX_PREFIX}{w}"),
+        });
     }
-    let idx = GlobalIndex::from_entries(entries);
+    let mut sizes = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops).into_iter();
+    for _ in &writers {
+        usage.data_bytes += ioplane::as_size(ioplane::take(&mut sizes))?;
+        usage.index_bytes += ioplane::as_size(ioplane::take(&mut sizes))?;
+    }
+    let idx = GlobalIndex::from_entries(container.read_index_logs(b, &resolved, &writers)?);
     usage.logical_bytes = idx.eof();
     // Live bytes = data-log bytes still referenced by the resolved index.
     let live: u64 = idx.to_entries().iter().map(|e| e.length).sum();
@@ -352,6 +492,7 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     let mut refresh_metadir = false;
     let mut stale_hosts: Vec<WriterId> = Vec::new();
     let mut orphan_index: Vec<WriterId> = Vec::new();
+    let mut orphan_data: Vec<(WriterId, Issue)> = Vec::new();
     let mut realign_temps: Vec<(usize, String)> = Vec::new();
 
     for issue in before.issues.iter().cloned() {
@@ -366,18 +507,8 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
                 rewrite.insert(writer);
                 fixed.push(issue);
             }
-            Issue::OrphanDataLog { writer } => {
-                let path = container.data_log(b, writer)?;
-                if retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&path))? == 0 {
-                    retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&path))?;
-                    fixed.push(issue);
-                } else {
-                    // Real bytes with no index: deleting would destroy
-                    // possibly recoverable data, keeping them readable
-                    // would invent placement. Leave for a human.
-                    unrepaired.push(issue);
-                }
-            }
+            // Decided below, once sizes come back in one batch.
+            Issue::OrphanDataLog { writer } => orphan_data.push((writer, issue)),
             Issue::OrphanIndexLog { writer } => {
                 orphan_index.push(writer);
                 fixed.push(issue);
@@ -404,53 +535,158 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
         }
     }
 
+    // Every physical path the repair plans touch hangs off a subdir;
+    // resolve them all once.
+    let resolved = container.subdirs_phys_batch(b)?;
+    let writer_dir = |w: WriterId| -> Result<&String> {
+        resolved
+            .get(container.subdir_for(w))
+            .and_then(Option::as_ref)
+            .ok_or_else(|| {
+                PlfsError::CorruptContainer(format!("writer {w} found in an unresolved subdir"))
+            })
+    };
+
+    // Orphan data logs: one size batch decides empty (reclaim) vs
+    // non-empty (leave for a human — deleting would destroy possibly
+    // recoverable data, keeping them readable would invent placement).
+    let mut orphan_size_ops = Vec::with_capacity(orphan_data.len());
+    for (w, _) in &orphan_data {
+        orphan_size_ops.push(IoOp::Size {
+            path: format!("{}/{DATA_PREFIX}{w}", writer_dir(*w)?),
+        });
+    }
+    let mut reclaim_ops = Vec::new();
+    for ((w, issue), outcome) in orphan_data.into_iter().zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &orphan_size_ops,
+    )) {
+        if ioplane::as_size(outcome)? == 0 {
+            reclaim_ops.push(IoOp::Unlink {
+                path: format!("{}/{DATA_PREFIX}{w}", writer_dir(w)?),
+            });
+            fixed.push(issue);
+        } else {
+            unrepaired.push(issue);
+        }
+    }
+
     // One rewrite per damaged writer handles torn trailing records and
     // dangling extents together: keep exactly the whole records whose
-    // extents fit inside the data log.
-    for &w in &rewrite {
-        let ipath = container.index_log(b, w)?;
-        let len = retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&ipath))?;
-        let whole = len / INDEX_RECORD_BYTES;
-        let bytes = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
-            b.read_at(&ipath, 0, whole * INDEX_RECORD_BYTES)
-        })?
-        .materialize();
-        let decoded = IndexEntry::decode_all(&bytes)?;
-        let dpath = container.data_log(b, w)?;
-        let dsize = if b.exists(&dpath) {
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.size(&dpath))?
-        } else {
-            0
+    // extents fit inside the data log. Sizes, reads, truncating creates,
+    // and re-appends each go as one batch across all damaged writers;
+    // a writer's records are re-appended only if its truncate landed.
+    let rewrite_list: Vec<WriterId> = rewrite.iter().copied().collect();
+    let mut ipaths = Vec::with_capacity(rewrite_list.len());
+    let mut dsize_ops = Vec::with_capacity(rewrite_list.len());
+    for &w in &rewrite_list {
+        ipaths.push(format!("{}/{INDEX_PREFIX}{w}", writer_dir(w)?));
+        dsize_ops.push(IoOp::Size {
+            path: format!("{}/{DATA_PREFIX}{w}", writer_dir(w)?),
+        });
+    }
+    let isize_ops: Vec<IoOp> = ipaths
+        .iter()
+        .map(|p| IoOp::Size { path: p.clone() })
+        .collect();
+    let mut read_ops = Vec::with_capacity(rewrite_list.len());
+    for (ipath, outcome) in ipaths
+        .iter()
+        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &isize_ops))
+    {
+        let whole = ioplane::as_size(outcome)? / INDEX_RECORD_BYTES;
+        read_ops.push(IoOp::ReadAt {
+            path: ipath.clone(),
+            offset: 0,
+            len: whole * INDEX_RECORD_BYTES,
+        });
+    }
+    let reads = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops);
+    // An absent data log reads as size 0 (every extent dangles).
+    let dsizes = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &dsize_ops);
+    let mut kept_per_writer = Vec::with_capacity(rewrite_list.len());
+    for (read, dsize) in reads.into_iter().zip(dsizes) {
+        let decoded = IndexEntry::decode_all(&ioplane::as_data(read)?.materialize())?;
+        let dsize = match ioplane::as_size(dsize) {
+            Ok(n) => n,
+            Err(PlfsError::NotFound(_)) => 0,
+            Err(e) => return Err(e),
         };
-        let kept: Vec<IndexEntry> = decoded
-            .into_iter()
-            .filter(|e| e.physical_offset + e.length <= dsize)
-            .collect();
-        // truncate
-        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.create(&ipath, false))?;
-        if !kept.is_empty() {
-            let bytes = Content::bytes(IndexEntry::encode_all(&kept));
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.append(&ipath, &bytes))?;
+        kept_per_writer.push(
+            decoded
+                .into_iter()
+                .filter(|e| e.physical_offset + e.length <= dsize)
+                .collect::<Vec<IndexEntry>>(),
+        );
+    }
+    let truncate_ops: Vec<IoOp> = ipaths
+        .iter()
+        .map(|p| IoOp::Create {
+            path: p.clone(),
+            exclusive: false,
+        })
+        .collect();
+    let truncates = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &truncate_ops);
+    let mut append_ops = Vec::new();
+    let mut first_err = None;
+    for ((ipath, kept), outcome) in ipaths.iter().zip(&kept_per_writer).zip(truncates) {
+        match ioplane::as_unit(outcome) {
+            Ok(()) if !kept.is_empty() => append_ops.push(IoOp::Append {
+                path: ipath.clone(),
+                content: Content::bytes(IndexEntry::encode_all(kept)),
+            }),
+            Ok(()) => {}
+            Err(e) => first_err = first_err.or(Some(e)),
         }
+    }
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &append_ops) {
+        if let Err(e) = ioplane::as_offset(outcome) {
+            first_err = first_err.or(Some(e));
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
     }
 
     // Orphan index logs reference a data log that does not exist; their
     // records can never resolve to bytes, so deleting loses nothing.
+    // Stale openhosts entries and orphaned realignment staging files are
+    // pure garbage. All of it goes in one unlink batch, together with
+    // the empty orphan data logs decided above.
     for &w in &orphan_index {
-        let ipath = container.index_log(b, w)?;
-        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&ipath))?;
+        reclaim_ops.push(IoOp::Unlink {
+            path: format!("{}/{INDEX_PREFIX}{w}", writer_dir(w)?),
+        });
     }
-
+    let openhosts = format!("{}/openhosts", container.canonical_path());
+    let host_start = reclaim_ops.len();
     for &w in &stale_hosts {
-        container.unregister_open(b, w)?;
+        reclaim_ops.push(IoOp::Unlink {
+            path: format!("{openhosts}/host.{w}"),
+        });
     }
-
     // A staged realignment copy never holds records its real log lacks
     // (the swap is the last step), so reclaiming it cannot lose data.
     for (i, name) in &realign_temps {
-        let dir = container.subdir_phys(b, *i)?;
-        let temp = format!("{dir}/{name}");
-        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&temp))?;
+        let dir = resolved.get(*i).and_then(Option::as_ref).ok_or_else(|| {
+            PlfsError::CorruptContainer(format!("realign temp in unresolved subdir {i}"))
+        })?;
+        reclaim_ops.push(IoOp::Unlink {
+            path: format!("{dir}/{name}"),
+        });
+    }
+    let host_range = host_start..host_start + stale_hosts.len();
+    for (j, outcome) in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &reclaim_ops)
+        .into_iter()
+        .enumerate()
+    {
+        match ioplane::as_unit(outcome) {
+            Ok(()) => {}
+            // A host entry already gone is a success (idempotent close).
+            Err(PlfsError::NotFound(_)) if host_range.contains(&j) => {}
+            Err(e) => return Err(e),
+        }
     }
 
     if drop_flattened {
@@ -458,24 +694,59 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     }
 
     // Trim unreferenced data-log tails (recomputed after the index
-    // rewrites above, which may have changed what is referenced).
+    // rewrites above, which may have changed what is referenced). The
+    // kept prefixes are all read in one batch *before* the truncating
+    // creates go out, then re-appended in a final batch.
     let mid = check(b, container)?;
     let mut trimmed_tails = Vec::new();
+    let mut tail_paths = Vec::with_capacity(mid.tails.len());
     for t in &mid.tails {
-        let dpath = container.data_log(b, t.writer)?;
-        let keep = if t.indexed_bytes > 0 {
-            Some(retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
-                b.read_at(&dpath, 0, t.indexed_bytes)
-            })?)
+        tail_paths.push(format!("{}/{DATA_PREFIX}{}", writer_dir(t.writer)?, t.writer));
+    }
+    let keep_ops: Vec<IoOp> = mid
+        .tails
+        .iter()
+        .zip(&tail_paths)
+        .filter(|(t, _)| t.indexed_bytes > 0)
+        .map(|(t, p)| IoOp::ReadAt {
+            path: p.clone(),
+            offset: 0,
+            len: t.indexed_bytes,
+        })
+        .collect();
+    let mut keeps = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &keep_ops).into_iter();
+    let mut kept_tails = Vec::with_capacity(mid.tails.len());
+    for t in &mid.tails {
+        kept_tails.push(if t.indexed_bytes > 0 {
+            Some(ioplane::as_data(ioplane::take(&mut keeps))?)
         } else {
             None
-        };
-        // truncate
-        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.create(&dpath, false))?;
-        if let Some(k) = keep {
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.append(&dpath, &k))?;
+        });
+    }
+    let trunc_ops: Vec<IoOp> = tail_paths
+        .iter()
+        .map(|p| IoOp::Create {
+            path: p.clone(),
+            exclusive: false,
+        })
+        .collect();
+    let mut tail_appends = Vec::new();
+    for ((t, path), (kept, outcome)) in mid.tails.iter().zip(&tail_paths).zip(
+        kept_tails
+            .into_iter()
+            .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &trunc_ops)),
+    ) {
+        ioplane::as_unit(outcome)?;
+        if let Some(k) = kept {
+            tail_appends.push(IoOp::Append {
+                path: path.clone(),
+                content: k,
+            });
         }
         trimmed_tails.push(t.clone());
+    }
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &tail_appends) {
+        ioplane::as_offset(outcome)?;
     }
 
     // Rebuild the metadir from the replayed (now repaired) indices so
@@ -485,11 +756,15 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
         let metadir = format!("{}/{METADIR}", container.canonical_path());
         match retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.list(&metadir)) {
             Ok(names) => {
-                for n in names {
-                    if n.starts_with("meta.") {
-                        let stale = format!("{metadir}/{n}");
-                        retry_transient(DEFAULT_RETRY_ATTEMPTS, || b.unlink(&stale))?;
-                    }
+                let stale_ops: Vec<IoOp> = names
+                    .iter()
+                    .filter(|n| n.starts_with("meta."))
+                    .map(|n| IoOp::Unlink {
+                        path: format!("{metadir}/{n}"),
+                    })
+                    .collect();
+                for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &stale_ops) {
+                    ioplane::as_unit(outcome)?;
                 }
             }
             Err(PlfsError::NotFound(_)) => {}

@@ -47,6 +47,7 @@ pub mod faults;
 pub mod federation;
 pub mod fsck;
 pub mod index;
+pub mod ioplane;
 pub mod localfs;
 pub mod memfs;
 pub mod path;
@@ -56,13 +57,14 @@ pub mod truncate;
 pub mod vfs;
 pub mod writer;
 
-pub use backend::{Backend, BackendOp, TracingBackend};
+pub use backend::{Backend, TracingBackend};
 pub use container::Container;
 pub use content::Content;
 pub use error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 pub use faults::{FaultBackend, FaultConfig, FaultStats};
 pub use federation::Federation;
 pub use index::{GlobalIndex, IndexEntry, Mapping, WriterId};
+pub use ioplane::{IoOp, IoOutcome, IoStats, IoValue};
 pub use localfs::LocalFs;
 pub use memfs::MemFs;
 pub use posix::{OpenFlags, PosixShim};

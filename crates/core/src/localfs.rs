@@ -8,6 +8,7 @@
 use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
 use crate::error::{PlfsError, Result};
+use crate::ioplane::{self, IoOp, IoOutcome, IoValue};
 use crate::path::try_normalize;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -35,6 +36,112 @@ impl LocalFs {
             p.push(seg);
         }
         Ok(p)
+    }
+
+    /// Execute a run of `Append { path, .. }` ops against one open
+    /// descriptor instead of re-opening the file per op. On any failure
+    /// the failing op gets its error and the rest of the run falls back
+    /// to per-op dispatch, preserving per-op outcomes.
+    fn append_run(&self, path: &str, run: &[IoOp], out: &mut Vec<IoOutcome>) {
+        let opened = (|| -> Result<fs::File> {
+            let host = self.host(path)?;
+            if !host.is_file() {
+                return Err(PlfsError::NotFound(path.to_string()));
+            }
+            Ok(fs::OpenOptions::new().append(true).open(&host)?)
+        })();
+        let mut f = match opened {
+            Ok(f) => f,
+            Err(e) => {
+                // Report the open failure on the first op; the rest of
+                // the run re-dispatches so each op observes its own error.
+                out.push(Err(e));
+                for op in &run[1..] {
+                    out.push(ioplane::dispatch_one(self, op));
+                }
+                return;
+            }
+        };
+        let mut cursor = match f.seek(SeekFrom::End(0)) {
+            Ok(off) => off,
+            Err(e) => {
+                out.push(Err(e.into()));
+                for op in &run[1..] {
+                    out.push(ioplane::dispatch_one(self, op));
+                }
+                return;
+            }
+        };
+        for (i, op) in run.iter().enumerate() {
+            let IoOp::Append { content, .. } = op else {
+                out.push(Err(PlfsError::InvalidArg(
+                    "append run contained a non-append op".into(),
+                )));
+                continue;
+            };
+            match f.write_all(&content.materialize()) {
+                Ok(()) => {
+                    out.push(Ok(IoValue::Offset(cursor)));
+                    cursor += content.len();
+                }
+                Err(e) => {
+                    out.push(Err(e.into()));
+                    drop(f);
+                    for rest in &run[i + 1..] {
+                        out.push(ioplane::dispatch_one(self, rest));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Execute a run of `ReadAt { path, .. }` ops against one open file
+    /// (one open + one metadata fetch for the whole run) instead of
+    /// re-opening per op.
+    fn read_run(&self, path: &str, run: &[IoOp], out: &mut Vec<IoOutcome>) {
+        let opened = (|| -> Result<(fs::File, u64)> {
+            let host = self.host(path)?;
+            if host.is_dir() {
+                return Err(PlfsError::WrongKind {
+                    path: path.to_string(),
+                    expected: "file",
+                });
+            }
+            let f = fs::File::open(&host).map_err(|e| match e.kind() {
+                std::io::ErrorKind::NotFound => PlfsError::NotFound(path.to_string()),
+                _ => PlfsError::from(e),
+            })?;
+            let size = f.metadata()?.len();
+            Ok((f, size))
+        })();
+        let (mut f, size) = match opened {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(Err(e));
+                for op in &run[1..] {
+                    out.push(ioplane::dispatch_one(self, op));
+                }
+                return;
+            }
+        };
+        for op in run {
+            let IoOp::ReadAt { offset, len, .. } = op else {
+                out.push(Err(PlfsError::InvalidArg(
+                    "read run contained a non-read op".into(),
+                )));
+                continue;
+            };
+            let outcome = (|| -> Result<IoValue> {
+                let start = (*offset).min(size);
+                let end = (offset + len).min(size);
+                let mut buf = vec![0u8; (end - start) as usize];
+                f.seek(SeekFrom::Start(start))?;
+                f.read_exact(&mut buf)?;
+                Ok(IoValue::Data(Content::bytes(buf)))
+            })();
+            out.push(outcome);
+        }
     }
 }
 
@@ -185,6 +292,45 @@ impl Backend for LocalFs {
         fs::rename(&from_host, &to_host)?;
         Ok(())
     }
+
+    /// Native batched fast path: adjacent same-path appends share one
+    /// open descriptor (the log-append pattern of `WriteHandle` flush)
+    /// and adjacent same-path reads share one open + metadata fetch
+    /// (the coalesced-read pattern of `ReadHandle`). Other ops dispatch
+    /// individually; outcomes are identical to the sequential path.
+    fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
+        let mut out = Vec::with_capacity(batch.len());
+        let mut i = 0;
+        while i < batch.len() {
+            match &batch[i] {
+                IoOp::Append { path, .. } => {
+                    let mut j = i + 1;
+                    while j < batch.len()
+                        && matches!(&batch[j], IoOp::Append { path: p, .. } if p == path)
+                    {
+                        j += 1;
+                    }
+                    self.append_run(path, &batch[i..j], &mut out);
+                    i = j;
+                }
+                IoOp::ReadAt { path, .. } => {
+                    let mut j = i + 1;
+                    while j < batch.len()
+                        && matches!(&batch[j], IoOp::ReadAt { path: p, .. } if p == path)
+                    {
+                        j += 1;
+                    }
+                    self.read_run(path, &batch[i..j], &mut out);
+                    i = j;
+                }
+                op => {
+                    out.push(ioplane::dispatch_one(self, op));
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +394,83 @@ mod tests {
         assert!(fs_.exists("/c2/sub/f"));
         fs_.remove_all("/c2").unwrap();
         assert!(!fs_.exists("/c2"));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn batched_submit_matches_sequential_semantics() {
+        let (fs_, dir) = tmp();
+        fs_.mkdir_all("/logs").unwrap();
+        fs_.create("/logs/a", true).unwrap();
+        fs_.create("/logs/b", true).unwrap();
+        // Mixed batch: an append run on /logs/a, a lone append on
+        // /logs/b, a metadata op, then a read run back over /logs/a.
+        let batch = vec![
+            IoOp::Append {
+                path: "/logs/a".into(),
+                content: Content::bytes(b"one".to_vec()),
+            },
+            IoOp::Append {
+                path: "/logs/a".into(),
+                content: Content::bytes(b"two".to_vec()),
+            },
+            IoOp::Append {
+                path: "/logs/b".into(),
+                content: Content::bytes(b"zzz".to_vec()),
+            },
+            IoOp::Size {
+                path: "/logs/a".into(),
+            },
+            IoOp::ReadAt {
+                path: "/logs/a".into(),
+                offset: 0,
+                len: 3,
+            },
+            IoOp::ReadAt {
+                path: "/logs/a".into(),
+                offset: 3,
+                len: 100,
+            },
+        ];
+        let out = fs_.submit(&batch);
+        assert_eq!(out.len(), batch.len());
+        assert!(matches!(out[0], Ok(IoValue::Offset(0))));
+        assert!(matches!(out[1], Ok(IoValue::Offset(3))));
+        assert!(matches!(out[2], Ok(IoValue::Offset(0))));
+        assert!(matches!(out[3], Ok(IoValue::Size(6))));
+        match (&out[4], &out[5]) {
+            (Ok(IoValue::Data(a)), Ok(IoValue::Data(b))) => {
+                assert_eq!(a.materialize(), b"one".to_vec());
+                assert_eq!(b.materialize(), b"two".to_vec());
+            }
+            other => panic!("expected data outcomes, got {other:?}"),
+        }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn batched_append_run_fails_per_op_not_per_batch() {
+        let (fs_, dir) = tmp();
+        fs_.create("/f", true).unwrap();
+        let batch = vec![
+            IoOp::Append {
+                path: "/missing".into(),
+                content: Content::bytes(b"x".to_vec()),
+            },
+            IoOp::Append {
+                path: "/missing".into(),
+                content: Content::bytes(b"y".to_vec()),
+            },
+            IoOp::Append {
+                path: "/f".into(),
+                content: Content::bytes(b"ok".to_vec()),
+            },
+        ];
+        let out = fs_.submit(&batch);
+        assert!(matches!(out[0], Err(PlfsError::NotFound(_))));
+        assert!(matches!(out[1], Err(PlfsError::NotFound(_))));
+        assert!(matches!(out[2], Ok(IoValue::Offset(0))));
+        assert_eq!(fs_.read_at("/f", 0, 10).unwrap().materialize(), b"ok");
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -8,6 +8,7 @@
 use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
 use crate::error::{PlfsError, Result};
+use crate::ioplane::{IoOp, IoOutcome, IoValue};
 use crate::path::{parent, try_normalize};
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
@@ -77,21 +78,21 @@ impl MemFs {
         nodes.insert(path.to_string(), node);
         Ok(())
     }
-}
 
-impl Backend for MemFs {
-    fn mkdir(&self, path: &str) -> Result<()> {
+    // Per-op logic over an already-locked tree, shared between the
+    // one-lock-per-call trait methods and the one-lock-per-batch
+    // `submit` fast path.
+
+    fn do_mkdir(nodes: &mut HashMap<String, Node>, path: &str) -> Result<()> {
         let path = try_normalize(path)?;
-        let mut nodes = self.nodes.write();
         if nodes.contains_key(&path) {
             return Err(PlfsError::AlreadyExists(path));
         }
-        Self::insert_child(&mut nodes, &path, Node::Dir(BTreeSet::new()))
+        Self::insert_child(nodes, &path, Node::Dir(BTreeSet::new()))
     }
 
-    fn mkdir_all(&self, path: &str) -> Result<()> {
+    fn do_mkdir_all(nodes: &mut HashMap<String, Node>, path: &str) -> Result<()> {
         let path = try_normalize(path)?;
-        let mut nodes = self.nodes.write();
         let mut cur = String::new();
         for seg in path.split('/').filter(|s| !s.is_empty()) {
             cur.push('/');
@@ -105,16 +106,15 @@ impl Backend for MemFs {
                     })
                 }
                 None => {
-                    Self::insert_child(&mut nodes, &cur.clone(), Node::Dir(BTreeSet::new()))?;
+                    Self::insert_child(nodes, &cur.clone(), Node::Dir(BTreeSet::new()))?;
                 }
             }
         }
         Ok(())
     }
 
-    fn create(&self, path: &str, exclusive: bool) -> Result<()> {
+    fn do_create(nodes: &mut HashMap<String, Node>, path: &str, exclusive: bool) -> Result<()> {
         let path = try_normalize(path)?;
-        let mut nodes = self.nodes.write();
         match nodes.get_mut(&path) {
             Some(Node::File(bytes)) => {
                 if exclusive {
@@ -128,13 +128,12 @@ impl Backend for MemFs {
                 path,
                 expected: "file",
             }),
-            None => Self::insert_child(&mut nodes, &path, Node::File(Vec::new())),
+            None => Self::insert_child(nodes, &path, Node::File(Vec::new())),
         }
     }
 
-    fn append(&self, path: &str, content: &Content) -> Result<u64> {
+    fn do_append(nodes: &mut HashMap<String, Node>, path: &str, content: &Content) -> Result<u64> {
         let path = try_normalize(path)?;
-        let mut nodes = self.nodes.write();
         match nodes.get_mut(&path) {
             Some(Node::File(bytes)) => {
                 let off = bytes.len() as u64;
@@ -149,9 +148,13 @@ impl Backend for MemFs {
         }
     }
 
-    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
+    fn do_read_at(
+        nodes: &HashMap<String, Node>,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Content> {
         let path = try_normalize(path)?;
-        let nodes = self.nodes.read();
         match nodes.get(&path) {
             Some(Node::File(bytes)) => {
                 let start = (offset as usize).min(bytes.len());
@@ -166,9 +169,8 @@ impl Backend for MemFs {
         }
     }
 
-    fn size(&self, path: &str) -> Result<u64> {
+    fn do_size(nodes: &HashMap<String, Node>, path: &str) -> Result<u64> {
         let path = try_normalize(path)?;
-        let nodes = self.nodes.read();
         match nodes.get(&path) {
             Some(Node::File(bytes)) => Ok(bytes.len() as u64),
             Some(Node::Dir(_)) => Err(PlfsError::WrongKind {
@@ -179,18 +181,18 @@ impl Backend for MemFs {
         }
     }
 
-    fn kind(&self, path: &str) -> Result<NodeKind> {
+    fn do_kind(nodes: &HashMap<String, Node>, path: &str) -> Result<NodeKind> {
         let path = try_normalize(path)?;
-        match self.nodes.read().get(&path) {
+        match nodes.get(&path) {
             Some(Node::File(_)) => Ok(NodeKind::File),
             Some(Node::Dir(_)) => Ok(NodeKind::Dir),
             None => Err(PlfsError::NotFound(path)),
         }
     }
 
-    fn list(&self, path: &str) -> Result<Vec<String>> {
+    fn do_list(nodes: &HashMap<String, Node>, path: &str) -> Result<Vec<String>> {
         let path = try_normalize(path)?;
-        match self.nodes.read().get(&path) {
+        match nodes.get(&path) {
             Some(Node::Dir(children)) => Ok(children.iter().cloned().collect()),
             Some(Node::File(_)) => Err(PlfsError::WrongKind {
                 path,
@@ -200,9 +202,8 @@ impl Backend for MemFs {
         }
     }
 
-    fn unlink(&self, path: &str) -> Result<()> {
+    fn do_unlink(nodes: &mut HashMap<String, Node>, path: &str) -> Result<()> {
         let path = try_normalize(path)?;
-        let mut nodes = self.nodes.write();
         match nodes.get(&path) {
             Some(Node::File(_)) => {}
             Some(Node::Dir(_)) => {
@@ -220,9 +221,8 @@ impl Backend for MemFs {
         Ok(())
     }
 
-    fn remove_all(&self, path: &str) -> Result<()> {
+    fn do_remove_all(nodes: &mut HashMap<String, Node>, path: &str) -> Result<()> {
         let path = try_normalize(path)?;
-        let mut nodes = self.nodes.write();
         if path == "/" {
             return Err(PlfsError::InvalidArg("cannot remove root".into()));
         }
@@ -237,10 +237,9 @@ impl Backend for MemFs {
         Ok(())
     }
 
-    fn rename(&self, from: &str, to: &str) -> Result<()> {
+    fn do_rename(nodes: &mut HashMap<String, Node>, from: &str, to: &str) -> Result<()> {
         let from = try_normalize(from)?;
         let to = try_normalize(to)?;
-        let mut nodes = self.nodes.write();
         if !nodes.contains_key(&from) {
             return Err(PlfsError::NotFound(from));
         }
@@ -271,12 +270,183 @@ impl Backend for MemFs {
         }
         Ok(())
     }
+
+    /// Execute one op against the exclusively-locked tree.
+    fn apply(nodes: &mut HashMap<String, Node>, op: &IoOp) -> IoOutcome {
+        match op {
+            IoOp::Mkdir { path } => Self::do_mkdir(nodes, path).map(|()| IoValue::Unit),
+            IoOp::MkdirAll { path } => Self::do_mkdir_all(nodes, path).map(|()| IoValue::Unit),
+            IoOp::Create { path, exclusive } => {
+                Self::do_create(nodes, path, *exclusive).map(|()| IoValue::Unit)
+            }
+            IoOp::Append { path, content } => {
+                Self::do_append(nodes, path, content).map(IoValue::Offset)
+            }
+            IoOp::Unlink { path } => Self::do_unlink(nodes, path).map(|()| IoValue::Unit),
+            IoOp::RemoveAll { path } => Self::do_remove_all(nodes, path).map(|()| IoValue::Unit),
+            IoOp::Rename { from, to } => Self::do_rename(nodes, from, to).map(|()| IoValue::Unit),
+            ro => Self::apply_ro(nodes, ro),
+        }
+    }
+
+    /// Execute a read-only op against the (at least shared-) locked tree.
+    fn apply_ro(nodes: &HashMap<String, Node>, op: &IoOp) -> IoOutcome {
+        match op {
+            IoOp::ReadAt { path, offset, len } => {
+                Self::do_read_at(nodes, path, *offset, *len).map(IoValue::Data)
+            }
+            IoOp::Size { path } => Self::do_size(nodes, path).map(IoValue::Size),
+            IoOp::Kind { path } => Self::do_kind(nodes, path).map(IoValue::Kind),
+            IoOp::Readdir { path } => Self::do_list(nodes, path).map(IoValue::Names),
+            mutating => Err(PlfsError::InvalidArg(format!(
+                "read-only batch dispatched a mutating op: {mutating:?}"
+            ))),
+        }
+    }
+}
+
+impl Backend for MemFs {
+    fn mkdir(&self, path: &str) -> Result<()> {
+        Self::do_mkdir(&mut self.nodes.write(), path)
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        Self::do_mkdir_all(&mut self.nodes.write(), path)
+    }
+
+    fn create(&self, path: &str, exclusive: bool) -> Result<()> {
+        Self::do_create(&mut self.nodes.write(), path, exclusive)
+    }
+
+    fn append(&self, path: &str, content: &Content) -> Result<u64> {
+        Self::do_append(&mut self.nodes.write(), path, content)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Content> {
+        Self::do_read_at(&self.nodes.read(), path, offset, len)
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        Self::do_size(&self.nodes.read(), path)
+    }
+
+    fn kind(&self, path: &str) -> Result<NodeKind> {
+        Self::do_kind(&self.nodes.read(), path)
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        Self::do_list(&self.nodes.read(), path)
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        Self::do_unlink(&mut self.nodes.write(), path)
+    }
+
+    fn remove_all(&self, path: &str) -> Result<()> {
+        Self::do_remove_all(&mut self.nodes.write(), path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        Self::do_rename(&mut self.nodes.write(), from, to)
+    }
+
+    /// Native batched fast path: the whole batch runs under a single
+    /// lock acquisition — shared if every op is read-only, exclusive
+    /// otherwise — instead of one acquisition per op. Outcomes are
+    /// identical to the sequential path (ops still execute in order on
+    /// the same tree); only the locking cost changes.
+    fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let read_only = batch.iter().all(|op| {
+            matches!(
+                op,
+                IoOp::ReadAt { .. } | IoOp::Size { .. } | IoOp::Kind { .. } | IoOp::Readdir { .. }
+            )
+        });
+        if read_only {
+            let nodes = self.nodes.read();
+            batch.iter().map(|op| Self::apply_ro(&nodes, op)).collect()
+        } else {
+            let mut nodes = self.nodes.write();
+            batch.iter().map(|op| Self::apply(&mut nodes, op)).collect()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::path::join;
+
+    #[test]
+    fn batched_submit_single_lock_matches_sequential() {
+        let fs = MemFs::new();
+        let batch = vec![
+            IoOp::Mkdir { path: "/d".into() },
+            IoOp::Create {
+                path: "/d/f".into(),
+                exclusive: true,
+            },
+            IoOp::Append {
+                path: "/d/f".into(),
+                content: Content::bytes(b"abc".to_vec()),
+            },
+            IoOp::Append {
+                path: "/d/f".into(),
+                content: Content::bytes(b"def".to_vec()),
+            },
+            IoOp::Size {
+                path: "/d/f".into(),
+            },
+            IoOp::Unlink {
+                path: "/missing".into(),
+            },
+            IoOp::Readdir { path: "/d".into() },
+        ];
+        let out = fs.submit(&batch);
+        assert!(matches!(out[0], Ok(IoValue::Unit)));
+        assert!(matches!(out[1], Ok(IoValue::Unit)));
+        assert!(matches!(out[2], Ok(IoValue::Offset(0))));
+        assert!(matches!(out[3], Ok(IoValue::Offset(3))));
+        assert!(matches!(out[4], Ok(IoValue::Size(6))));
+        assert!(matches!(out[5], Err(PlfsError::NotFound(_))));
+        match &out[6] {
+            Ok(IoValue::Names(names)) => assert_eq!(names, &["f".to_string()]),
+            other => panic!("expected names, got {other:?}"),
+        }
+        // The batch left the same state sequential calls would.
+        assert_eq!(fs.read_at("/d/f", 0, 16).unwrap().materialize(), b"abcdef");
+    }
+
+    #[test]
+    fn read_only_batch_takes_shared_lock_path() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f", true).unwrap();
+        fs.append("/d/f", &Content::bytes(vec![7; 10])).unwrap();
+        let batch = vec![
+            IoOp::Size {
+                path: "/d/f".into(),
+            },
+            IoOp::Kind { path: "/d".into() },
+            IoOp::ReadAt {
+                path: "/d/f".into(),
+                offset: 2,
+                len: 4,
+            },
+            IoOp::Readdir { path: "/d".into() },
+        ];
+        let out = fs.submit(&batch);
+        assert!(matches!(out[0], Ok(IoValue::Size(10))));
+        assert!(matches!(out[1], Ok(IoValue::Kind(NodeKind::Dir))));
+        match &out[2] {
+            Ok(IoValue::Data(c)) => assert_eq!(c.materialize(), vec![7; 4]),
+            other => panic!("expected data, got {other:?}"),
+        }
+        assert!(matches!(out[3], Ok(IoValue::Names(_))));
+    }
 
     #[test]
     fn mkdir_requires_parent() {

@@ -20,8 +20,9 @@
 use crate::backend::Backend;
 use crate::container::Container;
 use crate::content::Content;
-use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
+use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, Source, WriterId};
+use crate::ioplane::{self, IoOp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -108,34 +109,49 @@ impl<B: Backend> ReadHandle<B> {
     /// costs one backend operation per writer run rather than per block.
     pub fn read_pieces(&mut self, offset: u64, len: u64) -> Result<Vec<Content>> {
         let mappings = self.index.lookup_coalesced(offset, len);
-        let mut pieces = Vec::with_capacity(mappings.len());
-        for m in mappings {
+        // Resolve every mapping to either a hole or a planned read, then
+        // submit all the reads as ONE plane batch (one submission for the
+        // whole fan-out; transient failures are retried per op by the
+        // plane). `None` in `plan` marks a hole's position.
+        let mut plan: Vec<Option<(Arc<str>, u64, u64)>> = Vec::with_capacity(mappings.len());
+        let mut batch: Vec<IoOp> = Vec::new();
+        for m in &mappings {
             match m.source {
-                Source::Hole => pieces.push(Content::Zeros { len: m.length }),
+                Source::Hole => plan.push(None),
                 Source::Writer {
                     writer,
                     physical_offset,
                 } => {
                     let path = self.log_path(writer)?;
-                    // Transient read failures (dropped RPC, failover) are
-                    // retried with bounded backoff before surfacing.
-                    let c = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
-                        self.backend.read_at(&path, physical_offset, m.length)
-                    })?;
-                    if c.len() != m.length {
-                        // A short read here means the index references
-                        // bytes the data log doesn't have (truncated or
-                        // corrupted droppings) — surface it rather than
-                        // silently returning truncated data.
-                        return Err(PlfsError::CorruptContainer(format!(
-                            "data log {path} short read: wanted {} bytes at {physical_offset}, got {}",
-                            m.length,
-                            c.len()
-                        )));
-                    }
-                    pieces.push(c);
+                    batch.push(IoOp::ReadAt {
+                        path: path.to_string(),
+                        offset: physical_offset,
+                        len: m.length,
+                    });
+                    plan.push(Some((path, physical_offset, m.length)));
                 }
             }
+        }
+        let mut reads =
+            ioplane::submit_retried(&self.backend, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+        let mut pieces = Vec::with_capacity(mappings.len());
+        for (m, planned) in mappings.iter().zip(plan) {
+            let Some((path, physical_offset, length)) = planned else {
+                pieces.push(Content::Zeros { len: m.length });
+                continue;
+            };
+            let c = ioplane::as_data(ioplane::take(&mut reads))?;
+            if c.len() != length {
+                // A short read here means the index references bytes the
+                // data log doesn't have (truncated or corrupted
+                // droppings) — surface it rather than silently returning
+                // truncated data.
+                return Err(PlfsError::CorruptContainer(format!(
+                    "data log {path} short read: wanted {length} bytes at {physical_offset}, got {}",
+                    c.len()
+                )));
+            }
+            pieces.push(c);
         }
         Ok(pieces)
     }
@@ -285,7 +301,8 @@ mod tests {
 
     #[test]
     fn coalesced_read_issues_one_backend_op_per_run() {
-        use crate::backend::{BackendOp, TracingBackend};
+        use crate::backend::TracingBackend;
+        use crate::ioplane::IoOp;
         let traced = Arc::new(TracingBackend::new(MemFs::new()));
         let c = Container::new("/f", &Federation::single("/ns", 2));
         let mut h =
@@ -307,7 +324,7 @@ mod tests {
             .take_trace()
             .iter()
             .filter(|op| {
-                matches!(op, BackendOp::ReadAt { path, .. } if path.contains("dropping.data"))
+                matches!(op, IoOp::ReadAt { path, .. } if path.contains("dropping.data"))
             })
             .count();
         assert_eq!(data_reads, 1, "4 contiguous spans must coalesce into one read_at");

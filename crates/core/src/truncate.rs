@@ -19,8 +19,9 @@
 use crate::backend::Backend;
 use crate::container::{Container, DATA_PREFIX, INDEX_PREFIX};
 use crate::content::Content;
-use crate::error::{PlfsError, Result};
+use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::IndexEntry;
+use crate::ioplane::{self, IoOp};
 
 /// Truncate the logical file backed by `container` to `size` bytes.
 pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<()> {
@@ -40,10 +41,40 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
     // survives: the physical bytes still referenced and the logical EOF
     // the clipped indices actually resolve to (less than `size` when the
     // cut lands in a hole or beyond the old EOF).
+    // Clip every writer's index with batched I/O: one size batch, one
+    // read batch, one truncating-create batch, one re-append batch.
     let mut surviving_bytes = 0u64;
     let mut surviving_eof = 0u64;
-    for w in container.list_writers(b)? {
-        let entries = container.read_index_log(b, w)?;
+    let resolved = container.subdirs_phys_batch(b)?;
+    let writers = container.list_writers(b)?;
+    let mut ipaths = Vec::with_capacity(writers.len());
+    for &w in &writers {
+        let dir = resolved
+            .get(container.subdir_for(w))
+            .and_then(Option::as_ref)
+            .ok_or_else(|| {
+                PlfsError::CorruptContainer(format!("writer {w} found in an unresolved subdir"))
+            })?;
+        ipaths.push(format!("{dir}/{INDEX_PREFIX}{w}"));
+    }
+    let size_ops: Vec<IoOp> = ipaths
+        .iter()
+        .map(|p| IoOp::Size { path: p.clone() })
+        .collect();
+    let mut read_ops = Vec::with_capacity(ipaths.len());
+    for (p, outcome) in ipaths
+        .iter()
+        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops))
+    {
+        read_ops.push(IoOp::ReadAt {
+            path: p.clone(),
+            offset: 0,
+            len: ioplane::as_size(outcome)?,
+        });
+    }
+    let mut kept_per_writer = Vec::with_capacity(ipaths.len());
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops) {
+        let entries = IndexEntry::decode_all(&ioplane::as_data(outcome)?.materialize())?;
         let kept: Vec<IndexEntry> = entries
             .into_iter()
             .filter_map(|e| {
@@ -64,11 +95,29 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
             surviving_bytes += e.length;
             surviving_eof = surviving_eof.max(e.logical_offset + e.length);
         }
-        let ipath = container.index_log(b, w)?;
-        b.create(&ipath, false)?; // truncate the log itself
-        if !kept.is_empty() {
-            b.append(&ipath, &Content::bytes(IndexEntry::encode_all(&kept)))?;
-        }
+        kept_per_writer.push(kept);
+    }
+    let trunc_ops: Vec<IoOp> = ipaths
+        .iter()
+        .map(|p| IoOp::Create {
+            path: p.clone(),
+            exclusive: false,
+        })
+        .collect();
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &trunc_ops) {
+        ioplane::as_unit(outcome)?; // truncate the log itself
+    }
+    let append_ops: Vec<IoOp> = ipaths
+        .iter()
+        .zip(&kept_per_writer)
+        .filter(|(_, kept)| !kept.is_empty())
+        .map(|(p, kept)| IoOp::Append {
+            path: p.clone(),
+            content: Content::bytes(IndexEntry::encode_all(kept)),
+        })
+        .collect();
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &append_ops) {
+        ioplane::as_offset(outcome)?;
     }
 
     // Metadir records and any flattened index are now stale.
@@ -77,17 +126,31 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
 }
 
 fn truncate_to_zero<B: Backend>(b: &B, container: &Container) -> Result<()> {
-    for i in 0..container.federation_subdirs() {
-        let dir = match container.subdir_phys(b, i) {
-            Ok(d) => d,
-            Err(PlfsError::NotFound(_)) => continue,
-            Err(e) => return Err(e),
-        };
-        for name in b.list(&dir)? {
+    // One listing batch over the live subdirs, one unlink batch over
+    // every dropping they hold.
+    let resolved = container.subdirs_phys_batch(b)?;
+    let dirs: Vec<&String> = resolved.iter().flatten().collect();
+    let list_ops: Vec<IoOp> = dirs
+        .iter()
+        .map(|d| IoOp::Readdir {
+            path: (*d).clone(),
+        })
+        .collect();
+    let mut unlink_ops = Vec::new();
+    for (dir, outcome) in dirs
+        .iter()
+        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &list_ops))
+    {
+        for name in ioplane::as_names(outcome)? {
             if name.starts_with(DATA_PREFIX) || name.starts_with(INDEX_PREFIX) {
-                b.unlink(&format!("{dir}/{name}"))?;
+                unlink_ops.push(IoOp::Unlink {
+                    path: format!("{dir}/{name}"),
+                });
             }
         }
+    }
+    for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &unlink_ops) {
+        ioplane::as_unit(outcome)?;
     }
     refresh_metadata(b, container, 0, 0)?;
     Ok(())
@@ -102,8 +165,14 @@ fn refresh_metadata<B: Backend>(b: &B, container: &Container, eof: u64, bytes: u
     let metadir = format!("{}/metadir", container.canonical_path());
     match b.list(&metadir) {
         Ok(names) => {
-            for n in names {
-                b.unlink(&format!("{metadir}/{n}"))?;
+            let stale: Vec<IoOp> = names
+                .iter()
+                .map(|n| IoOp::Unlink {
+                    path: format!("{metadir}/{n}"),
+                })
+                .collect();
+            for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &stale) {
+                ioplane::as_unit(outcome)?;
             }
         }
         Err(PlfsError::NotFound(_)) => {}

@@ -5,8 +5,9 @@
 
 use crate::backend::{Backend, NodeKind};
 use crate::container::Container;
-use crate::error::{PlfsError, Result};
+use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::federation::Federation;
+use crate::ioplane::{self, IoOp};
 use crate::path::{join, try_normalize};
 use crate::reader::ReadHandle;
 use crate::writer::{reject_read_write, IndexPolicy, WriteHandle};
@@ -91,8 +92,14 @@ pub struct Plfs<B: Backend + Clone> {
 
 impl<B: Backend + Clone> Plfs<B> {
     pub fn new(backend: B, config: PlfsConfig) -> Result<Self> {
-        for ns in config.federation.namespaces() {
-            backend.mkdir_all(ns)?;
+        let batch: Vec<IoOp> = config
+            .federation
+            .namespaces()
+            .iter()
+            .map(|ns| IoOp::MkdirAll { path: ns.clone() })
+            .collect();
+        for outcome in ioplane::submit_retried(&backend, DEFAULT_RETRY_ATTEMPTS, &batch) {
+            ioplane::as_unit(outcome)?;
         }
         Ok(Plfs {
             backend,
@@ -186,22 +193,39 @@ impl<B: Backend + Clone> Plfs<B> {
         if c.exists(&self.backend) {
             return Some(LogicalKind::File);
         }
-        // A logical directory exists if any namespace has it as a plain dir.
-        for ns in self.config.federation.namespaces() {
-            let phys = phys_path(ns, &logical);
-            if matches!(self.backend.kind(&phys), Ok(NodeKind::Dir)) {
-                return Some(LogicalKind::Dir);
-            }
-        }
-        None
+        // A logical directory exists if any namespace has it as a plain
+        // dir: one Kind probe per namespace, all in one batch.
+        let probes: Vec<IoOp> = self
+            .config
+            .federation
+            .namespaces()
+            .iter()
+            .map(|ns| IoOp::Kind {
+                path: phys_path(ns, &logical),
+            })
+            .collect();
+        self.backend
+            .submit(&probes)
+            .into_iter()
+            .any(|o| matches!(ioplane::as_kind(o), Ok(NodeKind::Dir)))
+            .then_some(LogicalKind::Dir)
     }
 
     /// Create a logical directory (in every namespace, so listings and
     /// future container creates work wherever hashing lands them).
     pub fn mkdir(&self, logical: &str) -> Result<()> {
         let logical = try_normalize(logical)?;
-        for ns in self.config.federation.namespaces() {
-            self.backend.mkdir_all(&phys_path(ns, &logical))?;
+        let batch: Vec<IoOp> = self
+            .config
+            .federation
+            .namespaces()
+            .iter()
+            .map(|ns| IoOp::MkdirAll {
+                path: phys_path(ns, &logical),
+            })
+            .collect();
+        for outcome in ioplane::submit_retried(&self.backend, DEFAULT_RETRY_ATTEMPTS, &batch) {
+            ioplane::as_unit(outcome)?;
         }
         Ok(())
     }
@@ -211,55 +235,92 @@ impl<B: Backend + Clone> Plfs<B> {
     /// across all namespaces (container spreading scatters entries).
     pub fn readdir(&self, logical: &str) -> Result<Vec<(String, LogicalKind)>> {
         let logical = try_normalize(logical)?;
-        let mut out: BTreeMap<String, LogicalKind> = BTreeMap::new();
+        // Three plane round-trips regardless of fan-out: one Readdir per
+        // namespace, one Kind per child, one marker probe per directory
+        // child — instead of a metadata call per child per namespace.
+        let phys: Vec<String> = self
+            .config
+            .federation
+            .namespaces()
+            .iter()
+            .map(|ns| phys_path(ns, &logical))
+            .collect();
+        let list_ops: Vec<IoOp> = phys
+            .iter()
+            .map(|p| IoOp::Readdir { path: p.clone() })
+            .collect();
+        let mut children: Vec<(String, String)> = Vec::new();
         let mut found_any = false;
-        for ns in self.config.federation.namespaces() {
-            let phys = phys_path(ns, &logical);
-            let names = match self.backend.list(&phys) {
-                Ok(n) => {
+        for (p, outcome) in phys.iter().zip(ioplane::submit_retried(
+            &self.backend,
+            DEFAULT_RETRY_ATTEMPTS,
+            &list_ops,
+        )) {
+            match ioplane::as_names(outcome) {
+                Ok(names) => {
                     found_any = true;
-                    n
-                }
-                Err(PlfsError::NotFound(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            for name in names {
-                if name.starts_with(".plfs_shadow") {
-                    continue;
-                }
-                let child = join(&phys, &name);
-                match self.backend.kind(&child)? {
-                    NodeKind::File => {
-                        // Stray physical file (not PLFS-created); surface it.
-                        out.entry(name).or_insert(LogicalKind::File);
-                    }
-                    NodeKind::Dir => {
-                        let is_container = self
-                            .backend
-                            .exists(&join(&child, crate::container::ACCESS_FILE));
-                        let kind = if is_container {
-                            LogicalKind::File
-                        } else {
-                            LogicalKind::Dir
-                        };
-                        match out.entry(name) {
-                            std::collections::btree_map::Entry::Vacant(v) => {
-                                v.insert(kind);
-                            }
-                            std::collections::btree_map::Entry::Occupied(mut o) => {
-                                // A container in any namespace wins over a
-                                // plain dir echo in another.
-                                if kind == LogicalKind::File {
-                                    o.insert(kind);
-                                }
-                            }
+                    for name in names {
+                        if name.starts_with(".plfs_shadow") {
+                            continue;
                         }
+                        let child = join(p, &name);
+                        children.push((name, child));
                     }
                 }
+                Err(PlfsError::NotFound(_)) => {}
+                Err(e) => return Err(e),
             }
         }
         if !found_any {
             return Err(PlfsError::NotFound(logical));
+        }
+        let kind_ops: Vec<IoOp> = children
+            .iter()
+            .map(|(_, child)| IoOp::Kind {
+                path: child.clone(),
+            })
+            .collect();
+        let mut kinds = Vec::with_capacity(children.len());
+        for outcome in ioplane::submit_retried(&self.backend, DEFAULT_RETRY_ATTEMPTS, &kind_ops) {
+            kinds.push(ioplane::as_kind(outcome)?);
+        }
+        let dirs: Vec<usize> = (0..children.len())
+            .filter(|&i| kinds[i] == NodeKind::Dir)
+            .collect();
+        let marker_ops: Vec<IoOp> = dirs
+            .iter()
+            .map(|&i| IoOp::Kind {
+                path: join(&children[i].1, crate::container::ACCESS_FILE),
+            })
+            .collect();
+        let mut is_container = vec![false; children.len()];
+        for (&i, outcome) in dirs.iter().zip(ioplane::submit_retried(
+            &self.backend,
+            DEFAULT_RETRY_ATTEMPTS,
+            &marker_ops,
+        )) {
+            is_container[i] = !matches!(ioplane::as_kind(outcome), Err(PlfsError::NotFound(_)));
+        }
+        let mut out: BTreeMap<String, LogicalKind> = BTreeMap::new();
+        for (i, (name, _)) in children.into_iter().enumerate() {
+            let kind = match kinds[i] {
+                // Stray physical file (not PLFS-created); surface it.
+                NodeKind::File => LogicalKind::File,
+                NodeKind::Dir if is_container[i] => LogicalKind::File,
+                NodeKind::Dir => LogicalKind::Dir,
+            };
+            match out.entry(name) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(kind);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    // A container in any namespace wins over a plain dir
+                    // echo in another.
+                    if kind == LogicalKind::File {
+                        o.insert(kind);
+                    }
+                }
+            }
         }
         Ok(out.into_iter().collect())
     }
@@ -303,10 +364,25 @@ impl<B: Backend + Clone> Plfs<B> {
 
         // Move each *existing* shadow subdir to where the new name hashes
         // it, and rewrite metalinks. Subdirs are created lazily, so most
-        // may not exist at all — those need no work.
+        // may not exist at all — one Kind batch finds the live ones. The
+        // per-subdir move itself stays sequential: each case is an
+        // order-dependent unlink/rename/create chain whose later steps
+        // must not run (or retry) unless the earlier ones committed.
+        let entries: Vec<String> = (0..fed.subdirs_per_container())
+            .map(|i| join(ct.canonical_path(), &format!("subdir.{i}")))
+            .collect();
+        let probe_ops: Vec<IoOp> = entries
+            .iter()
+            .map(|e| IoOp::Kind { path: e.clone() })
+            .collect();
+        let live: Vec<bool> =
+            ioplane::submit_retried(&self.backend, DEFAULT_RETRY_ATTEMPTS, &probe_ops)
+                .into_iter()
+                .map(|o| !matches!(ioplane::as_kind(o), Err(PlfsError::NotFound(_))))
+                .collect();
         for i in 0..fed.subdirs_per_container() {
-            let entry = join(ct.canonical_path(), &format!("subdir.{i}"));
-            if !self.backend.exists(&entry) {
+            let entry = entries[i].clone();
+            if !live[i] {
                 continue; // never created
             }
             let old_shadow = fed.shadow_subdir_path(&from, i);
@@ -314,25 +390,36 @@ impl<B: Backend + Clone> Plfs<B> {
             match (old_shadow, new_shadow) {
                 (None, None) => {} // plain dir moved with the container
                 (Some(old), Some(new)) => {
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain; each step must commit before the next runs
                     self.backend.mkdir_all(&crate::path::parent(&new))?;
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
                     self.backend.rename(&old, &new)?;
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
                     self.backend.unlink(&entry)?;
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
                     self.backend.create(&entry, true)?;
-                    self.backend
-                        .append(&entry, &crate::content::Content::bytes(new.into_bytes()))?;
+                    let metalink = crate::content::Content::bytes(new.into_bytes());
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
+                    self.backend.append(&entry, &metalink)?;
                 }
                 (Some(old), None) => {
                     // Shadow folds back into the canonical container.
+                    // plfs-lint: allow(raw-backend-in-batch-path): unlink→rename swap; the rename must not run (or retry) unless the unlink committed
                     self.backend.unlink(&entry)?;
+                    // plfs-lint: allow(raw-backend-in-batch-path): second half of the order-dependent swap above
                     self.backend.rename(&old, &entry)?;
                 }
                 (None, Some(new)) => {
                     // Plain subdir must move out to a shadow.
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain; each step must commit before the next runs
                     self.backend.mkdir_all(&crate::path::parent(&new))?;
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
                     self.backend.rename(&entry, &new)?;
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
                     self.backend.create(&entry, true)?;
-                    self.backend
-                        .append(&entry, &crate::content::Content::bytes(new.into_bytes()))?;
+                    let metalink = crate::content::Content::bytes(new.into_bytes());
+                    // plfs-lint: allow(raw-backend-in-batch-path): order-dependent shadow-move chain
+                    self.backend.append(&entry, &metalink)?;
                 }
             }
         }

@@ -18,6 +18,7 @@ use crate::container::Container;
 use crate::content::Content;
 use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
+use crate::ioplane::{self, IoOp};
 
 /// What to do with index information while writing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,8 +154,22 @@ impl<B: Backend> WriteHandle<B> {
                 .ensure_subdir(&self.backend, self.container.subdir_for(self.writer))?;
             let data = format!("{sub}/{}{}", crate::container::DATA_PREFIX, self.writer);
             let index = format!("{sub}/{}{}", crate::container::INDEX_PREFIX, self.writer);
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.create(&data, false))?;
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.create(&index, false))?;
+            // Both droppings in one batched submission; the plane retries
+            // transients per op.
+            let batch = [
+                IoOp::Create {
+                    path: data.clone(),
+                    exclusive: false,
+                },
+                IoOp::Create {
+                    path: index.clone(),
+                    exclusive: false,
+                },
+            ];
+            let mut out =
+                ioplane::submit_retried(&self.backend, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
+            ioplane::as_unit(ioplane::take(&mut out))?;
+            ioplane::as_unit(ioplane::take(&mut out))?;
             self.logs = Some((data, index));
         }
         self.logs
@@ -226,14 +241,30 @@ impl<B: Backend> WriteHandle<B> {
         }
         let keep = size - rem;
         let staged = format!("{index_log}{}", crate::container::REALIGN_SUFFIX);
-        // truncates an old attempt
-        retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.create(&staged, false))?;
+        // Staging: the scratch create (truncating an old attempt) and the
+        // prefix read are independent, so they go as one batch; the
+        // staging append needs the read's data and follows on its own.
+        let stage = [
+            IoOp::Create {
+                path: staged.clone(),
+                exclusive: false,
+            },
+            IoOp::ReadAt {
+                path: index_log.to_string(),
+                offset: 0,
+                len: keep,
+            },
+        ];
+        let mut out =
+            ioplane::submit_retried(&self.backend, DEFAULT_RETRY_ATTEMPTS, &stage).into_iter();
+        ioplane::as_unit(ioplane::take(&mut out))?;
+        let prefix = ioplane::as_data(ioplane::take(&mut out))?;
         if keep > 0 {
-            let prefix = retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
-                self.backend.read_at(index_log, 0, keep)
-            })?;
             retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.append(&staged, &prefix))?;
         }
+        // The swap stays sequential: the rename must not run unless the
+        // unlink committed (per-op batch retry could otherwise interleave
+        // a hard rename failure into the unlink's retry window).
         retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.unlink(index_log))?;
         retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.rename(&staged, index_log))?;
         Ok(())
@@ -278,9 +309,9 @@ impl<B: Backend> WriteHandle<B> {
         }
         let contribution = self.buffered.clone();
         self.append_index_batch()?;
+        // Metadir record + openhosts deregistration as one batch.
         self.container
-            .record_meta(&self.backend, self.writer, self.eof, self.bytes_written)?;
-        self.container.unregister_open(&self.backend, self.writer)?;
+            .finish_close(&self.backend, self.writer, self.eof, self.bytes_written)?;
         self.closed = true;
         Ok(contribution)
     }

@@ -89,6 +89,134 @@ pub fn parse_format_table(doc: &str) -> Result<Vec<FormatRow>, String> {
     Ok(rows)
 }
 
+/// Row of the I/O-plane op vocabulary table (DESIGN.md §5e). Only the
+/// op name is load-bearing; the payload/retry columns are prose.
+#[derive(Debug, Clone)]
+pub struct IoPlaneRow {
+    pub name: String,
+    pub doc_line: u32,
+}
+
+/// Parse the I/O-plane op vocabulary table out of DESIGN.md (between
+/// `<!-- plfs-lint:ioplane-table -->` markers). Like the format table,
+/// missing or unbalanced markers are a configuration error: the op
+/// vocabulary must not drift silently just because the doc moved.
+pub fn parse_ioplane_table(doc: &str) -> Result<Vec<IoPlaneRow>, String> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut seen_open = false;
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.contains("<!-- plfs-lint:ioplane-table -->") {
+            inside = true;
+            seen_open = true;
+            continue;
+        }
+        if trimmed.contains("<!-- /plfs-lint:ioplane-table -->") {
+            inside = false;
+            continue;
+        }
+        if !inside || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        let Some(first) = cells.first() else {
+            continue;
+        };
+        let name = unbacktick(first);
+        if name.is_empty() || name == "op" || name.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        rows.push(IoPlaneRow {
+            name: name.to_string(),
+            doc_line: lineno,
+        });
+    }
+    if !seen_open {
+        return Err("DESIGN.md has no `<!-- plfs-lint:ioplane-table -->` marker; the I/O-plane op vocabulary has no drift source".into());
+    }
+    if inside {
+        return Err("DESIGN.md ioplane table is missing its closing `<!-- /plfs-lint:ioplane-table -->` marker".into());
+    }
+    if rows.is_empty() {
+        return Err("DESIGN.md ioplane table is empty".into());
+    }
+    Ok(rows)
+}
+
+/// Variant names (and lines) of `enum IoOp` in the ioplane source.
+pub fn ioplane_variants(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is(TokKind::Ident, "enum") && toks[i + 1].is(TokKind::Ident, "IoOp") {
+            let Some(open_off) = toks[i + 2..]
+                .iter()
+                .position(|t| t.is(TokKind::Punct, "{"))
+            else {
+                return out;
+            };
+            let open = i + 2 + open_off;
+            let close = crate::rules::matching_close(toks, open);
+            let inner = toks[open].depth + 1;
+            // A variant name is an ident at the enum body's depth whose
+            // predecessor is the opening `{` or a separating `,`
+            // (field idents live one brace deeper).
+            for k in open + 1..close {
+                if toks[k].kind == TokKind::Ident
+                    && toks[k].depth == inner
+                    && (toks[k - 1].is(TokKind::Punct, "{") || toks[k - 1].is(TokKind::Punct, ","))
+                {
+                    out.push((toks[k].text.clone(), toks[k].line));
+                }
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Check the ioplane source file against the §5e table, both
+/// directions: every `IoOp` variant must have a table row (findings
+/// anchored at the variant), and every table row must name a live
+/// variant (reported by the caller for unmatched indices, like the
+/// format table).
+pub fn check_ioplane_file(rows: &[IoPlaneRow], toks: &[Tok]) -> (Vec<RawFinding>, Vec<usize>) {
+    let variants = ioplane_variants(toks);
+    let mut findings = Vec::new();
+    let mut matched = Vec::new();
+    if variants.is_empty() {
+        findings.push(RawFinding {
+            rule: RuleId::FormatDrift,
+            line: 1,
+            message: "no `enum IoOp` found in the I/O-plane source; the op vocabulary table in \
+                      DESIGN.md §5e has nothing to check against"
+                .into(),
+        });
+        return (findings, matched);
+    }
+    for (name, line) in &variants {
+        if !rows.iter().any(|r| &r.name == name) {
+            findings.push(RawFinding {
+                rule: RuleId::FormatDrift,
+                line: *line,
+                message: format!(
+                    "`IoOp::{name}` has no row in the DESIGN.md §5e op vocabulary table; every \
+                     op the plane speaks must be documented there (batchability + retry class)"
+                ),
+            });
+        }
+    }
+    for (idx, row) in rows.iter().enumerate() {
+        if variants.iter().any(|(name, _)| name == &row.name) {
+            matched.push(idx);
+        }
+    }
+    (findings, matched)
+}
+
 /// Extract `const NAME ... = <expr> ;` initializer tokens from a file.
 fn const_value(toks: &[Tok], name: &str) -> Option<(u32, String)> {
     let mut i = 0;

@@ -57,6 +57,24 @@ fn unretried_scope(rel: &str) -> bool {
         && (rel.ends_with("/writer.rs") || rel.ends_with("/reader.rs") || rel.ends_with("/fsck.rs"))
 }
 
+/// raw-backend-in-batch-path applies to the files the I/O-plane
+/// refactor converted to `IoOp` batches: multi-op work there is built
+/// as a batch and submitted once, so a per-op backend call in a loop is
+/// a regression to one-round-trip-per-op.
+fn batch_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/")
+        && [
+            "/container.rs",
+            "/writer.rs",
+            "/reader.rs",
+            "/fsck.rs",
+            "/vfs.rs",
+            "/truncate.rs",
+        ]
+        .iter()
+        .any(|f| rel.ends_with(f))
+}
+
 /// Per-file lint result, pre-aggregation.
 #[derive(Debug, Default)]
 pub struct FileLint {
@@ -80,6 +98,9 @@ pub fn lint_source_with(rel: &str, src: &str, extra: Vec<RawFinding>) -> FileLin
     }
     if unretried_scope(rel) {
         raw.extend(rules::unretried_backend_call(&lexed.toks, &tests));
+    }
+    if batch_scope(rel) {
+        raw.extend(rules::raw_backend_in_batch_path(&lexed.toks, &tests));
     }
 
     // Line spans of test regions: pragmas inside them are inert (test
@@ -218,6 +239,9 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
         .map_err(|e| format!("cannot read {}: {e}", design_path.display()))?;
     let rows: Vec<FormatRow> = drift::parse_format_table(&doc)?;
     let mut row_matched = vec![false; rows.len()];
+    let io_rows = drift::parse_ioplane_table(&doc)?;
+    let mut io_row_matched = vec![false; io_rows.len()];
+    let mut ioplane_seen = false;
 
     let mut files = Vec::new();
     for top in ["crates", "src"] {
@@ -242,15 +266,57 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
         let src = fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let lexed_for_drift = lex(&src);
-        let (drift_findings, matched) = drift::check_file(&rows, &rel, &lexed_for_drift.toks);
+        let (mut drift_findings, matched) = drift::check_file(&rows, &rel, &lexed_for_drift.toks);
         for idx in matched {
             row_matched[idx] = true;
+        }
+        if rel == "crates/core/src/ioplane.rs" {
+            ioplane_seen = true;
+            let (io_findings, io_matched) =
+                drift::check_ioplane_file(&io_rows, &lexed_for_drift.toks);
+            drift_findings.extend(io_findings);
+            for idx in io_matched {
+                io_row_matched[idx] = true;
+            }
         }
         let file_lint = lint_source_with(&rel, &src, drift_findings);
         report.findings.extend(file_lint.findings);
         report.allowed.extend(file_lint.allowed);
         report.warnings.extend(file_lint.warnings);
         report.files_scanned += 1;
+    }
+
+    if ioplane_seen {
+        for (row, matched) in io_rows.iter().zip(&io_row_matched) {
+            if !matched {
+                report.findings.push(Finding {
+                    rule: RuleId::FormatDrift,
+                    file: "DESIGN.md".into(),
+                    line: row.doc_line,
+                    message: format!(
+                        "op vocabulary row `{}` names no live `IoOp` variant; remove the row or \
+                         restore the op",
+                        row.name
+                    ),
+                    snippet: doc
+                        .lines()
+                        .nth(row.doc_line as usize - 1)
+                        .unwrap_or("")
+                        .trim()
+                        .to_string(),
+                });
+            }
+        }
+    } else {
+        report.findings.push(Finding {
+            rule: RuleId::FormatDrift,
+            file: "DESIGN.md".into(),
+            line: io_rows.first().map_or(1, |r| r.doc_line),
+            message: "DESIGN.md documents an I/O-plane op vocabulary but crates/core/src/ioplane.rs \
+                      was not scanned (file moved or deleted without updating the table)"
+                .into(),
+            snippet: String::new(),
+        });
     }
 
     for (row, matched) in rows.iter().zip(&row_matched) {

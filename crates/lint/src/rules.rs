@@ -23,6 +23,11 @@
 //!   / fsck paths that bypasses `retry_transient`. Transient failures
 //!   are guaranteed side-effect-free, so an unretried call turns a
 //!   survivable blip into a failed recovery.
+//! * **raw-backend-in-batch-path** — a per-op `Backend` call inside a
+//!   loop body on a batched path. The I/O-plane refactor made
+//!   multi-op call sites build an `IoOp` batch and `submit` it once;
+//!   a raw call per iteration silently reverts to one-round-trip-per-op
+//!   and dodges the plane's per-op counters and retry policy.
 //! * **format-drift** — on-disk format constants must match the
 //!   authoritative table in DESIGN.md (implemented in
 //!   [`crate::drift`], driven by the doc, checked here per file).
@@ -37,6 +42,7 @@ pub enum RuleId {
     SwallowedResult,
     PanicInCore,
     UnretriedBackendCall,
+    RawBackendInBatchPath,
     FormatDrift,
 }
 
@@ -47,16 +53,18 @@ impl RuleId {
             RuleId::SwallowedResult => "swallowed-result",
             RuleId::PanicInCore => "panic-in-core",
             RuleId::UnretriedBackendCall => "unretried-backend-call",
+            RuleId::RawBackendInBatchPath => "raw-backend-in-batch-path",
             RuleId::FormatDrift => "format-drift",
         }
     }
 
-    pub fn all() -> [RuleId; 5] {
+    pub fn all() -> [RuleId; 6] {
         [
             RuleId::GuardAcrossIo,
             RuleId::SwallowedResult,
             RuleId::PanicInCore,
             RuleId::UnretriedBackendCall,
+            RuleId::RawBackendInBatchPath,
             RuleId::FormatDrift,
         ]
     }
@@ -467,6 +475,69 @@ pub fn unretried_backend_call(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<Raw
             _ => {}
         }
         i += 1;
+    }
+    out
+}
+
+/// Token ranges (inclusive) covering the bodies of `for`/`while`/`loop`
+/// statements. The body is the first `{` at the keyword's brace depth
+/// (loop headers cannot contain a bare block at that depth — closure
+/// bodies inside the header sit behind `(` and are deeper once entered).
+fn loop_body_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "for" | "while" | "loop") {
+            continue;
+        }
+        // `.for_each` style idents are lexed as one token, so a bare
+        // `for`/`while`/`loop` ident here really is the keyword unless
+        // it is a method name (`.loop(` does not exist in this codebase,
+        // but be safe) or a generic lifetime position (`for<'a>`).
+        if i > 0 && toks[i - 1].is(TokKind::Punct, ".") {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "<")) {
+            continue;
+        }
+        let Some(open_off) = toks[i + 1..]
+            .iter()
+            .position(|n| n.is(TokKind::Punct, "{") && n.depth == t.depth)
+        else {
+            continue;
+        };
+        let open = i + 1 + open_off;
+        ranges.push((open, matching_close(toks, open)));
+    }
+    merge_ranges(ranges)
+}
+
+/// raw-backend-in-batch-path: a per-op `Backend` call inside a loop body
+/// on a path that has a batched equivalent. Applied only to the files
+/// the I/O-plane refactor converted to `IoOp` batches (see
+/// `LintConfig`); the fix is to build the ops in the loop and `submit`
+/// them once.
+pub fn raw_backend_in_batch_path(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFinding> {
+    let loops = loop_body_ranges(toks);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !BACKEND_OPS.contains(&t.text.as_str())
+            || !is_method_call(toks, i)
+            || in_ranges(tests, i)
+            || !in_ranges(&loops, i)
+        {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: RuleId::RawBackendInBatchPath,
+            line: t.line,
+            message: format!(
+                "per-op backend call `.{}(...)` inside a loop on a batched path; build an \
+                 `IoOp` batch and `submit` it once (per-op round trips dodge the I/O plane's \
+                 counters and retry policy)",
+                t.text
+            ),
+        });
     }
     out
 }

@@ -1,0 +1,20 @@
+//! Fixture: per-op backend calls inside loops on a batched path — the
+//! shape the I/O-plane refactor removed. Each iteration pays a full
+//! round trip and bypasses the plane's counters and per-op retry.
+
+pub fn scan(b: &dyn Backend, dirs: &[String]) -> Result<u64> {
+    let mut total = 0;
+    for dir in dirs {
+        // BAD: one size() round trip per directory; build a Size batch
+        // and submit it once instead.
+        total += b.size(dir)?;
+    }
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < dirs.len() {
+        // BAD: per-iteration list() — a Readdir batch covers all dirs.
+        names.extend(b.list(&dirs[i])?);
+        i += 1;
+    }
+    Ok(total)
+}

@@ -95,6 +95,66 @@ fn retry_good_is_clean() {
 }
 
 #[test]
+fn raw_batch_bad_flags_per_op_calls_in_loops() {
+    let src = include_str!("fixtures/raw_batch_bad.rs");
+    let lines = rule_lines(
+        "crates/core/src/container.rs",
+        src,
+        RuleId::RawBackendInBatchPath,
+    );
+    // `b.size(dir)` in the for loop, `b.list(&dirs[i])` in the while loop.
+    assert_eq!(lines.len(), 2, "findings: {lines:?}");
+}
+
+#[test]
+fn raw_batch_rule_only_applies_to_batched_paths() {
+    // The same source outside the batched files is not in scope.
+    let src = include_str!("fixtures/raw_batch_bad.rs");
+    let lines = rule_lines(
+        "crates/core/src/backend.rs",
+        src,
+        RuleId::RawBackendInBatchPath,
+    );
+    assert!(lines.is_empty(), "findings: {lines:?}");
+}
+
+#[test]
+fn raw_batch_good_is_clean_and_pragmas_count_as_allowed() {
+    let src = include_str!("fixtures/raw_batch_good.rs");
+    let out = lint_source("crates/core/src/container.rs", src);
+    assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    // The order-dependent swap carries two pragmas, one per call.
+    let allowed: Vec<&str> = out.allowed.iter().map(|a| a.rule.as_str()).collect();
+    assert_eq!(
+        allowed,
+        vec!["raw-backend-in-batch-path"; 2],
+        "allowed: {:?}",
+        out.allowed
+    );
+    assert!(out.warnings.is_empty(), "warnings: {:?}", out.warnings);
+}
+
+#[test]
+fn ioplane_table_round_trips_against_the_enum() {
+    let doc = "\
+<!-- plfs-lint:ioplane-table -->
+| op | batchable |
+| --- | --- |
+| `Mkdir` | yes |
+| `Gone` | yes |
+<!-- /plfs-lint:ioplane-table -->
+";
+    let rows = drift::parse_ioplane_table(doc).unwrap();
+    assert_eq!(rows.len(), 2);
+    let toks = lex("pub enum IoOp { Mkdir { path: String }, Extra { path: String } }").toks;
+    let (raw, matched) = drift::check_ioplane_file(&rows, &toks);
+    // `Extra` has no row; row `Gone` names no variant (unmatched index 1).
+    assert_eq!(raw.len(), 1, "findings: {raw:?}");
+    assert!(raw[0].message.contains("Extra"), "message: {}", raw[0].message);
+    assert_eq!(matched, vec![0]);
+}
+
+#[test]
 fn drift_bad_flags_changed_constant() {
     let rows = drift::parse_format_table(include_str!("fixtures/drift_design.md")).unwrap();
     let src = include_str!("fixtures/drift_bad.rs");

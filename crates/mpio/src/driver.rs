@@ -9,6 +9,7 @@
 use crate::layout::Layout;
 use crate::ops::LogicalOp;
 use pfs::SimPfs;
+use plfs::IoOp;
 use simcore::SimTime;
 use simnet::Interconnect;
 
@@ -58,6 +59,43 @@ pub trait Driver {
         arrivals: &[SimTime],
         ctx: &mut Ctx,
     ) -> Vec<SimTime>;
+}
+
+/// Charge one `plfs::ioplane::IoOp` against the simulated file system.
+///
+/// This is the simulator's half of the shared op vocabulary: drivers (and
+/// trace replay) describe physical work with the same [`IoOp`] values the
+/// real middleware submits to its backends, so a `TracingBackend`
+/// recording drives the simulator without translation. `ns` routes
+/// metadata ops to the owning simulated MDS; `reps` charges an op as that
+/// many back-to-back repetitions (aggregated transfer for `Append` /
+/// `ReadAt`, which the simulator prices by total bytes).
+pub fn exec_io(
+    ctx: &mut Ctx,
+    node: usize,
+    ns: usize,
+    reps: u64,
+    op: &IoOp,
+    now: SimTime,
+) -> SimTime {
+    match op {
+        IoOp::Mkdir { path } | IoOp::MkdirAll { path } => ctx.pfs.mkdir(ns, path, now),
+        IoOp::Create { path, .. } => ctx.pfs.create_file(ns, path, now),
+        // A metadata probe costs what an open costs: one MDS round trip.
+        IoOp::Kind { path } | IoOp::Size { path } => ctx.pfs.open_file(ns, node, path, now),
+        IoOp::Readdir { path } => ctx.pfs.readdir(ns, node, path, now),
+        IoOp::Unlink { path } | IoOp::RemoveAll { path } => ctx.pfs.unlink_file(ns, path, now),
+        IoOp::Rename { from, to } => {
+            let t = ctx.pfs.unlink_file(ns, from, now);
+            ctx.pfs.create_file(ns, to, t)
+        }
+        IoOp::Append { path, content } => {
+            ctx.pfs.append_batch(node, path, reps, content.len(), now).1
+        }
+        IoOp::ReadAt { path, offset, len } => {
+            ctx.pfs.read_batch(node, path, *offset, len * reps, reps, now)
+        }
+    }
 }
 
 /// Default handling for the driver-agnostic collectives (barrier and

@@ -30,10 +30,10 @@
 //! crate's [`plfs::Federation`] decides which namespace (= which simulated
 //! MDS) owns the canonical container and each subdir.
 
-use crate::driver::{generic_collective, Ctx, Driver, Step};
+use crate::driver::{exec_io, generic_collective, Ctx, Driver, Step};
 use crate::ops::{FileTag, LogicalOp};
 use plfs::index::INDEX_RECORD_BYTES;
-use plfs::Federation;
+use plfs::{Content, Federation, IoOp};
 use simcore::SimTime;
 use std::collections::HashMap;
 
@@ -118,18 +118,21 @@ impl FileSim {
     }
 }
 
-/// One physical operation in a composite op's micro-plan.
+/// One step of a composite op's micro-plan: either a physical op from the
+/// shared `plfs::ioplane` vocabulary (annotated with the namespace that
+/// owns it and an aggregation count), or client-side CPU work. The op
+/// vocabulary itself is *not* redefined here — the simulator charges the
+/// same [`IoOp`] values the real middleware submits to its backends.
 #[derive(Debug, Clone)]
-enum Phys {
-    Mkdir { ns: usize, path: String },
-    Create { ns: usize, path: String },
-    Open { ns: usize, path: String },
-    Readdir { ns: usize, path: String },
-    Unlink { ns: usize, path: String },
-    AppendBatch { path: String, reps: u64, len: u64 },
-    ReadBatch { path: String, offset: u64, total: u64 },
+enum PlanItem {
+    Io { ns: usize, reps: u64, op: IoOp },
     /// Client-side CPU work (e.g. index merging) — no PFS traffic.
     Cpu { nanos: u64 },
+}
+
+/// A single (non-aggregated) physical op in namespace `ns`.
+fn io(ns: usize, op: IoOp) -> PlanItem {
+    PlanItem::Io { ns, reps: 1, op }
 }
 
 /// The PLFS simulation driver.
@@ -137,7 +140,7 @@ pub struct PlfsDriver {
     cfg: PlfsDriverConfig,
     files: HashMap<String, FileSim>,
     /// In-flight micro-plans: rank → (items, next index).
-    plans: HashMap<usize, (Vec<Phys>, usize)>,
+    plans: HashMap<usize, (Vec<PlanItem>, usize)>,
 }
 
 impl PlfsDriver {
@@ -228,52 +231,64 @@ impl PlfsDriver {
     /// Container creation: mkdir + access marker only (everything else is
     /// lazy, mirroring `plfs::Container::create`). Subsequent openers just
     /// check the access file.
-    fn plan_container_create(&mut self, logical: &str) -> Vec<Phys> {
+    fn plan_container_create(&mut self, logical: &str) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
         let entry = self.files.entry(logical.to_string()).or_default();
         if entry.container_created {
-            return vec![Phys::Open {
-                ns: cns,
-                path: format!("{canonical}/.plfsaccess"),
-            }];
+            return vec![io(
+                cns,
+                IoOp::Kind {
+                    path: format!("{canonical}/.plfsaccess"),
+                },
+            )];
         }
         entry.container_created = true;
         vec![
-            Phys::Mkdir {
-                ns: cns,
-                path: canonical.clone(),
-            },
-            Phys::Create {
-                ns: cns,
-                path: format!("{canonical}/.plfsaccess"),
-            },
+            io(
+                cns,
+                IoOp::Mkdir {
+                    path: canonical.clone(),
+                },
+            ),
+            io(
+                cns,
+                IoOp::Create {
+                    path: format!("{canonical}/.plfsaccess"),
+                    exclusive: true,
+                },
+            ),
         ]
     }
 
     /// Openhosts registration (creating the openhosts dir on first use).
-    fn plan_register_open(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+    fn plan_register_open(&mut self, logical: &str, writer: u64) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
         let entry = self.files.entry(logical.to_string()).or_default();
         let mut plan = Vec::with_capacity(2);
         if !entry.openhosts_created {
             entry.openhosts_created = true;
-            plan.push(Phys::Mkdir {
-                ns: cns,
-                path: format!("{canonical}/openhosts"),
-            });
+            plan.push(io(
+                cns,
+                IoOp::Mkdir {
+                    path: format!("{canonical}/openhosts"),
+                },
+            ));
         }
-        plan.push(Phys::Create {
-            ns: cns,
-            path: format!("{canonical}/openhosts/host.{writer}"),
-        });
+        plan.push(io(
+            cns,
+            IoOp::Create {
+                path: format!("{canonical}/openhosts/host.{writer}"),
+                exclusive: false,
+            },
+        ));
         plan
     }
 
     /// First-write dropping creation: subdir (dir or shadow + metalink) if
     /// this writer is the first into it, then the data and index logs.
-    fn plan_droppings(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+    fn plan_droppings(&mut self, logical: &str, writer: u64) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
         let sub = self.subdir_of(writer);
@@ -282,15 +297,20 @@ impl PlfsDriver {
         let entry = self.files.entry(logical.to_string()).or_default();
         let mut plan = Vec::with_capacity(4);
         if entry.subdirs_created.insert(sub) {
-            plan.push(Phys::Mkdir {
-                ns: sns,
-                path: self.subdir_dir(logical, sub),
-            });
+            plan.push(io(
+                sns,
+                IoOp::Mkdir {
+                    path: self.subdir_dir(logical, sub),
+                },
+            ));
             if shadowed {
-                plan.push(Phys::Create {
-                    ns: cns,
-                    path: format!("{canonical}/subdir.{sub}"),
-                });
+                plan.push(io(
+                    cns,
+                    IoOp::Create {
+                        path: format!("{canonical}/subdir.{sub}"),
+                        exclusive: true,
+                    },
+                ));
             }
         }
         self.files
@@ -299,20 +319,26 @@ impl PlfsDriver {
             .writers
             .entry(writer)
             .or_insert((0, 0));
-        plan.push(Phys::Create {
-            ns: sns,
-            path: self.data_log(logical, writer),
-        });
-        plan.push(Phys::Create {
-            ns: sns,
-            path: self.index_log(logical, writer),
-        });
+        plan.push(io(
+            sns,
+            IoOp::Create {
+                path: self.data_log(logical, writer),
+                exclusive: false,
+            },
+        ));
+        plan.push(io(
+            sns,
+            IoOp::Create {
+                path: self.index_log(logical, writer),
+                exclusive: false,
+            },
+        ));
         plan
     }
 
     /// Per-writer close: flush the index log, record metadir (creating
     /// the metadir on first use), deregister.
-    fn plan_close_writer(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+    fn plan_close_writer(&mut self, logical: &str, writer: u64) -> Vec<PlanItem> {
         if self.cfg.crash_at_close.contains(&writer) {
             // The process died before close: no index flush, no metadir
             // record, and the openhosts entry stays behind. Its buffered
@@ -326,77 +352,94 @@ impl PlfsDriver {
         }
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
+        let sns = self.subdir_ns(logical, self.subdir_of(writer));
         let entries = self.entries_of(logical, writer);
         let mut plan = Vec::with_capacity(4);
         if entries > 0 {
-            plan.push(Phys::AppendBatch {
-                path: self.index_log(logical, writer),
-                reps: 1,
-                len: entries * INDEX_RECORD_BYTES,
-            });
+            plan.push(io(
+                sns,
+                IoOp::Append {
+                    path: self.index_log(logical, writer),
+                    content: Content::Zeros {
+                        len: entries * INDEX_RECORD_BYTES,
+                    },
+                },
+            ));
         }
         let entry = self.files.entry(logical.to_string()).or_default();
         if !entry.metadir_created {
             entry.metadir_created = true;
-            plan.push(Phys::Mkdir {
-                ns: cns,
-                path: format!("{canonical}/metadir"),
-            });
+            plan.push(io(
+                cns,
+                IoOp::Mkdir {
+                    path: format!("{canonical}/metadir"),
+                },
+            ));
         }
-        plan.push(Phys::Create {
-            ns: cns,
-            path: format!("{canonical}/metadir/meta.{writer}"),
-        });
-        plan.push(Phys::Unlink {
-            ns: cns,
-            path: format!("{canonical}/openhosts/host.{writer}"),
-        });
+        plan.push(io(
+            cns,
+            IoOp::Create {
+                path: format!("{canonical}/metadir/meta.{writer}"),
+                exclusive: false,
+            },
+        ));
+        plan.push(io(
+            cns,
+            IoOp::Unlink {
+                path: format!("{canonical}/openhosts/host.{writer}"),
+            },
+        ));
         plan
     }
 
     /// Read-open discovery: check the access file, list every subdir that
     /// exists (lazy creation leaves the rest absent).
-    fn plan_discover(&mut self, logical: &str) -> Vec<Phys> {
+    fn plan_discover(&mut self, logical: &str) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
-        let mut plan = vec![Phys::Open {
-            ns: cns,
-            path: format!("{canonical}/.plfsaccess"),
-        }];
+        let mut plan = vec![io(
+            cns,
+            IoOp::Kind {
+                path: format!("{canonical}/.plfsaccess"),
+            },
+        )];
         let created: Vec<usize> = self
             .files
             .get(logical)
             .map(|f| f.subdirs_created.iter().copied().collect())
             .unwrap_or_default();
         for i in created {
-            plan.push(Phys::Readdir {
-                ns: self.subdir_ns(logical, i),
-                path: self.subdir_dir(logical, i),
-            });
+            plan.push(io(
+                self.subdir_ns(logical, i),
+                IoOp::Readdir {
+                    path: self.subdir_dir(logical, i),
+                },
+            ));
         }
         plan
     }
 
     /// Open + read one writer's index log.
-    fn plan_read_index(&mut self, logical: &str, writer: u64) -> Vec<Phys> {
+    fn plan_read_index(&mut self, logical: &str, writer: u64) -> Vec<PlanItem> {
         let ilog = self.index_log(logical, writer);
+        let sns = self.subdir_ns(logical, self.subdir_of(writer));
         let entries = self.entries_of(logical, writer);
         vec![
-            Phys::Open {
-                ns: self.subdir_ns(logical, self.subdir_of(writer)),
-                path: ilog.clone(),
-            },
-            Phys::ReadBatch {
-                path: ilog,
-                offset: 0,
-                total: entries * INDEX_RECORD_BYTES,
-            },
+            io(sns, IoOp::Kind { path: ilog.clone() }),
+            io(
+                sns,
+                IoOp::ReadAt {
+                    path: ilog,
+                    offset: 0,
+                    len: entries * INDEX_RECORD_BYTES,
+                },
+            ),
         ]
     }
 
     /// Container removal: list and unlink every dropping, the container
     /// control files, and the (shadow) subdirs.
-    fn plan_remove_container(&mut self, logical: &str) -> Vec<Phys> {
+    fn plan_remove_container(&mut self, logical: &str) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
         let mut plan = Vec::new();
@@ -404,62 +447,65 @@ impl PlfsDriver {
             let subdirs: Vec<usize> = fs.subdirs_created.iter().copied().collect();
             let writers = fs.writer_ids();
             for i in subdirs {
-                plan.push(Phys::Readdir {
-                    ns: self.subdir_ns(logical, i),
-                    path: self.subdir_dir(logical, i),
-                });
+                plan.push(io(
+                    self.subdir_ns(logical, i),
+                    IoOp::Readdir {
+                        path: self.subdir_dir(logical, i),
+                    },
+                ));
             }
             for w in writers {
                 let sns = self.subdir_ns(logical, self.subdir_of(w));
-                plan.push(Phys::Unlink {
-                    ns: sns,
-                    path: self.data_log(logical, w),
-                });
-                plan.push(Phys::Unlink {
-                    ns: sns,
-                    path: self.index_log(logical, w),
-                });
+                plan.push(io(
+                    sns,
+                    IoOp::Unlink {
+                        path: self.data_log(logical, w),
+                    },
+                ));
+                plan.push(io(
+                    sns,
+                    IoOp::Unlink {
+                        path: self.index_log(logical, w),
+                    },
+                ));
             }
             if fs.flattened_entries.is_some() {
-                plan.push(Phys::Unlink {
-                    ns: cns,
-                    path: self.flattened_path(logical),
-                });
+                plan.push(io(
+                    cns,
+                    IoOp::Unlink {
+                        path: self.flattened_path(logical),
+                    },
+                ));
             }
         }
-        plan.push(Phys::Unlink {
-            ns: cns,
-            path: format!("{canonical}/.plfsaccess"),
-        });
+        plan.push(io(
+            cns,
+            IoOp::Unlink {
+                path: format!("{canonical}/.plfsaccess"),
+            },
+        ));
         plan
     }
 
     // --- plan execution ---
 
-    /// Charge one physical op at `now` from `node`.
-    fn exec_phys(ctx: &mut Ctx, node: usize, item: &Phys, now: SimTime) -> SimTime {
+    /// Charge one plan item at `now` from `node`.
+    fn exec_phys(ctx: &mut Ctx, node: usize, item: &PlanItem, now: SimTime) -> SimTime {
         match item {
-            Phys::Mkdir { ns, path } => ctx.pfs.mkdir(*ns, path, now),
-            Phys::Create { ns, path } => ctx.pfs.create_file(*ns, path, now),
-            Phys::Open { ns, path } => ctx.pfs.open_file(*ns, node, path, now),
-            Phys::Readdir { ns, path } => ctx.pfs.readdir(*ns, node, path, now),
-            Phys::Unlink { ns, path } => ctx.pfs.unlink_file(*ns, path, now),
-            Phys::AppendBatch { path, reps, len } => {
-                ctx.pfs.append_batch(node, path, *reps, *len, now).1
-            }
-            Phys::ReadBatch {
-                path,
-                offset,
-                total,
-            } => ctx.pfs.read_batch(node, path, *offset, *total, 1, now),
-            Phys::Cpu { nanos } => now + simcore::SimDuration::from_nanos(*nanos),
+            PlanItem::Io { ns, reps, op } => exec_io(ctx, node, *ns, *reps, op, now),
+            PlanItem::Cpu { nanos } => now + simcore::SimDuration::from_nanos(*nanos),
         }
     }
 
     /// Execute a whole plan back-to-back (used inside collective handlers,
     /// where all participants share one arrival time and event-granular
     /// interleaving is unnecessary).
-    fn exec_plan_chained(ctx: &mut Ctx, node: usize, plan: &[Phys], mut now: SimTime) -> SimTime {
+    fn exec_plan_chained(
+        ctx: &mut Ctx,
+        node: usize,
+        plan: &[PlanItem],
+        mut now: SimTime,
+    ) -> SimTime {
         for item in plan {
             now = Self::exec_phys(ctx, node, item, now);
         }
@@ -487,7 +533,7 @@ impl PlfsDriver {
         node: usize,
         ctx: &mut Ctx,
         now: SimTime,
-        build: impl FnOnce(&mut Self) -> Vec<Phys>,
+        build: impl FnOnce(&mut Self) -> Vec<PlanItem>,
     ) -> Step {
         if !self.plans.contains_key(&rank) {
             let plan = build(self);
@@ -589,7 +635,7 @@ impl Driver for PlfsDriver {
                             }
                             // Every Original reader merges the whole
                             // global index by itself.
-                            plan.push(Phys::Cpu {
+                            plan.push(PlanItem::Cpu {
                                 nanos: d.file_sim(&logical).total_entries()
                                     * d.cfg.merge_ns_per_entry,
                             });

@@ -20,6 +20,12 @@ cargo clippy --offline -p plfs -p formats -p harness -p mpio -p plfs-lint \
 cargo run --release --offline --bin plfsctl -- lint --deny-warnings \
     --baseline results/lint_baseline.md
 
+# I/O-plane op-count ratchet (DESIGN.md §5e): per-profile backend op
+# and round-trip counts must not exceed results/io_plane.md. The
+# budget only ratchets down; regenerate with `io_plane --write` after
+# a deliberate improvement.
+cargo run --release --offline --bin io_plane -- --check results/io_plane.md
+
 # Crash-recovery under a fixed fault seed: the schedule replays
 # byte-identically, so any recovery regression reproduces exactly.
 PLFS_FAULT_SEED=3405691582 cargo test -q --offline --test crash_recovery

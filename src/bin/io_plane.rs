@@ -1,0 +1,303 @@
+//! `io_plane` — op-count / round-trip profiler for the unified I/O
+//! plane (DESIGN.md §5e), and the tier-1 ratchet behind
+//! `results/io_plane.md`.
+//!
+//! Four profiles run over `TracingBackend<MemFs>` at debug-friendly
+//! sizes (the same shapes the pre-refactor baseline was measured at):
+//!
+//! * `write-close`  — 1 writer × 20 × 4 KB strided writes + close
+//! * `read-open`    — 16 writers × 20 × 4 KB, 4 subdirs;
+//!   `ReadHandle::open` (the parallel index-aggregation fan-out)
+//! * `strided-read` — the same container read back as 20 × 64 KB
+//!   sequential slices
+//! * `fsck-scan`    — `fsck::check` full container scan
+//!
+//! Reported per profile:
+//!
+//! * `ops`      — backend ops issued (every op was its own round trip
+//!   before the plane existed, so this is also the "before" trip count)
+//! * `batches`  — `submit` calls that reached the backend
+//! * `trips`    — batches + ops that bypassed the plane: physical round
+//!   trips now
+//! * `coalesce` — plane ops per batch
+//! * `wall`     — wall-clock, microseconds (informational, unratcheted:
+//!   MemFs timing is noisy and the op counts are the real contract)
+//!
+//! Modes: plain run prints the table; `--write <file>` rewrites the
+//! results file; `--check <file>` exits 1 if any profile's `ops` or
+//! `trips` exceed the committed numbers — the budget only ratchets down.
+
+use plfs::reader::ReadHandle;
+use plfs::writer::{IndexPolicy, WriteHandle};
+use plfs::{fsck, ioplane, Container, Content, Federation, MemFs, TracingBackend};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const KB: u64 = 1024;
+const WRITERS: u64 = 16;
+const BLOCKS: u64 = 20;
+const BLOCK: u64 = 4 * KB;
+const SUBDIRS: usize = 4;
+
+struct Profile {
+    name: &'static str,
+    ops: u64,
+    batches: u64,
+    trips: u64,
+    coalesce: f64,
+    wall_us: u128,
+}
+
+/// Run `f` with the trace and plane counters bracketed; fold the
+/// deltas into a [`Profile`].
+fn measure<F: FnOnce()>(
+    name: &'static str,
+    traced: &TracingBackend<MemFs>,
+    f: F,
+) -> Profile {
+    traced.take_trace();
+    let before = ioplane::stats();
+    let t0 = Instant::now();
+    f();
+    let wall_us = t0.elapsed().as_micros();
+    let after = ioplane::stats();
+    let ops = traced.take_trace().len() as u64;
+    let batches = after.batches - before.batches;
+    let plane_ops = after.ops - before.ops;
+    // Ops that bypassed the plane (lone probes through retry_transient)
+    // are one round trip each.
+    let trips = batches + ops.saturating_sub(plane_ops);
+    let coalesce = if batches == 0 {
+        1.0
+    } else {
+        plane_ops as f64 / batches as f64
+    };
+    Profile {
+        name,
+        ops,
+        batches,
+        trips,
+        coalesce,
+        wall_us,
+    }
+}
+
+fn build_container(
+    traced: &Arc<TracingBackend<MemFs>>,
+    cont: &Container,
+    writers: u64,
+) -> Result<(), String> {
+    for w in 0..writers {
+        let mut h = WriteHandle::open(Arc::clone(traced), cont.clone(), w, IndexPolicy::WriteClose)
+            .map_err(|e| format!("open writer {w}: {e}"))?;
+        for k in 0..BLOCKS {
+            h.write(
+                (k * writers + w) * BLOCK,
+                &Content::synthetic(w, BLOCK),
+                k + 1,
+            )
+            .map_err(|e| format!("write {w}/{k}: {e}"))?;
+        }
+        h.close(99).map_err(|e| format!("close {w}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run_profiles() -> Result<Vec<Profile>, String> {
+    let mut out = Vec::new();
+    let fed = Federation::single("/panfs", SUBDIRS);
+
+    // write-close: a lone writer's full lifecycle.
+    {
+        let traced = Arc::new(TracingBackend::new(MemFs::new()));
+        let cont = Container::new("/wc", &fed);
+        let mut err = None;
+        out.push(measure("write-close", &traced, || {
+            err = build_container(&traced, &cont, 1).err();
+        }));
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+
+    // The shared 16-writer container for the read-side profiles.
+    let traced = Arc::new(TracingBackend::new(MemFs::new()));
+    let cont = Container::new("/ckpt", &fed);
+    build_container(&traced, &cont, WRITERS)?;
+
+    // read-open: index aggregation fan-out only.
+    let mut opened = None;
+    let mut err = None;
+    out.push(measure("read-open", &traced, || {
+        match ReadHandle::open(Arc::clone(&traced), cont.clone()) {
+            Ok(h) => opened = Some(h),
+            Err(e) => err = Some(format!("read open: {e}")),
+        }
+    }));
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let Some(mut rh) = opened else {
+        return Err("read open returned no handle".into());
+    };
+
+    // strided-read: the whole logical file as 20 × 64 KB slices.
+    let total = WRITERS * BLOCKS * BLOCK;
+    let slice = 64 * KB;
+    let mut err = None;
+    out.push(measure("strided-read", &traced, || {
+        for off in (0..total).step_by(slice as usize) {
+            if let Err(e) = rh.read(off, slice) {
+                err = Some(format!("read at {off}: {e}"));
+                return;
+            }
+        }
+    }));
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    // fsck-scan: full container check.
+    let mut err = None;
+    out.push(measure("fsck-scan", &traced, || {
+        if let Err(e) = fsck::check(&*traced, &cont) {
+            err = Some(format!("fsck: {e}"));
+        }
+    }));
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    Ok(out)
+}
+
+fn render_table(profiles: &[Profile]) -> String {
+    let mut s = String::from(
+        "| profile | ops | batches | trips | coalesce | wall (us) |\n\
+         | --- | ---: | ---: | ---: | ---: | ---: |\n",
+    );
+    for p in profiles {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1} | {} |\n",
+            p.name, p.ops, p.batches, p.trips, p.coalesce, p.wall_us
+        ));
+    }
+    s
+}
+
+fn render_results(profiles: &[Profile]) -> String {
+    format!(
+        "# I/O-plane op counts: batched round trips per workload\n\
+         \n\
+         Generated by `cargo run --bin io_plane -- --write results/io_plane.md`\n\
+         (debug build, `TracingBackend<MemFs>`; shapes in `src/bin/io_plane.rs`).\n\
+         `ops` is the number of backend operations issued — before the I/O\n\
+         plane, each was its own round trip. `trips` is the round trips now:\n\
+         one per submitted batch plus one per op still issued alone. `wall`\n\
+         is informational; `scripts/tier1.sh` ratchets `ops` and `trips`\n\
+         (`io_plane --check`), so the budget only ratchets down.\n\
+         \n\
+         Pre-refactor baseline (seed tree, same shapes, every op a round\n\
+         trip): fsck full-scan 92 ops / 539 us, read-open fan-out 57 ops /\n\
+         670 us, strided read 336 ops, single-writer write+close 33 ops.\n\
+         \n\
+         {}",
+        render_table(profiles)
+    )
+}
+
+/// Parse committed `| profile | ops | batches | trips | ... |` rows.
+fn parse_results(text: &str) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let cells: Vec<&str> = line
+            .trim()
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        if let (Ok(ops), Ok(trips)) = (cells[1].parse::<u64>(), cells[3].parse::<u64>()) {
+            out.push((cells[0].to_string(), ops, trips));
+        }
+    }
+    out
+}
+
+fn check(profiles: &[Profile], committed: &[(String, u64, u64)]) -> Vec<String> {
+    let mut errs = Vec::new();
+    for p in profiles {
+        let Some((_, ops, trips)) = committed.iter().find(|(n, _, _)| n == p.name) else {
+            errs.push(format!(
+                "profile `{}` has no committed row; regenerate with --write",
+                p.name
+            ));
+            continue;
+        };
+        if p.ops > *ops {
+            errs.push(format!(
+                "profile `{}`: ops grew {} -> {} (the op budget only ratchets down)",
+                p.name, ops, p.ops
+            ));
+        }
+        if p.trips > *trips {
+            errs.push(format!(
+                "profile `{}`: round trips grew {} -> {} (the trip budget only ratchets down)",
+                p.name, trips, p.trips
+            ));
+        }
+    }
+    errs
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let profiles = match run_profiles() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("io_plane: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match (args.get(1).map(String::as_str), args.get(2)) {
+        (None, _) => {
+            print!("{}", render_table(&profiles));
+            ExitCode::SUCCESS
+        }
+        (Some("--write"), Some(path)) => {
+            if let Err(e) = std::fs::write(path, render_results(&profiles)) {
+                eprintln!("io_plane: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        (Some("--check"), Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("io_plane: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let errs = check(&profiles, &parse_results(&text));
+            print!("{}", render_table(&profiles));
+            for e in &errs {
+                eprintln!("error[io-plane]: {e}");
+            }
+            if errs.is_empty() {
+                println!("io_plane: within committed budget ({path})");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: io_plane [--write <file> | --check <file>]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! baseline). Exit codes: 0 clean, 1 findings (or warnings under
 //! `--deny-warnings`, or a baseline ratchet violation), 2 usage/config.
 //!
+//! `--io-stats` (any command, any position) prints the I/O plane's
+//! per-op counters to stderr after the command: ops vs batches (the
+//! coalesce ratio), transient retries, and bytes moved.
+//!
 //! The mount root is an ordinary directory (single-namespace federation,
 //! like a one-volume PLFS mount). Subdir count is auto-detected from the
 //! container when possible.
@@ -129,7 +133,29 @@ fn detect_subdirs(backend: &LocalFs, logical: &str) -> usize {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    // `--io-stats` (any position): after the command, print the I/O
+    // plane's per-op counters to stderr — batches vs ops shows how well
+    // the command's backend traffic coalesced.
+    let mut args: Vec<String> = std::env::args().collect();
+    let io_stats = args.iter().any(|a| a == "--io-stats");
+    args.retain(|a| a != "--io-stats");
+    let code = dispatch(&args);
+    if io_stats {
+        let s = plfs::ioplane::stats();
+        eprintln!(
+            "io-plane: {} op(s) in {} batch(es) (coalesce {:.1}), {} retried, {} B written, {} B read",
+            s.ops,
+            s.batches,
+            s.coalesce_ratio(),
+            s.retries,
+            s.bytes_written,
+            s.bytes_read
+        );
+    }
+    code
+}
+
+fn dispatch(args: &[String]) -> ExitCode {
     if args.get(1).map(String::as_str) == Some("lint") {
         return cmd_lint(&args[2..]);
     }

@@ -1,0 +1,204 @@
+//! Property tests for the I/O plane (tentpole satellite): a backend's
+//! native `submit` fast path must be *observably equivalent* to issuing
+//! the same ops one call at a time — same per-op outcomes, same final
+//! on-disk state — on MemFs (single-lock batches), LocalFs (vectored
+//! runs), and under a seeded `FaultBackend` (per-op fault gating inside
+//! batches). A fourth property pins the retry contract: per-op transient
+//! retry never re-executes an append that already succeeded, so landed
+//! bytes always equal the sum of acknowledged appends.
+//!
+//! Seeds mix in `PLFS_FAULT_SEED` when set (as tier-1 does for the crash
+//! suite), so a pinned run replays the same fault schedules.
+
+use plfs::faults::{FaultBackend, FaultConfig};
+use plfs::ioplane;
+use plfs::{Backend, Content, IoOp, LocalFs, MemFs};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Small closed path universe so random ops collide often enough to hit
+/// the interesting cases (append runs, create-over-existing, rename onto
+/// a live target, readdir of a file).
+const PATHS: &[&str] = &["/a", "/b", "/d", "/d/x", "/d/y", "/e"];
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::sample::select(PATHS.iter().map(|p| p.to_string()).collect())
+}
+
+fn arb_op() -> impl Strategy<Value = IoOp> {
+    (0usize..11, arb_path(), arb_path(), 1u64..128, 0u64..96).prop_map(
+        |(kind, path, path2, len, offset)| match kind {
+            0 => IoOp::Mkdir { path },
+            1 => IoOp::MkdirAll { path },
+            2 => IoOp::Create {
+                path,
+                exclusive: len % 2 == 0,
+            },
+            3 => IoOp::Append {
+                path,
+                content: Content::synthetic(len, len),
+            },
+            4 => IoOp::ReadAt { path, offset, len },
+            5 => IoOp::Size { path },
+            6 => IoOp::Kind { path },
+            7 => IoOp::Readdir { path },
+            8 => IoOp::Unlink { path },
+            9 => IoOp::RemoveAll { path },
+            _ => IoOp::Rename {
+                from: path,
+                to: path2,
+            },
+        },
+    )
+}
+
+/// Optional pinned base seed (tier-1 style): mixed into every case.
+fn base_seed() -> u64 {
+    std::env::var("PLFS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Outcome signature: structural equality via Debug (PlfsError does not
+/// implement PartialEq), with backend-root noise scrubbed by the caller.
+fn sigs(outcomes: &[ioplane::IoOutcome]) -> Vec<String> {
+    outcomes.iter().map(|o| format!("{o:?}")).collect()
+}
+
+/// Final-state probe: kind, size, full content, and listing of every
+/// universe path, collected through the sequential path on both sides.
+fn probe<B: Backend>(b: &B) -> Vec<String> {
+    let ops: Vec<IoOp> = PATHS
+        .iter()
+        .flat_map(|p| {
+            [
+                IoOp::Kind {
+                    path: p.to_string(),
+                },
+                IoOp::Size {
+                    path: p.to_string(),
+                },
+                IoOp::ReadAt {
+                    path: p.to_string(),
+                    offset: 0,
+                    len: 1 << 16,
+                },
+                IoOp::Readdir {
+                    path: p.to_string(),
+                },
+            ]
+        })
+        .collect();
+    sigs(&ioplane::replay(b, &ops))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memfs_submit_is_equivalent_to_sequential_calls(
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        let batched = MemFs::new();
+        let sequential = MemFs::new();
+        let got = sigs(&batched.submit(&ops));
+        let want = sigs(&ioplane::replay(&sequential, &ops));
+        prop_assert_eq!(got, want, "per-op outcomes diverged");
+        prop_assert_eq!(probe(&batched), probe(&sequential), "final state diverged");
+    }
+
+    #[test]
+    fn localfs_submit_is_equivalent_to_sequential_calls(
+        ops in prop::collection::vec(arb_op(), 0..24),
+    ) {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let mk = |tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "plfs-prop-ioplane-{}-{case}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            (LocalFs::new(&dir).unwrap(), dir)
+        };
+        let (batched, bdir) = mk("batched");
+        let (sequential, sdir) = mk("seq");
+        // Scrub each backend's host root out of error messages so the two
+        // sides compare on structure, not on temp-dir names.
+        let scrub = |sig: Vec<String>, root: &std::path::Path| -> Vec<String> {
+            let root = root.display().to_string();
+            sig.into_iter().map(|s| s.replace(&root, "<root>")).collect()
+        };
+        let got = scrub(sigs(&batched.submit(&ops)), &bdir);
+        let want = scrub(sigs(&ioplane::replay(&sequential, &ops)), &sdir);
+        prop_assert_eq!(got, want, "per-op outcomes diverged");
+        prop_assert_eq!(
+            scrub(probe(&batched), &bdir),
+            scrub(probe(&sequential), &sdir),
+            "final state diverged"
+        );
+        let _ = std::fs::remove_dir_all(&bdir);
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+
+    #[test]
+    fn faulty_submit_is_equivalent_to_sequential_calls(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        // Same seed + same op order ⇒ the default submit must gate each
+        // op through the injector exactly as sequential calls do.
+        let cfg = FaultConfig::flaky(seed ^ base_seed());
+        let batched = FaultBackend::new(MemFs::new(), cfg.clone());
+        let sequential = FaultBackend::new(MemFs::new(), cfg);
+        let got = sigs(&batched.submit(&ops));
+        let want = sigs(&ioplane::replay(&sequential, &ops));
+        prop_assert_eq!(got, want, "per-op outcomes diverged under faults");
+        // Disarm injection before probing so the state comparison itself
+        // is fault-free.
+        batched.revive();
+        sequential.revive();
+        prop_assert_eq!(probe(&batched), probe(&sequential), "final state diverged");
+    }
+
+    #[test]
+    fn per_op_retry_never_duplicates_acknowledged_appends(
+        seed in 0u64..1_000_000,
+        lens in prop::collection::vec(1u64..256, 1..24),
+    ) {
+        // All-transient faults (nothing ever half-lands): every Ok append
+        // landed exactly once, every Err append landed nothing. If retry
+        // ever re-executed an op that had already succeeded, the file
+        // would hold *more* than the acknowledged bytes.
+        let cfg = FaultConfig {
+            seed: seed ^ base_seed(),
+            transient_prob: 0.35,
+            torn_append_prob: 0.0,
+            crash_after_data_ops: None,
+            crash_tears_append: false,
+        };
+        let b = FaultBackend::new(MemFs::new(), cfg);
+        b.create("/f", true).unwrap();
+        let batch: Vec<IoOp> = lens
+            .iter()
+            .map(|&len| IoOp::Append {
+                path: "/f".to_string(),
+                content: Content::synthetic(len, len),
+            })
+            .collect();
+        let outcomes = ioplane::submit_retried(&b, 8, &batch);
+        let acknowledged: u64 = outcomes
+            .iter()
+            .zip(&lens)
+            .filter(|(o, _)| o.is_ok())
+            .map(|(_, &len)| len)
+            .sum();
+        b.revive();
+        prop_assert_eq!(
+            b.size("/f").unwrap(),
+            acknowledged,
+            "landed bytes must equal acknowledged appends exactly"
+        );
+    }
+}
