@@ -40,7 +40,9 @@ fn main() {
     // Phase 1: N-1 strided write. Writer w owns every w-th block.
     let t0 = Instant::now();
     for w in 0..writers {
-        let fd = shim.open("/ckpt", OpenFlags::WriteOnly).expect("open write");
+        let fd = shim
+            .open("/ckpt", OpenFlags::WriteOnly)
+            .expect("open write");
         for b in 0..blocks {
             let off = (b * writers + w) * bs;
             let buf: Vec<u8> = (off..off + bs).map(pattern).collect();
@@ -63,7 +65,11 @@ fn main() {
             .open(&victim)
             .expect("open victim");
         f.set_len(len / 2).expect("truncate");
-        println!("truncated {} from {len} to {} bytes", victim.display(), len / 2);
+        println!(
+            "truncated {} from {len} to {} bytes",
+            victim.display(),
+            len / 2
+        );
     }
 
     // Phase 2: open for read (aggregates the index) and verify every byte.

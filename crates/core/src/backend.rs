@@ -30,7 +30,9 @@ use std::sync::Arc;
 /// What a path names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
+    /// A regular file.
     File,
+    /// A directory.
     Dir,
 }
 
@@ -98,7 +100,10 @@ pub trait Backend: Send + Sync {
     /// one descriptor) — observable behaviour must stay identical, which
     /// `tests/prop_ioplane.rs` pins.
     fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
-        batch.iter().map(|op| ioplane::dispatch_one(self, op)).collect()
+        batch
+            .iter()
+            .map(|op| ioplane::dispatch_one(self, op))
+            .collect()
     }
 }
 
@@ -113,6 +118,7 @@ pub struct TracingBackend<B: Backend> {
 }
 
 impl<B: Backend> TracingBackend<B> {
+    /// Wrap `inner`, recording every op issued through the wrapper.
     pub fn new(inner: B) -> Self {
         TracingBackend {
             inner,
@@ -274,7 +280,9 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                IoOp::MkdirAll { path: "/a/b".into() },
+                IoOp::MkdirAll {
+                    path: "/a/b".into()
+                },
                 IoOp::Create {
                     path: "/a/b/f".into(),
                     exclusive: true

@@ -27,15 +27,22 @@ use crate::federation::Federation;
 use crate::index::{GlobalIndex, IndexEntry, WriterId};
 use crate::ioplane::{self, IoOp};
 use crate::path::{basename, join, normalize, parent};
+use crate::telemetry;
 
 /// Name of the marker file that distinguishes a container from a plain
 /// directory. Real PLFS uses `.plfsaccess113918400`; we keep it short.
 pub const ACCESS_FILE: &str = ".plfsaccess";
+/// Directory of cached per-writer size records (`meta.<eof>.<bytes>.<id>`).
 pub const METADIR: &str = "metadir";
+/// Directory of open-for-write registrations (`host.<id>`).
 pub const OPENHOSTS: &str = "openhosts";
+/// File holding the flattened global index, when Index Flatten ran.
 pub const FLATTENED_INDEX: &str = "flattened.index";
+/// Prefix of the per-group subdir entries (`subdir.<i>`).
 pub const SUBDIR_PREFIX: &str = "subdir.";
+/// Prefix of per-writer data logs (`dropping.data.<id>`).
 pub const DATA_PREFIX: &str = "dropping.data.";
+/// Prefix of per-writer index logs (`dropping.index.<id>`).
 pub const INDEX_PREFIX: &str = "dropping.index.";
 /// Suffix of the staging file an index-log realignment writes before
 /// atomically swapping it into place (see `WriteHandle`); one left behind
@@ -69,6 +76,7 @@ impl Container {
         }
     }
 
+    /// Normalized logical path of the file, as the user sees it.
     pub fn logical_path(&self) -> &str {
         &self.logical
     }
@@ -155,6 +163,7 @@ impl Container {
                 ioplane::as_unit(ioplane::take(&mut out))?;
                 match ioplane::as_unit(ioplane::take(&mut out)) {
                     Ok(()) => {
+                        telemetry::count(telemetry::CTR_FED_SHADOW_SUBDIRS, 1);
                         b.append(&entry, &Content::bytes(shadow.clone().into_bytes()))?;
                         Ok(shadow)
                     }
@@ -182,9 +191,8 @@ impl Container {
             NodeKind::File => {
                 let len = b.size(&entry)?;
                 let bytes = b.read_at(&entry, 0, len)?.materialize();
-                String::from_utf8(bytes).map_err(|_| {
-                    PlfsError::CorruptContainer(format!("metalink {entry} not utf-8"))
-                })
+                String::from_utf8(bytes)
+                    .map_err(|_| PlfsError::CorruptContainer(format!("metalink {entry} not utf-8")))
             }
         }
     }
@@ -309,7 +317,13 @@ impl Container {
 
     /// Record a closed writer's view of logical EOF in the metadir. These
     /// cached records make `stat` cheap: no index aggregation needed.
-    pub fn record_meta<B: Backend>(&self, b: &B, writer: WriterId, eof: u64, bytes: u64) -> Result<()> {
+    pub fn record_meta<B: Backend>(
+        &self,
+        b: &B,
+        writer: WriterId,
+        eof: u64,
+        bytes: u64,
+    ) -> Result<()> {
         // Encode in the name, like real PLFS: meta.<eof>.<bytes>.<writer>
         let dir = self.inner_dir_path(METADIR);
         let batch = [
@@ -478,11 +492,12 @@ impl Container {
     /// Serial reference implementation; [`Container::aggregate_index_parallel`]
     /// produces the identical span set across a thread pool.
     pub fn aggregate_index<B: Backend>(&self, b: &B) -> Result<GlobalIndex> {
+        let _span = telemetry::span(telemetry::SPAN_INDEX_AGGREGATE);
         let resolved = self.subdirs_phys_batch(b)?;
         let writers = self.list_writers(b)?;
-        Ok(GlobalIndex::from_entries(self.read_index_logs(
-            b, &resolved, &writers,
-        )?))
+        Ok(GlobalIndex::from_entries(
+            self.read_index_logs(b, &resolved, &writers)?,
+        ))
     }
 
     /// Aggregate index logs across a bounded `std::thread::scope` pool —
@@ -497,6 +512,7 @@ impl Container {
         b: &B,
         max_threads: usize,
     ) -> Result<GlobalIndex> {
+        let _span = telemetry::span(telemetry::SPAN_INDEX_AGGREGATE);
         let resolved = self.subdirs_phys_batch(b)?;
         let writers = self.list_writers(b)?;
         let threads = max_threads.clamp(1, writers.len().max(1));
@@ -504,9 +520,9 @@ impl Container {
             // Serial shard, but reuse the listing and subdir resolution
             // already paid for rather than delegating to
             // `aggregate_index` (which would re-probe everything).
-            return Ok(GlobalIndex::from_entries(self.read_index_logs(
-                b, &resolved, &writers,
-            )?));
+            return Ok(GlobalIndex::from_entries(
+                self.read_index_logs(b, &resolved, &writers)?,
+            ));
         }
         let shard_size = writers.len().div_ceil(threads);
         let partials: Vec<Result<GlobalIndex>> = std::thread::scope(|scope| {

@@ -17,9 +17,19 @@ pub enum Content {
     Bytes(Bytes),
     /// A slice of the deterministic stream identified by `seed`,
     /// covering stream positions `[start, start + len)`.
-    Synthetic { seed: u64, start: u64, len: u64 },
+    Synthetic {
+        /// Which deterministic stream.
+        seed: u64,
+        /// First stream position covered.
+        start: u64,
+        /// Bytes covered.
+        len: u64,
+    },
     /// A run of zero bytes (unwritten holes read back as zeros).
-    Zeros { len: u64 },
+    Zeros {
+        /// Run length in bytes.
+        len: u64,
+    },
 }
 
 impl Content {
@@ -46,6 +56,7 @@ impl Content {
         }
     }
 
+    /// Whether the content covers zero bytes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -10,7 +10,12 @@ pub enum PlfsError {
     /// Exclusive create of a path that already exists.
     AlreadyExists(String),
     /// Directory operation on a file or vice versa.
-    WrongKind { path: String, expected: &'static str },
+    WrongKind {
+        /// Path the operation targeted.
+        path: String,
+        /// Kind the operation needed ("file" or "dir").
+        expected: &'static str,
+    },
     /// Directory not empty on remove, or other structural violation.
     NotEmpty(String),
     /// Malformed container (missing access file, corrupt index record...).
@@ -95,6 +100,7 @@ impl From<std::io::Error> for PlfsError {
     }
 }
 
+/// Crate-wide result alias over [`PlfsError`].
 pub type Result<T> = std::result::Result<T, PlfsError>;
 
 #[cfg(test)]

@@ -124,6 +124,7 @@ pub struct FaultBackend<B> {
 }
 
 impl<B: Backend> FaultBackend<B> {
+    /// Wrap `inner` with fault injection seeded from `cfg`.
     pub fn new(inner: B, cfg: FaultConfig) -> Self {
         let rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
         FaultBackend {
@@ -143,10 +144,12 @@ impl<B: Backend> FaultBackend<B> {
         &self.inner
     }
 
+    /// The injection configuration in force.
     pub fn config(&self) -> &FaultConfig {
         &self.cfg
     }
 
+    /// Counts of faults injected so far.
     pub fn stats(&self) -> FaultStats {
         self.state.lock().stats
     }
@@ -208,7 +211,9 @@ impl<B: Backend> FaultBackend<B> {
                 "injected transient failure ({op} {path})"
             )));
         }
-        if is_append && self.cfg.torn_append_prob > 0.0 && st.rng.gen_bool(self.cfg.torn_append_prob)
+        if is_append
+            && self.cfg.torn_append_prob > 0.0
+            && st.rng.gen_bool(self.cfg.torn_append_prob)
         {
             st.stats.torn_appends += 1;
             let frac = st.rng.gen_range(0.0..1.0);
@@ -222,7 +227,10 @@ enum DataFault {
     None,
     /// Land `frac` of the content (rounded down, strictly less than all of
     /// it), then fail. `fatal` marks the crash-point tear.
-    TornAppend { frac: f64, fatal: bool },
+    TornAppend {
+        frac: f64,
+        fatal: bool,
+    },
 }
 
 impl<B: Backend> Backend for FaultBackend<B> {
@@ -246,7 +254,8 @@ impl<B: Backend> Backend for FaultBackend<B> {
             DataFault::None => self.inner.append(path, content),
             DataFault::TornAppend { frac, fatal } => {
                 // A strict prefix lands: at least 0, at most len-1 bytes.
-                let keep = ((content.len() as f64 * frac) as u64).min(content.len().saturating_sub(1));
+                let keep =
+                    ((content.len() as f64 * frac) as u64).min(content.len().saturating_sub(1));
                 if keep > 0 {
                     self.inner.append(path, &content.slice(0, keep))?;
                 }
@@ -349,7 +358,10 @@ mod tests {
         let err = f.append("/x", &Content::bytes(vec![9; 100])).unwrap_err();
         assert!(matches!(err, PlfsError::Io(_)));
         let landed = f.inner().size("/x").unwrap();
-        assert!(landed < 100, "torn append must land a strict prefix, got {landed}");
+        assert!(
+            landed < 100,
+            "torn append must land a strict prefix, got {landed}"
+        );
     }
 
     #[test]
@@ -370,7 +382,10 @@ mod tests {
         f.revive();
         assert!(!f.crashed());
         let size = f.size("/x").unwrap();
-        assert!((24..32).contains(&size), "3 whole + torn prefix, got {size}");
+        assert!(
+            (24..32).contains(&size),
+            "3 whole + torn prefix, got {size}"
+        );
         assert_eq!(
             f.read_at("/x", 0, 8).unwrap().materialize(),
             Content::synthetic(0, 8).materialize()

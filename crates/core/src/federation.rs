@@ -82,10 +82,12 @@ impl Federation {
         self.namespaces.len()
     }
 
+    /// The namespace roots, in placement order.
     pub fn namespaces(&self) -> &[String] {
         &self.namespaces
     }
 
+    /// How many `subdir.<i>` entries each container spreads writers over.
     pub fn subdirs_per_container(&self) -> usize {
         self.subdirs_per_container
     }
@@ -166,12 +168,7 @@ mod tests {
 
     #[test]
     fn container_spreading_uses_multiple_namespaces() {
-        let f = Federation::new(
-            (0..4).map(|i| format!("/vol{i}")).collect(),
-            4,
-            true,
-            false,
-        );
+        let f = Federation::new((0..4).map(|i| format!("/vol{i}")).collect(), 4, true, false);
         let used: std::collections::BTreeSet<usize> = (0..100)
             .map(|i| f.container_namespace(&format!("/dir/file{i}")))
             .collect();
@@ -214,10 +211,7 @@ mod tests {
         };
         let (a, b) = (mk(), mk());
         for i in 0..32 {
-            assert_eq!(
-                a.subdir_namespace("/f", i),
-                b.subdir_namespace("/f", i)
-            );
+            assert_eq!(a.subdir_namespace("/f", i), b.subdir_namespace("/f", i));
         }
         assert_eq!(a.container_namespace("/f"), b.container_namespace("/f"));
     }

@@ -34,6 +34,7 @@ use crate::content::Content;
 use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
 use crate::ioplane::{self, IoOp};
+use crate::telemetry;
 use std::collections::BTreeSet;
 
 /// One problem found in a container.
@@ -42,39 +43,69 @@ pub enum Issue {
     /// The directory exists but has no access marker.
     NotAContainer,
     /// A subdir entry exists but cannot be resolved.
-    BrokenSubdir { index: usize, reason: String },
+    BrokenSubdir {
+        /// Which `subdir.<i>` entry is broken.
+        index: usize,
+        /// Why resolution failed.
+        reason: String,
+    },
     /// Index log length is not a multiple of the record size; the
     /// trailing partial record can be repaired away.
     TruncatedIndexLog {
+        /// Owner of the index log.
         writer: WriterId,
+        /// Whole records before the torn tail.
         valid_records: u64,
+        /// Bytes of partial trailing record.
         trailing_bytes: u64,
     },
     /// An index entry references bytes beyond its data log's end.
     DanglingExtent {
+        /// Owner of the entry.
         writer: WriterId,
+        /// The offending index entry.
         entry: IndexEntry,
+        /// Actual length of the data log it points past.
         data_log_size: u64,
     },
     /// Data log with no index log: none of its bytes are reachable.
-    OrphanDataLog { writer: WriterId },
+    OrphanDataLog {
+        /// Writer id parsed from the dropping name.
+        writer: WriterId,
+    },
     /// Index log with no data log.
-    OrphanIndexLog { writer: WriterId },
+    OrphanIndexLog {
+        /// Writer id parsed from the dropping name.
+        writer: WriterId,
+    },
     /// The flattened index disagrees with aggregation of the per-writer
     /// logs (stale after a post-flatten write).
     StaleFlattenedIndex,
     /// An `openhosts` entry survives with no live writer behind it. fsck
     /// only runs on quiesced containers, so the writer died without
     /// deregistering.
-    StaleOpenHost { writer: WriterId },
+    StaleOpenHost {
+        /// Writer the stale entry names.
+        writer: WriterId,
+    },
     /// A realignment staging file survives in a subdir: the writer died
     /// between staging its rewritten index log and swapping it in. The
     /// real log was never touched, so the copy is pure garbage.
-    StaleRealignTemp { subdir: usize, name: String },
+    StaleRealignTemp {
+        /// Subdir the staging file was found in.
+        subdir: usize,
+        /// Name of the staging file.
+        name: String,
+    },
     /// The metadir's cached size disagrees with the EOF the replayed
     /// indices resolve to — `stat` would lie (typically a writer died
     /// after flushing index records but before recording its meta entry).
-    MetadirDisagrees { cached_eof: u64, actual_eof: u64 },
+    MetadirDisagrees {
+        /// EOF the metadir records claim.
+        cached_eof: u64,
+        /// EOF the replayed indices actually resolve to.
+        actual_eof: u64,
+    },
 }
 
 /// Data-log bytes past the last indexed extent: torn appends and dead
@@ -82,6 +113,7 @@ pub enum Issue {
 /// so this is informational (not an [`Issue`]) — `repair` reclaims them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataLogTail {
+    /// Owner of the data log.
     pub writer: WriterId,
     /// Bytes the index actually references (end of the last extent).
     pub indexed_bytes: u64,
@@ -92,15 +124,20 @@ pub struct DataLogTail {
 /// Result of a container check.
 #[derive(Debug, Clone, Default)]
 pub struct CheckReport {
+    /// Problems found (empty means clean).
     pub issues: Vec<Issue>,
     /// Unreferenced trailing bytes per data log (informational).
     pub tails: Vec<DataLogTail>,
+    /// Writers with droppings in the container.
     pub writers: Vec<WriterId>,
+    /// Logical file size the replayed indices resolve to.
     pub logical_size: u64,
+    /// Spans in the replayed global index.
     pub spans: usize,
 }
 
 impl CheckReport {
+    /// Whether the scan found no issues (tails are informational).
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
     }
@@ -108,9 +145,11 @@ impl CheckReport {
 
 /// Check a container for the problems listed in the module docs.
 pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
+    let _span = telemetry::span(telemetry::SPAN_FSCK_SCAN);
     let mut report = CheckReport::default();
     if !container.exists(b) {
         report.issues.push(Issue::NotAContainer);
+        telemetry::count(telemetry::CTR_FSCK_ISSUES, 1);
         return Ok(report);
     }
 
@@ -151,10 +190,11 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
             .collect();
         let mut read_links = Vec::with_capacity(links.len());
         let mut read_ops = Vec::with_capacity(links.len());
-        for (&i, outcome) in links
-            .iter()
-            .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops))
-        {
+        for (&i, outcome) in links.iter().zip(ioplane::submit_retried(
+            b,
+            DEFAULT_RETRY_ATTEMPTS,
+            &size_ops,
+        )) {
             match ioplane::as_size(outcome) {
                 Ok(len) => {
                     read_links.push(i);
@@ -170,10 +210,11 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
                 }),
             }
         }
-        for (&i, outcome) in read_links
-            .iter()
-            .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops))
-        {
+        for (&i, outcome) in read_links.iter().zip(ioplane::submit_retried(
+            b,
+            DEFAULT_RETRY_ATTEMPTS,
+            &read_ops,
+        )) {
             match ioplane::as_data(outcome).map(|c| String::from_utf8(c.materialize())) {
                 Ok(Ok(target)) => resolved[i] = Some(target),
                 Ok(Err(_)) => report.issues.push(Issue::BrokenSubdir {
@@ -199,14 +240,13 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         .collect();
     let list_ops: Vec<IoOp> = list_targets
         .iter()
-        .map(|(_, d)| IoOp::Readdir {
-            path: (*d).clone(),
-        })
+        .map(|(_, d)| IoOp::Readdir { path: (*d).clone() })
         .collect();
-    for ((i, _), outcome) in list_targets
-        .iter()
-        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &list_ops))
-    {
+    for ((i, _), outcome) in list_targets.iter().zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &list_ops,
+    )) {
         let names = match ioplane::as_names(outcome) {
             Ok(n) => n,
             Err(e) => {
@@ -268,11 +308,11 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         .map(|p| IoOp::Size { path: p.clone() })
         .collect();
     let mut read_ops = Vec::with_capacity(index_logs.len());
-    for ((&w, ipath), outcome) in index_logs
-        .iter()
-        .zip(&ipaths)
-        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops))
-    {
+    for ((&w, ipath), outcome) in index_logs.iter().zip(&ipaths).zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &size_ops,
+    )) {
         let len = ioplane::as_size(outcome)?;
         let whole = len / INDEX_RECORD_BYTES;
         let trailing = len % INDEX_RECORD_BYTES;
@@ -308,10 +348,11 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         });
     }
     let mut dsizes: std::collections::HashMap<WriterId, u64> = std::collections::HashMap::new();
-    for (&w, outcome) in with_data
-        .iter()
-        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &dsize_ops))
-    {
+    for (&w, outcome) in with_data.iter().zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &dsize_ops,
+    )) {
         dsizes.insert(w, ioplane::as_size(outcome)?);
     }
 
@@ -375,6 +416,7 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
     report.writers = index_logs;
     report.logical_size = fresh.eof();
     report.spans = fresh.span_count();
+    telemetry::count(telemetry::CTR_FSCK_ISSUES, report.issues.len() as u64);
     Ok(report)
 }
 
@@ -484,6 +526,7 @@ impl RepairOutcome {
 /// Every issue from the pre-repair check lands in exactly one of
 /// [`RepairOutcome::fixed`] or [`RepairOutcome::unrepaired`].
 pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome> {
+    let _span = telemetry::span(telemetry::SPAN_FSCK_REPAIR);
     let before = check(b, container)?;
     let mut fixed = Vec::new();
     let mut unrepaired = Vec::new();
@@ -517,10 +560,7 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
                 stale_hosts.push(writer);
                 fixed.push(issue);
             }
-            Issue::StaleRealignTemp {
-                subdir,
-                ref name,
-            } => {
+            Issue::StaleRealignTemp { subdir, ref name } => {
                 realign_temps.push((subdir, name.clone()));
                 fixed.push(issue);
             }
@@ -591,10 +631,11 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
         .map(|p| IoOp::Size { path: p.clone() })
         .collect();
     let mut read_ops = Vec::with_capacity(rewrite_list.len());
-    for (ipath, outcome) in ipaths
-        .iter()
-        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &isize_ops))
-    {
+    for (ipath, outcome) in ipaths.iter().zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &isize_ops,
+    )) {
         let whole = ioplane::as_size(outcome)? / INDEX_RECORD_BYTES;
         read_ops.push(IoOp::ReadAt {
             path: ipath.clone(),
@@ -701,7 +742,11 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     let mut trimmed_tails = Vec::new();
     let mut tail_paths = Vec::with_capacity(mid.tails.len());
     for t in &mid.tails {
-        tail_paths.push(format!("{}/{DATA_PREFIX}{}", writer_dir(t.writer)?, t.writer));
+        tail_paths.push(format!(
+            "{}/{DATA_PREFIX}{}",
+            writer_dir(t.writer)?,
+            t.writer
+        ));
     }
     let keep_ops: Vec<IoOp> = mid
         .tails
@@ -731,11 +776,16 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
         })
         .collect();
     let mut tail_appends = Vec::new();
-    for ((t, path), (kept, outcome)) in mid.tails.iter().zip(&tail_paths).zip(
-        kept_tails
-            .into_iter()
-            .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &trunc_ops)),
-    ) {
+    for ((t, path), (kept, outcome)) in
+        mid.tails
+            .iter()
+            .zip(&tail_paths)
+            .zip(kept_tails.into_iter().zip(ioplane::submit_retried(
+                b,
+                DEFAULT_RETRY_ATTEMPTS,
+                &trunc_ops,
+            )))
+    {
         ioplane::as_unit(outcome)?;
         if let Some(k) = kept {
             tail_appends.push(IoOp::Append {
@@ -795,9 +845,8 @@ mod tests {
         let b = Arc::new(MemFs::new());
         let cont = Container::new("/f", &Federation::single("/panfs", 4));
         for w in 0..3u64 {
-            let mut h =
-                WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose)
-                    .unwrap();
+            let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose)
+                .unwrap();
             for k in 0..5u64 {
                 h.write((k * 3 + w) * 100, &Content::synthetic(w, 100), k + 1)
                     .unwrap();
@@ -879,7 +928,10 @@ mod tests {
         assert_eq!(after.unrepaired, vec![Issue::OrphanDataLog { writer: 77 }]);
         assert_eq!(b.size(&path).unwrap(), 64, "orphan bytes preserved");
         // And the issue is still visible in the post-repair check.
-        assert!(after.post.issues.contains(&Issue::OrphanDataLog { writer: 77 }));
+        assert!(after
+            .post
+            .issues
+            .contains(&Issue::OrphanDataLog { writer: 77 }));
     }
 
     #[test]
@@ -964,8 +1016,8 @@ mod tests {
         // then died mid-append leaving a torn index record, a data-log
         // tail, a stale openhosts entry, and no meta record.
         let (b, cont) = healthy_container();
-        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 7, IndexPolicy::WriteClose)
-            .unwrap();
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), 7, IndexPolicy::WriteClose).unwrap();
         h.write(2000, &Content::synthetic(7, 100), 50).unwrap();
         h.flush_index().unwrap();
         // Died here: torn second index record + unindexed data bytes.
@@ -1051,8 +1103,8 @@ mod tests {
         assert!(check(&b, &cont).unwrap().is_clean());
 
         // A later writer extends the file without re-flattening.
-        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose)
-            .unwrap();
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose).unwrap();
         h.write(500, &Content::synthetic(9, 50), 99).unwrap();
         h.close(100).unwrap();
         let r = check(&b, &cont).unwrap();
@@ -1061,8 +1113,7 @@ mod tests {
         let after = repair(&b, &cont).unwrap();
         assert!(after.fully_repaired(), "{after:?}");
         // Readers now aggregate and see the full file.
-        let reader =
-            crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        let reader = crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
         assert_eq!(reader.size(), 550);
     }
 
@@ -1096,7 +1147,6 @@ mod tests {
         assert!(r.is_clean(), "{:?}", r.issues);
     }
 
-
     #[test]
     fn space_usage_accounts_overhead_and_dead_bytes() {
         let (b, cont) = healthy_container();
@@ -1108,8 +1158,8 @@ mod tests {
         assert_eq!(u.physical_bytes(), 1500 + 600);
 
         // Overwrite a region: the shadowed bytes become dead.
-        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose)
-            .unwrap();
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose).unwrap();
         h.write(0, &Content::synthetic(9, 500), 100).unwrap();
         h.close(101).unwrap();
         let u2 = space_usage(&b, &cont).unwrap();

@@ -28,10 +28,15 @@ pub type WriterId = u64;
 /// written at `timestamp`".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexEntry {
+    /// First logical byte the record covers.
     pub logical_offset: u64,
+    /// Bytes covered.
     pub length: u64,
+    /// Landing offset of the bytes in the writer's data log.
     pub physical_offset: u64,
+    /// Writer whose data log holds the bytes.
     pub writer: WriterId,
+    /// Write timestamp (overwrite resolution: higher wins).
     pub timestamp: u64,
 }
 
@@ -98,7 +103,9 @@ impl IndexEntry {
 pub enum Source {
     /// Bytes live in `writer`'s data log starting at `physical_offset`.
     Writer {
+        /// Whose data log serves the bytes.
         writer: WriterId,
+        /// Offset of the first byte in that data log.
         physical_offset: u64,
     },
     /// Never written: reads back as zeros.
@@ -109,8 +116,11 @@ pub enum Source {
 /// `logical_offset`, served from `source`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mapping {
+    /// First logical byte of the piece.
     pub logical_offset: u64,
+    /// Bytes in the piece.
     pub length: u64,
+    /// Where the bytes come from.
     pub source: Source,
 }
 
@@ -153,6 +163,7 @@ pub struct GlobalIndex {
 }
 
 impl GlobalIndex {
+    /// An empty index (EOF 0, no spans).
     pub fn new() -> Self {
         GlobalIndex::default()
     }
@@ -279,13 +290,7 @@ impl GlobalIndex {
             // Left remainder.
             if start < new_start {
                 let keep = new_start - start;
-                self.spans.insert(
-                    start,
-                    Span {
-                        len: keep,
-                        ..span
-                    },
-                );
+                self.spans.insert(start, Span { len: keep, ..span });
             }
             // Right remainder.
             if end > new_end {
@@ -322,12 +327,10 @@ impl GlobalIndex {
             .range(..=start)
             .next_back()
             .filter(|(&s, sp)| s + sp.len > start && s < end);
-        let rest = self
-            .spans
-            .range((
-                std::ops::Bound::Excluded(start),
-                std::ops::Bound::Excluded(end),
-            ));
+        let rest = self.spans.range((
+            std::ops::Bound::Excluded(start),
+            std::ops::Bound::Excluded(end),
+        ));
         pred.into_iter().chain(rest)
     }
 
@@ -411,6 +414,7 @@ impl GlobalIndex {
     /// accumulator k−1 times, and disjoint pairs (the checkpoint case)
     /// take the linear zipper at every level.
     pub fn merge_all<I: IntoIterator<Item = GlobalIndex>>(parts: I) -> GlobalIndex {
+        let _span = crate::telemetry::span(crate::telemetry::SPAN_INDEX_MERGE);
         let mut layer: Vec<GlobalIndex> = parts.into_iter().collect();
         if layer.is_empty() {
             return GlobalIndex::new();
@@ -555,6 +559,7 @@ impl GlobalIndex {
         self.spans.len()
     }
 
+    /// Whether nothing has been written (no spans at all).
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
     }
@@ -793,11 +798,8 @@ mod tests {
 
     #[test]
     fn lookup_tiles_range_exactly() {
-        let idx = GlobalIndex::from_entries([
-            e(0, 7, 0, 1, 1),
-            e(7, 3, 7, 1, 1),
-            e(15, 5, 10, 2, 2),
-        ]);
+        let idx =
+            GlobalIndex::from_entries([e(0, 7, 0, 1, 1), e(7, 3, 7, 1, 1), e(15, 5, 10, 2, 2)]);
         let m = idx.lookup(2, 16);
         let mut cursor = 2;
         for piece in &m {
@@ -938,8 +940,8 @@ mod tests {
     fn compact_does_not_merge_across_holes_or_phys_gaps() {
         let mut idx = GlobalIndex::from_entries([
             e(0, 10, 0, 1, 1),
-            e(20, 10, 10, 1, 1),  // logical hole before it
-            e(30, 10, 50, 1, 1),  // physical gap in the log
+            e(20, 10, 10, 1, 1), // logical hole before it
+            e(30, 10, 50, 1, 1), // physical gap in the log
         ]);
         idx.compact();
         assert_eq!(idx.span_count(), 3);
@@ -968,7 +970,8 @@ mod tests {
     fn zipper_merge_of_disjoint_indices_matches_insert_path() {
         // Interleaved strided halves: even blocks in one index, odd in the
         // other — fully disjoint, so merge takes the zipper.
-        let evens = GlobalIndex::from_entries((0..64u64).map(|b| e(2 * b * 100, 100, b * 100, 1, 1)));
+        let evens =
+            GlobalIndex::from_entries((0..64u64).map(|b| e(2 * b * 100, 100, b * 100, 1, 1)));
         let odds =
             GlobalIndex::from_entries((0..64u64).map(|b| e((2 * b + 1) * 100, 100, b * 100, 2, 1)));
         let mut fast = evens.clone();
@@ -1000,14 +1003,18 @@ mod tests {
         let mut all = Vec::new();
         let mut parts = Vec::new();
         for w in 0..8u64 {
-            let entries: Vec<IndexEntry> =
-                (0..8u64).map(|b| e((b * 8 + w) * 512, 512, b * 512, w, 1)).collect();
+            let entries: Vec<IndexEntry> = (0..8u64)
+                .map(|b| e((b * 8 + w) * 512, 512, b * 512, w, 1))
+                .collect();
             all.extend(entries.iter().copied());
             parts.push(GlobalIndex::from_entries(entries));
         }
         let merged = GlobalIndex::merge_all(parts);
         assert_eq!(merged, GlobalIndex::from_entries(all));
-        assert_eq!(GlobalIndex::merge_all(std::iter::empty()), GlobalIndex::new());
+        assert_eq!(
+            GlobalIndex::merge_all(std::iter::empty()),
+            GlobalIndex::new()
+        );
     }
 
     #[test]

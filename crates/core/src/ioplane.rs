@@ -38,6 +38,7 @@
 use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
 use crate::error::{PlfsError, Result};
+use crate::telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One physical operation against the underlying file system.
@@ -52,27 +53,70 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IoOp {
     /// Create a directory; parent must exist.
-    Mkdir { path: String },
+    Mkdir {
+        /// Directory to create.
+        path: String,
+    },
     /// Create a directory and any missing ancestors.
-    MkdirAll { path: String },
+    MkdirAll {
+        /// Directory to create, ancestors included.
+        path: String,
+    },
     /// Create an empty file (exclusive: fail if present).
-    Create { path: String, exclusive: bool },
+    Create {
+        /// File to create.
+        path: String,
+        /// Fail with `AlreadyExists` if the file is present.
+        exclusive: bool,
+    },
     /// Append content; outcome is the physical landing offset.
-    Append { path: String, content: Content },
+    Append {
+        /// File to append to.
+        path: String,
+        /// Bytes (or symbolic synthetic extent) to append.
+        content: Content,
+    },
     /// Read `len` bytes at `offset` (short at EOF).
-    ReadAt { path: String, offset: u64, len: u64 },
+    ReadAt {
+        /// File to read from.
+        path: String,
+        /// Byte offset to read at.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
     /// File size in bytes.
-    Size { path: String },
+    Size {
+        /// File to measure.
+        path: String,
+    },
     /// What the path names (the existence/attribute probe).
-    Kind { path: String },
+    Kind {
+        /// Path to probe.
+        path: String,
+    },
     /// Sorted entry names of a directory.
-    Readdir { path: String },
+    Readdir {
+        /// Directory to list.
+        path: String,
+    },
     /// Remove a file.
-    Unlink { path: String },
+    Unlink {
+        /// File to remove.
+        path: String,
+    },
     /// Remove a directory tree.
-    RemoveAll { path: String },
+    RemoveAll {
+        /// Root of the tree to remove.
+        path: String,
+    },
     /// Atomic rename.
-    Rename { from: String, to: String },
+    Rename {
+        /// Current path.
+        from: String,
+        /// New path.
+        to: String,
+    },
 }
 
 impl IoOp {
@@ -96,6 +140,24 @@ impl IoOp {
             | IoOp::Unlink { path }
             | IoOp::RemoveAll { path } => path,
             IoOp::Rename { from, .. } => from,
+        }
+    }
+
+    /// The telemetry latency histogram this op variant records into
+    /// (the `HIST_IOPLANE_*` vocabulary, DESIGN.md §5f).
+    pub fn hist_name(&self) -> &'static str {
+        match self {
+            IoOp::Mkdir { .. } => telemetry::HIST_IOPLANE_MKDIR,
+            IoOp::MkdirAll { .. } => telemetry::HIST_IOPLANE_MKDIR_ALL,
+            IoOp::Create { .. } => telemetry::HIST_IOPLANE_CREATE,
+            IoOp::Append { .. } => telemetry::HIST_IOPLANE_APPEND,
+            IoOp::ReadAt { .. } => telemetry::HIST_IOPLANE_READ_AT,
+            IoOp::Size { .. } => telemetry::HIST_IOPLANE_SIZE,
+            IoOp::Kind { .. } => telemetry::HIST_IOPLANE_KIND,
+            IoOp::Readdir { .. } => telemetry::HIST_IOPLANE_READDIR,
+            IoOp::Unlink { .. } => telemetry::HIST_IOPLANE_UNLINK,
+            IoOp::RemoveAll { .. } => telemetry::HIST_IOPLANE_REMOVE_ALL,
+            IoOp::Rename { .. } => telemetry::HIST_IOPLANE_RENAME,
         }
     }
 }
@@ -147,7 +209,9 @@ pub fn dispatch_one<B: Backend + ?Sized>(b: &B, op: &IoOp) -> IoOutcome {
 // mismatch is a plane bug, surfaced as a typed error, never a panic.
 
 fn mismatch(want: &'static str, got: &IoValue) -> PlfsError {
-    PlfsError::InvalidArg(format!("io plane outcome mismatch: wanted {want}, got {got:?}"))
+    PlfsError::InvalidArg(format!(
+        "io plane outcome mismatch: wanted {want}, got {got:?}"
+    ))
 }
 
 /// Outcome of a structural op (`Mkdir`/`Create`/`Unlink`/...).
@@ -202,9 +266,11 @@ pub fn as_names(o: IoOutcome) -> Result<Vec<String>> {
 /// exactly one outcome per op; a backend that broke that contract
 /// surfaces as a typed error here, never a panic.
 pub fn take(outcomes: &mut std::vec::IntoIter<IoOutcome>) -> IoOutcome {
-    outcomes
-        .next()
-        .unwrap_or_else(|| Err(PlfsError::Io("backend returned fewer outcomes than ops".into())))
+    outcomes.next().unwrap_or_else(|| {
+        Err(PlfsError::Io(
+            "backend returned fewer outcomes than ops".into(),
+        ))
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -291,10 +357,28 @@ pub fn submit_retried<B: Backend + ?Sized>(b: &B, attempts: u32, batch: &[IoOp])
     if batch.is_empty() {
         return Vec::new();
     }
+    let _span = telemetry::span(telemetry::SPAN_IOPLANE_SUBMIT);
     BATCHES.fetch_add(1, Ordering::Relaxed);
     OPS.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    // Per-op latency inside a native batched submit is unobservable, so
+    // the per-variant histograms record the batch's *amortized* per-op
+    // latency (batch duration / batch length) — DESIGN.md §5f.
+    let timed = telemetry::enabled();
+    let t0 = timed.then(std::time::Instant::now);
     let mut outcomes = b.submit(batch);
-    debug_assert_eq!(outcomes.len(), batch.len(), "submit must be 1:1 with its batch");
+    if let Some(t0) = t0 {
+        let batch_ns = t0.elapsed().as_nanos() as u64;
+        telemetry::record_ns(telemetry::HIST_IOPLANE_BATCH, batch_ns);
+        let per_op_ns = batch_ns / batch.len() as u64;
+        for op in batch {
+            telemetry::record_ns(op.hist_name(), per_op_ns);
+        }
+    }
+    debug_assert_eq!(
+        outcomes.len(),
+        batch.len(),
+        "submit must be 1:1 with its batch"
+    );
     let attempts = attempts.max(1);
     let mut backoff_us = 1u64;
     for _ in 1..attempts {
@@ -434,13 +518,31 @@ mod tests {
     fn default_submit_matches_sequential_calls() {
         let b = MemFs::new();
         let batch = vec![
-            IoOp::MkdirAll { path: "/a/b".into() },
-            IoOp::Create { path: "/a/b/f".into(), exclusive: true },
-            IoOp::Append { path: "/a/b/f".into(), content: Content::bytes(vec![1, 2, 3]) },
-            IoOp::ReadAt { path: "/a/b/f".into(), offset: 0, len: 3 },
-            IoOp::Size { path: "/a/b/f".into() },
-            IoOp::Kind { path: "/a/b".into() },
-            IoOp::Readdir { path: "/a/b".into() },
+            IoOp::MkdirAll {
+                path: "/a/b".into(),
+            },
+            IoOp::Create {
+                path: "/a/b/f".into(),
+                exclusive: true,
+            },
+            IoOp::Append {
+                path: "/a/b/f".into(),
+                content: Content::bytes(vec![1, 2, 3]),
+            },
+            IoOp::ReadAt {
+                path: "/a/b/f".into(),
+                offset: 0,
+                len: 3,
+            },
+            IoOp::Size {
+                path: "/a/b/f".into(),
+            },
+            IoOp::Kind {
+                path: "/a/b".into(),
+            },
+            IoOp::Readdir {
+                path: "/a/b".into(),
+            },
         ];
         let out = b.submit(&batch);
         assert_eq!(as_unit(out[0].clone()).ok(), Some(()));
@@ -459,8 +561,13 @@ mod tests {
         let b = MemFs::new();
         let batch = vec![
             IoOp::Mkdir { path: "/d".into() },
-            IoOp::Size { path: "/missing".into() }, // fails
-            IoOp::Create { path: "/d/f".into(), exclusive: true }, // still runs
+            IoOp::Size {
+                path: "/missing".into(),
+            }, // fails
+            IoOp::Create {
+                path: "/d/f".into(),
+                exclusive: true,
+            }, // still runs
         ];
         let out = b.submit(&batch);
         assert!(out[0].is_ok());
@@ -474,9 +581,17 @@ mod tests {
         let spy = Spy::new(vec![("create", "/d/flaky", 2)]);
         spy.mkdir("/d").unwrap();
         let batch = vec![
-            IoOp::Create { path: "/d/ok".into(), exclusive: true },
-            IoOp::Create { path: "/d/flaky".into(), exclusive: true },
-            IoOp::Size { path: "/d/missing".into() }, // non-transient failure
+            IoOp::Create {
+                path: "/d/ok".into(),
+                exclusive: true,
+            },
+            IoOp::Create {
+                path: "/d/flaky".into(),
+                exclusive: true,
+            },
+            IoOp::Size {
+                path: "/d/missing".into(),
+            }, // non-transient failure
         ];
         let out = submit_retried(&spy, 8, &batch);
         assert!(out[0].is_ok());
@@ -494,7 +609,10 @@ mod tests {
     fn retry_budget_is_bounded() {
         let spy = Spy::new(vec![("create", "/d/f", 1000)]);
         spy.mkdir("/d").unwrap();
-        let batch = vec![IoOp::Create { path: "/d/f".into(), exclusive: true }];
+        let batch = vec![IoOp::Create {
+            path: "/d/f".into(),
+            exclusive: true,
+        }];
         let out = submit_retried(&spy, 4, &batch);
         assert!(matches!(out[0], Err(PlfsError::Transient(_))));
         assert_eq!(spy.executions("create", "/d/f"), 4);
@@ -512,8 +630,15 @@ mod tests {
         spy.create("/r", true).unwrap();
         spy.append("/r", &Content::bytes(vec![9; 4])).unwrap();
         let batch = vec![
-            IoOp::Append { path: "/f".into(), content: Content::bytes(vec![0; 10]) },
-            IoOp::ReadAt { path: "/r".into(), offset: 0, len: 4 },
+            IoOp::Append {
+                path: "/f".into(),
+                content: Content::bytes(vec![0; 10]),
+            },
+            IoOp::ReadAt {
+                path: "/r".into(),
+                offset: 0,
+                len: 4,
+            },
         ];
         let out = submit_retried(&spy, 8, &batch);
         assert!(out.iter().all(Result::is_ok));
@@ -532,8 +657,14 @@ mod tests {
         let src = MemFs::new();
         let ops = vec![
             IoOp::MkdirAll { path: "/a".into() },
-            IoOp::Create { path: "/a/f".into(), exclusive: true },
-            IoOp::Append { path: "/a/f".into(), content: Content::bytes(vec![7; 16]) },
+            IoOp::Create {
+                path: "/a/f".into(),
+                exclusive: true,
+            },
+            IoOp::Append {
+                path: "/a/f".into(),
+                content: Content::bytes(vec![7; 16]),
+            },
         ];
         for o in replay(&src, &ops) {
             o.unwrap();
@@ -555,11 +686,23 @@ mod tests {
 
     #[test]
     fn metadata_classification() {
-        assert!(IoOp::Create { path: "/x".into(), exclusive: false }.is_metadata());
+        assert!(IoOp::Create {
+            path: "/x".into(),
+            exclusive: false
+        }
+        .is_metadata());
         assert!(IoOp::Readdir { path: "/x".into() }.is_metadata());
-        assert!(!IoOp::Append { path: "/x".into(), content: Content::Zeros { len: 1 } }
-            .is_metadata());
-        assert!(!IoOp::ReadAt { path: "/x".into(), offset: 0, len: 1 }.is_metadata());
+        assert!(!IoOp::Append {
+            path: "/x".into(),
+            content: Content::Zeros { len: 1 }
+        }
+        .is_metadata());
+        assert!(!IoOp::ReadAt {
+            path: "/x".into(),
+            offset: 0,
+            len: 1
+        }
+        .is_metadata());
     }
 
     #[test]

@@ -38,6 +38,12 @@
 //! * time-simulated over the `pfs` crate's parallel file system model via
 //!   the `mpio` crate (which validates its op traces against
 //!   [`backend::TracingBackend`] recordings of this crate).
+//!
+//! Runtime observability — spans, counters, and latency histograms over
+//! every hot path above — lives in [`telemetry`] and exports through
+//! [`telemetry::TelemetrySnapshot`] (`plfsctl obs` renders it).
+
+#![warn(missing_docs)]
 
 pub mod backend;
 pub mod container;
@@ -53,6 +59,7 @@ pub mod memfs;
 pub mod path;
 pub mod posix;
 pub mod reader;
+pub mod telemetry;
 pub mod truncate;
 pub mod vfs;
 pub mod writer;
@@ -68,4 +75,5 @@ pub use ioplane::{IoOp, IoOutcome, IoStats, IoValue};
 pub use localfs::LocalFs;
 pub use memfs::MemFs;
 pub use posix::{OpenFlags, PosixShim};
+pub use telemetry::TelemetrySnapshot;
 pub use vfs::{Plfs, PlfsConfig};

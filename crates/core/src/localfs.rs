@@ -358,7 +358,9 @@ mod tests {
         fs_.create("/a/b/f", true).unwrap();
         fs_.append("/a/b/f", &Content::bytes(b"hello ".to_vec()))
             .unwrap();
-        let off = fs_.append("/a/b/f", &Content::bytes(b"world".to_vec())).unwrap();
+        let off = fs_
+            .append("/a/b/f", &Content::bytes(b"world".to_vec()))
+            .unwrap();
         assert_eq!(off, 6);
         assert_eq!(
             fs_.read_at("/a/b/f", 0, 64).unwrap().materialize(),
@@ -373,10 +375,7 @@ mod tests {
     #[test]
     fn errors_map_to_plfs_errors() {
         let (fs_, dir) = tmp();
-        assert!(matches!(
-            fs_.size("/missing"),
-            Err(PlfsError::NotFound(_))
-        ));
+        assert!(matches!(fs_.size("/missing"), Err(PlfsError::NotFound(_))));
         fs_.create("/f", true).unwrap();
         assert!(matches!(
             fs_.create("/f", true),

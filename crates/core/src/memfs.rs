@@ -32,6 +32,7 @@ impl Default for MemFs {
 }
 
 impl MemFs {
+    /// An empty in-memory file system with just the root directory.
     pub fn new() -> Self {
         let mut nodes = HashMap::new();
         nodes.insert("/".to_string(), Node::Dir(BTreeSet::new()));
@@ -57,11 +58,7 @@ impl MemFs {
         self.nodes.read().len()
     }
 
-    fn insert_child(
-        nodes: &mut HashMap<String, Node>,
-        path: &str,
-        node: Node,
-    ) -> Result<()> {
+    fn insert_child(nodes: &mut HashMap<String, Node>, path: &str, node: Node) -> Result<()> {
         let par = parent(path);
         match nodes.get_mut(&par) {
             Some(Node::Dir(children)) => {
@@ -471,7 +468,10 @@ mod tests {
         fs.create("/f", true).unwrap();
         assert_eq!(fs.append("/f", &Content::bytes(vec![1, 2])).unwrap(), 0);
         assert_eq!(fs.append("/f", &Content::bytes(vec![3])).unwrap(), 2);
-        assert_eq!(fs.read_at("/f", 0, 10).unwrap().materialize(), vec![1, 2, 3]);
+        assert_eq!(
+            fs.read_at("/f", 0, 10).unwrap().materialize(),
+            vec![1, 2, 3]
+        );
         assert_eq!(fs.read_at("/f", 1, 1).unwrap().materialize(), vec![2]);
         assert_eq!(fs.size("/f").unwrap(), 3);
     }

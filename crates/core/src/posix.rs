@@ -24,6 +24,7 @@ use std::sync::Arc;
 /// Open flags (the subset PLFS supports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpenFlags {
+    /// Read-only.
     ReadOnly,
     /// Write-only; creates the file if needed.
     WriteOnly,
@@ -55,6 +56,7 @@ pub struct PosixShim<B: Backend + Clone> {
 }
 
 impl<B: Backend + Clone> PosixShim<B> {
+    /// A descriptor table over `fs`; writer ids derive from `writer_base`.
     pub fn new(fs: Plfs<B>, writer_base: u64) -> Self {
         PosixShim {
             fs,
@@ -64,6 +66,7 @@ impl<B: Backend + Clone> PosixShim<B> {
         }
     }
 
+    /// The mount behind this descriptor table.
     pub fn mount(&self) -> &Plfs<B> {
         &self.fs
     }

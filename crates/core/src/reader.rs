@@ -23,6 +23,7 @@ use crate::content::Content;
 use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, Source, WriterId};
 use crate::ioplane::{self, IoOp};
+use crate::telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -42,6 +43,7 @@ impl<B: Backend> ReadHandle<B> {
     /// flattened index when present, otherwise full self-aggregation (the
     /// Original design).
     pub fn open(backend: B, container: Container) -> Result<Self> {
+        let _span = telemetry::span(telemetry::SPAN_READ_OPEN);
         let index = container.acquire_index(&backend)?;
         Ok(Self::with_parts(backend, container, index))
     }
@@ -66,10 +68,12 @@ impl<B: Backend> ReadHandle<B> {
         self.index.eof()
     }
 
+    /// The global index this handle resolves reads through.
     pub fn index(&self) -> &GlobalIndex {
         &self.index
     }
 
+    /// The container being read.
     pub fn container(&self) -> &Container {
         &self.container
     }
@@ -108,6 +112,7 @@ impl<B: Backend> ReadHandle<B> {
     /// log become a single backend `read_at`, so a strided checkpoint read
     /// costs one backend operation per writer run rather than per block.
     pub fn read_pieces(&mut self, offset: u64, len: u64) -> Result<Vec<Content>> {
+        let _span = telemetry::span(telemetry::SPAN_READ_LOOKUP);
         let mappings = self.index.lookup_coalesced(offset, len);
         // Resolve every mapping to either a hole or a planned read, then
         // submit all the reads as ONE plane batch (one submission for the
@@ -137,6 +142,8 @@ impl<B: Backend> ReadHandle<B> {
         let mut pieces = Vec::with_capacity(mappings.len());
         for (m, planned) in mappings.iter().zip(plan) {
             let Some((path, physical_offset, length)) = planned else {
+                telemetry::count(telemetry::CTR_READ_HOLES, 1);
+                telemetry::count(telemetry::CTR_READ_BYTES, m.length);
                 pieces.push(Content::Zeros { len: m.length });
                 continue;
             };
@@ -151,6 +158,7 @@ impl<B: Backend> ReadHandle<B> {
                     c.len()
                 )));
             }
+            telemetry::count(telemetry::CTR_READ_BYTES, c.len());
             pieces.push(c);
         }
         Ok(pieces)
@@ -238,11 +246,17 @@ mod tests {
             (b, c)
         };
         let (fb, fc) = mk(true);
-        let flat = ReadHandle::open(Arc::clone(&fb), fc).unwrap().read(0, total).unwrap();
+        let flat = ReadHandle::open(Arc::clone(&fb), fc)
+            .unwrap()
+            .read(0, total)
+            .unwrap();
 
         let (ab, ac) = mk(false);
         // Default open path (threaded aggregation + terminal compaction).
-        let open = ReadHandle::open(Arc::clone(&ab), ac.clone()).unwrap().read(0, total).unwrap();
+        let open = ReadHandle::open(Arc::clone(&ab), ac.clone())
+            .unwrap()
+            .read(0, total)
+            .unwrap();
         // Serial uncompacted, threaded, and explicitly compacted indices
         // must all serve identical bytes.
         let serial = ac.aggregate_index(&ab).unwrap();
@@ -273,15 +287,11 @@ mod tests {
         // Simulate Parallel Index Read: aggregate in two "groups" and merge.
         let mut g1 = GlobalIndex::new();
         for w in [0u64, 1] {
-            g1.merge(&GlobalIndex::from_entries(
-                c.read_index_log(&b, w).unwrap(),
-            ));
+            g1.merge(&GlobalIndex::from_entries(c.read_index_log(&b, w).unwrap()));
         }
         let mut g2 = GlobalIndex::new();
         for w in [2u64, 3] {
-            g2.merge(&GlobalIndex::from_entries(
-                c.read_index_log(&b, w).unwrap(),
-            ));
+            g2.merge(&GlobalIndex::from_entries(c.read_index_log(&b, w).unwrap()));
         }
         let mut merged = g1;
         merged.merge(&g2);
@@ -308,8 +318,12 @@ mod tests {
         let mut h =
             WriteHandle::open(Arc::clone(&traced), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
         for k in 0..4u64 {
-            h.write(k * 64, &Content::synthetic(0, (k + 1) * 64).slice(k * 64, 64), k + 1)
-                .unwrap();
+            h.write(
+                k * 64,
+                &Content::synthetic(0, (k + 1) * 64).slice(k * 64, 64),
+                k + 1,
+            )
+            .unwrap();
         }
         h.close(9).unwrap();
         // Inject the uncompacted index so coalescing (not compaction) is
@@ -323,11 +337,12 @@ mod tests {
         let data_reads = traced
             .take_trace()
             .iter()
-            .filter(|op| {
-                matches!(op, IoOp::ReadAt { path, .. } if path.contains("dropping.data"))
-            })
+            .filter(|op| matches!(op, IoOp::ReadAt { path, .. } if path.contains("dropping.data")))
             .count();
-        assert_eq!(data_reads, 1, "4 contiguous spans must coalesce into one read_at");
+        assert_eq!(
+            data_reads, 1,
+            "4 contiguous spans must coalesce into one read_at"
+        );
     }
 
     #[test]
@@ -357,7 +372,8 @@ mod tests {
     fn holes_read_as_zeros_and_eof_truncates() {
         let b = Arc::new(MemFs::new());
         let c = Container::new("/f", &Federation::single("/ns", 1));
-        let mut h = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
         h.write(100, &Content::bytes(vec![7; 10]), 1).unwrap();
         h.close(2).unwrap();
         let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();
@@ -373,8 +389,10 @@ mod tests {
     fn overwrites_resolve_to_latest_writer() {
         let b = Arc::new(MemFs::new());
         let c = Container::new("/f", &Federation::single("/ns", 2));
-        let mut h0 = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
-        let mut h1 = WriteHandle::open(Arc::clone(&b), c.clone(), 1, IndexPolicy::WriteClose).unwrap();
+        let mut h0 =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        let mut h1 =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 1, IndexPolicy::WriteClose).unwrap();
         h0.write(0, &Content::bytes(vec![1; 100]), 10).unwrap();
         h1.write(25, &Content::bytes(vec![2; 50]), 20).unwrap(); // later
         h0.close(30).unwrap();
@@ -390,7 +408,8 @@ mod tests {
     fn read_pieces_keeps_synthetic_symbolic() {
         let b = Arc::new(MemFs::new());
         let c = Container::new("/f", &Federation::single("/ns", 1));
-        let mut h = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
         h.write(0, &Content::synthetic(3, 100), 1).unwrap();
         h.close(2).unwrap();
         let mut r = ReadHandle::open(Arc::clone(&b), c).unwrap();

@@ -62,10 +62,11 @@ pub fn truncate<B: Backend>(b: &B, container: &Container, size: u64) -> Result<(
         .map(|p| IoOp::Size { path: p.clone() })
         .collect();
     let mut read_ops = Vec::with_capacity(ipaths.len());
-    for (p, outcome) in ipaths
-        .iter()
-        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &size_ops))
-    {
+    for (p, outcome) in ipaths.iter().zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &size_ops,
+    )) {
         read_ops.push(IoOp::ReadAt {
             path: p.clone(),
             offset: 0,
@@ -132,15 +133,14 @@ fn truncate_to_zero<B: Backend>(b: &B, container: &Container) -> Result<()> {
     let dirs: Vec<&String> = resolved.iter().flatten().collect();
     let list_ops: Vec<IoOp> = dirs
         .iter()
-        .map(|d| IoOp::Readdir {
-            path: (*d).clone(),
-        })
+        .map(|d| IoOp::Readdir { path: (*d).clone() })
         .collect();
     let mut unlink_ops = Vec::new();
-    for (dir, outcome) in dirs
-        .iter()
-        .zip(ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &list_ops))
-    {
+    for (dir, outcome) in dirs.iter().zip(ioplane::submit_retried(
+        b,
+        DEFAULT_RETRY_ATTEMPTS,
+        &list_ops,
+    )) {
         for name in ioplane::as_names(outcome)? {
             if name.starts_with(DATA_PREFIX) || name.starts_with(INDEX_PREFIX) {
                 unlink_ops.push(IoOp::Unlink {
@@ -197,13 +197,16 @@ mod tests {
         let b = Arc::new(MemFs::new());
         let cont = Container::new("/t", &Federation::single("/panfs", 2));
         for w in 0..3u64 {
-            let mut h =
-                WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose)
-                    .unwrap();
+            let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), w, IndexPolicy::WriteClose)
+                .unwrap();
             for k in 0..4u64 {
                 // Strided 100-byte blocks: writer w owns blocks k*3+w.
-                h.write((k * 3 + w) * 100, &Content::synthetic(w, 400).slice(k * 100, 100), k + 1)
-                    .unwrap();
+                h.write(
+                    (k * 3 + w) * 100,
+                    &Content::synthetic(w, 400).slice(k * 100, 100),
+                    k + 1,
+                )
+                .unwrap();
             }
             h.close(9).unwrap();
         }
@@ -221,8 +224,8 @@ mod tests {
         // Droppings gone.
         assert!(cont.list_writers(&b).unwrap().is_empty());
         // The file can be written again afterwards.
-        let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 7, IndexPolicy::WriteClose)
-            .unwrap();
+        let mut h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), 7, IndexPolicy::WriteClose).unwrap();
         h.write(0, &Content::bytes(vec![9; 10]), 100).unwrap();
         h.close(101).unwrap();
         let mut r2 = ReadHandle::open(Arc::clone(&b), cont).unwrap();
@@ -287,7 +290,8 @@ mod tests {
                 },
             )
             .unwrap();
-            h.write(w * 100, &Content::synthetic(w, 100), w + 1).unwrap();
+            h.write(w * 100, &Content::synthetic(w, 100), w + 1)
+                .unwrap();
             handles.push(h);
         }
         assert!(crate::writer::flatten_close(&b, &cont, handles, 9).unwrap());
@@ -303,8 +307,8 @@ mod tests {
     #[test]
     fn truncate_rejects_open_writers_and_missing_files() {
         let (b, cont) = build();
-        let h = WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose)
-            .unwrap();
+        let h =
+            WriteHandle::open(Arc::clone(&b), cont.clone(), 9, IndexPolicy::WriteClose).unwrap();
         assert!(matches!(
             truncate(&b, &cont, 0),
             Err(PlfsError::Unsupported(_))

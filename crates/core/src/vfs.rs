@@ -17,7 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// How a file is being opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpenMode {
+    /// Read-only access.
     Read,
+    /// Write-only access.
     Write,
     /// Rejected: PLFS does not support shared read-write access (the paper
     /// patched IOR and MADbench to drop it).
@@ -27,13 +29,16 @@ pub enum OpenMode {
 /// What a logical path names.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogicalKind {
+    /// A logical file (physically a container directory).
     File,
+    /// A logical directory.
     Dir,
 }
 
 /// Logical file attributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileStat {
+    /// Logical file size in bytes.
     pub size: u64,
     /// Whether the size came from cached metadir records (cheap) or
     /// required full index aggregation (expensive).
@@ -43,7 +48,9 @@ pub struct FileStat {
 /// Mount-level configuration.
 #[derive(Debug, Clone)]
 pub struct PlfsConfig {
+    /// Metadata namespaces and placement policy.
     pub federation: Federation,
+    /// What writers do with index entries (buffer-to-close vs flatten).
     pub index_policy: IndexPolicy,
 }
 
@@ -91,6 +98,7 @@ pub struct Plfs<B: Backend + Clone> {
 }
 
 impl<B: Backend + Clone> Plfs<B> {
+    /// Mount over `backend`, creating the federation's namespace roots.
     pub fn new(backend: B, config: PlfsConfig) -> Result<Self> {
         let batch: Vec<IoOp> = config
             .federation
@@ -108,10 +116,12 @@ impl<B: Backend + Clone> Plfs<B> {
         })
     }
 
+    /// The mount's federation (namespaces + placement).
     pub fn federation(&self) -> &Federation {
         &self.config.federation
     }
 
+    /// The underlying backend.
     pub fn backend(&self) -> &B {
         &self.backend
     }
@@ -358,7 +368,8 @@ impl<B: Backend + Clone> Plfs<B> {
         let fed = &self.config.federation;
 
         // Move the canonical container (possibly across namespaces).
-        self.backend.mkdir_all(&crate::path::parent(ct.canonical_path()))?;
+        self.backend
+            .mkdir_all(&crate::path::parent(ct.canonical_path()))?;
         self.backend
             .rename(cf.canonical_path(), ct.canonical_path())?;
 
@@ -533,7 +544,10 @@ mod tests {
                 ("subdir".to_string(), LogicalKind::Dir),
             ]
         );
-        assert!(matches!(fs.readdir("/missing"), Err(PlfsError::NotFound(_))));
+        assert!(matches!(
+            fs.readdir("/missing"),
+            Err(PlfsError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::content::Content;
 use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::index::{GlobalIndex, IndexEntry, WriterId, INDEX_RECORD_BYTES};
 use crate::ioplane::{self, IoOp};
+use crate::telemetry;
 
 /// What to do with index information while writing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +33,10 @@ pub enum IndexPolicy {
     /// back to `WriteClose` semantics for this writer (and therefore
     /// disables flattening for the file, as the paper specifies: flatten
     /// only happens when *all* writers stayed under threshold).
-    Flatten { threshold_entries: usize },
+    Flatten {
+        /// Max buffered entries per writer before flattening is abandoned.
+        threshold_entries: usize,
+    },
 }
 
 /// An open-for-write PLFS file, from one writer's point of view.
@@ -63,7 +67,13 @@ impl<B: Backend> WriteHandle<B> {
     /// and creates this writer's droppings — as real PLFS does at open.
     /// (The container skeleton itself stays minimal; subdirs appear only
     /// as writers land in them.)
-    pub fn open(backend: B, container: Container, writer: WriterId, policy: IndexPolicy) -> Result<Self> {
+    pub fn open(
+        backend: B,
+        container: Container,
+        writer: WriterId,
+        policy: IndexPolicy,
+    ) -> Result<Self> {
+        let _span = telemetry::span(telemetry::SPAN_WRITE_OPEN);
         // Container::create is idempotent (first creator wins; racers see
         // AlreadyExists internally and succeed), so retrying the whole
         // composite after a transient is safe.
@@ -91,10 +101,12 @@ impl<B: Backend> WriteHandle<B> {
         }
     }
 
+    /// This handle's writer id.
     pub fn writer(&self) -> WriterId {
         self.writer
     }
 
+    /// The container being written.
     pub fn container(&self) -> &Container {
         &self.container
     }
@@ -110,6 +122,7 @@ impl<B: Backend> WriteHandle<B> {
         if content.is_empty() {
             return Ok(());
         }
+        let _span = telemetry::span(telemetry::SPAN_WRITE_APPEND);
         let data_log = self.ensure_logs()?.0.clone();
         // Transient failures are clean (nothing landed) and retried with
         // backoff. A torn append is NOT transient: a prefix landed, and
@@ -130,6 +143,8 @@ impl<B: Backend> WriteHandle<B> {
             writer: self.writer,
             timestamp,
         };
+        telemetry::count(telemetry::CTR_WRITE_BYTES, content.len());
+        telemetry::count(telemetry::CTR_WRITE_RECORDS, 1);
         self.data_off = phys + content.len();
         self.bytes_written += content.len();
         self.eof = self.eof.max(offset + content.len());
@@ -203,6 +218,7 @@ impl<B: Backend> WriteHandle<B> {
         if self.buffered.is_empty() {
             return Ok(());
         }
+        let _span = telemetry::span(telemetry::SPAN_WRITE_FLUSH);
         let index_log = self.ensure_logs()?.1.clone();
         if self.flush_failed {
             self.realign_index_log(&index_log)?;
@@ -260,13 +276,17 @@ impl<B: Backend> WriteHandle<B> {
         ioplane::as_unit(ioplane::take(&mut out))?;
         let prefix = ioplane::as_data(ioplane::take(&mut out))?;
         if keep > 0 {
-            retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.append(&staged, &prefix))?;
+            retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+                self.backend.append(&staged, &prefix)
+            })?;
         }
         // The swap stays sequential: the rename must not run unless the
         // unlink committed (per-op batch retry could otherwise interleave
         // a hard rename failure into the unlink's retry window).
         retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.unlink(index_log))?;
-        retry_transient(DEFAULT_RETRY_ATTEMPTS, || self.backend.rename(&staged, index_log))?;
+        retry_transient(DEFAULT_RETRY_ATTEMPTS, || {
+            self.backend.rename(&staged, index_log)
+        })?;
         Ok(())
     }
 
@@ -307,6 +327,7 @@ impl<B: Backend> WriteHandle<B> {
         if self.closed {
             return Ok(Vec::new());
         }
+        let _span = telemetry::span(telemetry::SPAN_WRITE_CLOSE);
         let contribution = self.buffered.clone();
         self.append_index_batch()?;
         // Metadir record + openhosts deregistration as one batch.
@@ -335,6 +356,7 @@ pub fn flatten_close<B: Backend>(
     handles: Vec<WriteHandle<B>>,
     timestamp: u64,
 ) -> Result<bool> {
+    let _span = telemetry::span(telemetry::SPAN_WRITE_FLATTEN);
     let all_can_flatten = handles.iter().all(|h| h.can_flatten());
     // Gather one partial index per writer (each writer's own entries are
     // disjoint sorted runs, so the partial build and the hierarchical
@@ -379,7 +401,8 @@ mod tests {
     #[test]
     fn writes_become_appends_with_index_records() {
         let (b, c) = setup();
-        let mut w = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        let mut w =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
         // Logical writes at scattered offsets...
         w.write(1000, &Content::bytes(vec![1; 10]), 1).unwrap();
         w.write(0, &Content::bytes(vec![2; 10]), 2).unwrap();
@@ -405,7 +428,8 @@ mod tests {
     #[test]
     fn close_records_metadata_and_deregisters() {
         let (b, c) = setup();
-        let mut w = WriteHandle::open(Arc::clone(&b), c.clone(), 7, IndexPolicy::WriteClose).unwrap();
+        let mut w =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 7, IndexPolicy::WriteClose).unwrap();
         assert_eq!(c.open_writers(&b).unwrap(), vec![7]);
         w.write(0, &Content::bytes(vec![0; 100]), 1).unwrap();
         w.close(2).unwrap();
@@ -534,7 +558,8 @@ mod tests {
     #[test]
     fn empty_write_is_a_noop() {
         let (b, c) = setup();
-        let mut w = WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
+        let mut w =
+            WriteHandle::open(Arc::clone(&b), c.clone(), 0, IndexPolicy::WriteClose).unwrap();
         w.write(50, &Content::bytes(vec![]), 1).unwrap();
         assert_eq!(w.bytes_written(), 0);
         let contribution = w.close(2).unwrap();
@@ -553,7 +578,8 @@ mod tests {
                 let mut h = WriteHandle::open(b, c, w, IndexPolicy::WriteClose).unwrap();
                 for i in 0..50u64 {
                     // Strided N-1 pattern.
-                    h.write((i * 8 + w) * 100, &Content::synthetic(w, 100), i).unwrap();
+                    h.write((i * 8 + w) * 100, &Content::synthetic(w, 100), i)
+                        .unwrap();
                 }
                 h.close(99).unwrap();
             }));

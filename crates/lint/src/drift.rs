@@ -217,6 +217,155 @@ pub fn check_ioplane_file(rows: &[IoPlaneRow], toks: &[Tok]) -> (Vec<RawFinding>
     (findings, matched)
 }
 
+/// Row of the telemetry vocabulary table (DESIGN.md §5f). The recorded
+/// name and its kind (`span`/`counter`/`histogram`) are load-bearing;
+/// the const and notes columns are prose.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    pub name: String,
+    pub kind: String,
+    pub doc_line: u32,
+}
+
+/// Parse the telemetry vocabulary table out of DESIGN.md (between
+/// `<!-- plfs-lint:telemetry-table -->` markers). As with the other
+/// authoritative tables, missing or unbalanced markers are a
+/// configuration error, not a silent pass.
+pub fn parse_telemetry_table(doc: &str) -> Result<Vec<TelemetryRow>, String> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut seen_open = false;
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.contains("<!-- plfs-lint:telemetry-table -->") {
+            inside = true;
+            seen_open = true;
+            continue;
+        }
+        if trimmed.contains("<!-- /plfs-lint:telemetry-table -->") {
+            inside = false;
+            continue;
+        }
+        if !inside || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let (name, kind) = (unbacktick(cells[0]), unbacktick(cells[1]));
+        if name.is_empty() || name == "name" || name.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        rows.push(TelemetryRow {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            doc_line: lineno,
+        });
+    }
+    if !seen_open {
+        return Err("DESIGN.md has no `<!-- plfs-lint:telemetry-table -->` marker; the telemetry vocabulary has no drift source".into());
+    }
+    if inside {
+        return Err("DESIGN.md telemetry table is missing its closing `<!-- /plfs-lint:telemetry-table -->` marker".into());
+    }
+    if rows.is_empty() {
+        return Err("DESIGN.md telemetry table is empty".into());
+    }
+    Ok(rows)
+}
+
+/// `(const ident, recorded name, kind, line)` of every telemetry
+/// vocabulary constant in the source: string consts named `SPAN_*`
+/// (span), `CTR_*` (counter), or `HIST_*` (histogram). Non-string
+/// consts with those prefixes (e.g. `HIST_BUCKET_COUNT`) are not part
+/// of the vocabulary.
+pub fn telemetry_registry(toks: &[Tok]) -> Vec<(String, String, String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is(TokKind::Ident, "const") && toks[i + 1].kind == TokKind::Ident {
+            let ident = toks[i + 1].text.clone();
+            let kind = if ident.starts_with("SPAN_") {
+                Some("span")
+            } else if ident.starts_with("CTR_") {
+                Some("counter")
+            } else if ident.starts_with("HIST_") {
+                Some("histogram")
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                let mut j = i + 2;
+                while j < toks.len()
+                    && !toks[j].is(TokKind::Punct, "=")
+                    && !toks[j].is(TokKind::Punct, ";")
+                {
+                    j += 1;
+                }
+                if let Some(lit) = toks.get(j + 1) {
+                    if lit.kind == TokKind::Literal && lit.text.starts_with('"') {
+                        let name = lit.text.trim_matches('"').to_string();
+                        out.push((ident, name, kind.to_string(), toks[i].line));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Check the telemetry source file against the §5f table, both
+/// directions: every vocabulary constant must have a table row with the
+/// right kind (findings anchored at the const), and every table row
+/// must name a live constant (unmatched indices reported by the
+/// caller, like the other tables).
+pub fn check_telemetry_file(rows: &[TelemetryRow], toks: &[Tok]) -> (Vec<RawFinding>, Vec<usize>) {
+    let registry = telemetry_registry(toks);
+    let mut findings = Vec::new();
+    let mut matched = Vec::new();
+    if registry.is_empty() {
+        findings.push(RawFinding {
+            rule: RuleId::FormatDrift,
+            line: 1,
+            message: "no `SPAN_`/`CTR_`/`HIST_` string constants found in the telemetry source; \
+                      the vocabulary table in DESIGN.md §5f has nothing to check against"
+                .into(),
+        });
+        return (findings, matched);
+    }
+    for (ident, name, kind, line) in &registry {
+        match rows.iter().find(|r| &r.name == name) {
+            None => findings.push(RawFinding {
+                rule: RuleId::FormatDrift,
+                line: *line,
+                message: format!(
+                    "`{ident}` records `{name}` but the DESIGN.md §5f telemetry vocabulary table \
+                     has no such row; every recorded name must be documented there"
+                ),
+            }),
+            Some(row) if &row.kind != kind => findings.push(RawFinding {
+                rule: RuleId::FormatDrift,
+                line: *line,
+                message: format!(
+                    "`{ident}` records `{name}` as a {kind} but DESIGN.md (line {}) documents it \
+                     as a {}; fix the table or rename the constant",
+                    row.doc_line, row.kind
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (idx, row) in rows.iter().enumerate() {
+        if registry.iter().any(|(_, name, _, _)| name == &row.name) {
+            matched.push(idx);
+        }
+    }
+    (findings, matched)
+}
+
 /// Extract `const NAME ... = <expr> ;` initializer tokens from a file.
 fn const_value(toks: &[Tok], name: &str) -> Option<(u32, String)> {
     let mut i = 0;

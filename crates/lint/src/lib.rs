@@ -242,6 +242,9 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
     let io_rows = drift::parse_ioplane_table(&doc)?;
     let mut io_row_matched = vec![false; io_rows.len()];
     let mut ioplane_seen = false;
+    let tel_rows = drift::parse_telemetry_table(&doc)?;
+    let mut tel_row_matched = vec![false; tel_rows.len()];
+    let mut telemetry_seen = false;
 
     let mut files = Vec::new();
     for top in ["crates", "src"] {
@@ -279,6 +282,15 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                 io_row_matched[idx] = true;
             }
         }
+        if rel == "crates/core/src/telemetry.rs" {
+            telemetry_seen = true;
+            let (tel_findings, tel_matched) =
+                drift::check_telemetry_file(&tel_rows, &lexed_for_drift.toks);
+            drift_findings.extend(tel_findings);
+            for idx in tel_matched {
+                tel_row_matched[idx] = true;
+            }
+        }
         let file_lint = lint_source_with(&rel, &src, drift_findings);
         report.findings.extend(file_lint.findings);
         report.allowed.extend(file_lint.allowed);
@@ -313,6 +325,39 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
             file: "DESIGN.md".into(),
             line: io_rows.first().map_or(1, |r| r.doc_line),
             message: "DESIGN.md documents an I/O-plane op vocabulary but crates/core/src/ioplane.rs \
+                      was not scanned (file moved or deleted without updating the table)"
+                .into(),
+            snippet: String::new(),
+        });
+    }
+
+    if telemetry_seen {
+        for (row, matched) in tel_rows.iter().zip(&tel_row_matched) {
+            if !matched {
+                report.findings.push(Finding {
+                    rule: RuleId::FormatDrift,
+                    file: "DESIGN.md".into(),
+                    line: row.doc_line,
+                    message: format!(
+                        "telemetry vocabulary row `{}` names no recorded span/counter/histogram; \
+                         remove the row or restore the constant",
+                        row.name
+                    ),
+                    snippet: doc
+                        .lines()
+                        .nth(row.doc_line as usize - 1)
+                        .unwrap_or("")
+                        .trim()
+                        .to_string(),
+                });
+            }
+        }
+    } else {
+        report.findings.push(Finding {
+            rule: RuleId::FormatDrift,
+            file: "DESIGN.md".into(),
+            line: tel_rows.first().map_or(1, |r| r.doc_line),
+            message: "DESIGN.md documents a telemetry vocabulary but crates/core/src/telemetry.rs \
                       was not scanned (file moved or deleted without updating the table)"
                 .into(),
             snippet: String::new(),

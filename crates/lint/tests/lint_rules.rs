@@ -155,6 +155,48 @@ fn ioplane_table_round_trips_against_the_enum() {
 }
 
 #[test]
+fn telemetry_table_round_trips_against_the_constants() {
+    let doc = "\
+<!-- plfs-lint:telemetry-table -->
+| name | kind | const | notes |
+| --- | --- | --- | --- |
+| `write.open` | span | `SPAN_WRITE_OPEN` | writer open |
+| `write.bytes` | counter | `CTR_WRITE_BYTES` | bytes accepted |
+| `gone.signal` | span | `SPAN_GONE` | removed |
+| `ioplane.batch` | counter | `HIST_IOPLANE_BATCH` | wrong kind on purpose |
+<!-- /plfs-lint:telemetry-table -->
+";
+    let rows = drift::parse_telemetry_table(doc).unwrap();
+    assert_eq!(rows.len(), 4);
+    let toks = lex("\
+pub const SPAN_WRITE_OPEN: &str = \"write.open\";
+pub const CTR_WRITE_BYTES: &str = \"write.bytes\";
+pub const HIST_IOPLANE_BATCH: &str = \"ioplane.batch\";
+pub const SPAN_EXTRA: &str = \"extra.signal\";
+pub const HIST_BUCKET_COUNT: usize = 32;
+")
+    .toks;
+    let (raw, matched) = drift::check_telemetry_file(&rows, &toks);
+    // `SPAN_EXTRA` has no row; `HIST_IOPLANE_BATCH` is documented with
+    // the wrong kind; row `gone.signal` names nothing (unmatched idx 2).
+    // `HIST_BUCKET_COUNT` is a non-string const and is ignored.
+    assert_eq!(raw.len(), 2, "findings: {raw:?}");
+    assert!(raw.iter().any(|f| f.message.contains("SPAN_EXTRA")));
+    assert!(raw.iter().any(|f| f.message.contains("histogram")
+        && f.message.contains("counter")));
+    assert_eq!(matched, vec![0, 1, 3]);
+}
+
+#[test]
+fn telemetry_table_markers_are_mandatory() {
+    assert!(drift::parse_telemetry_table("no table").is_err());
+    assert!(drift::parse_telemetry_table(
+        "<!-- plfs-lint:telemetry-table -->\n| `a.b` | span | `C` | n |\n"
+    )
+    .is_err());
+}
+
+#[test]
 fn drift_bad_flags_changed_constant() {
     let rows = drift::parse_format_table(include_str!("fixtures/drift_design.md")).unwrap();
     let src = include_str!("fixtures/drift_bad.rs");

@@ -9,6 +9,12 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --offline -- -D warnings
 
+# Docs are part of the contract: rustdoc must build warning-clean
+# (missing_docs is deny-by-lint in crates/core) and every doctest in
+# the public API must pass.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+cargo test -q --doc --offline --workspace
+
 # Pedantic subset on the crates that ship in the I/O path: unwrap() is
 # banned outright there (tests are cfg'd out of --lib/--bins).
 cargo clippy --offline -p plfs -p formats -p harness -p mpio -p plfs-lint \

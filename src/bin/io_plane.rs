@@ -26,6 +26,11 @@
 //! Modes: plain run prints the table; `--write <file>` rewrites the
 //! results file; `--check <file>` exits 1 if any profile's `ops` or
 //! `trips` exceed the committed numbers — the budget only ratchets down.
+//! `--spans` runs the same profiles with the telemetry plane (DESIGN.md
+//! §5f) enabled and appends the captured span tree, counters, and
+//! per-op latency histograms after the table — wall-clock numbers in
+//! that mode include recording overhead, so it is never combined with
+//! `--check`.
 
 use plfs::reader::ReadHandle;
 use plfs::writer::{IndexPolicy, WriteHandle};
@@ -255,6 +260,11 @@ fn check(profiles: &[Profile], committed: &[(String, u64, u64)]) -> Vec<String> 
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    let spans = args.get(1).map(String::as_str) == Some("--spans");
+    if spans {
+        plfs::telemetry::reset();
+        plfs::telemetry::set_enabled(true);
+    }
     let profiles = match run_profiles() {
         Ok(p) => p,
         Err(e) => {
@@ -262,6 +272,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if spans {
+        plfs::telemetry::set_enabled(false);
+        print!("{}", render_table(&profiles));
+        println!();
+        print!("{}", plfs::telemetry::snapshot().render_tree());
+        return ExitCode::SUCCESS;
+    }
     match (args.get(1).map(String::as_str), args.get(2)) {
         (None, _) => {
             print!("{}", render_table(&profiles));
@@ -296,7 +313,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: io_plane [--write <file> | --check <file>]");
+            eprintln!("usage: io_plane [--spans | --write <file> | --check <file>]");
             ExitCode::from(2)
         }
     }

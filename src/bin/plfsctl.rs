@@ -11,6 +11,7 @@
 //! plfsctl truncate <mount-root> <logical> <size>   logical truncate
 //! plfsctl du    <mount-root> <logical>       physical vs logical space
 //! plfsctl lint  [flags] [workspace-root]     run the static invariant checker
+//! plfsctl obs   [--json]                     telemetry demo: spans/counters/histograms
 //! ```
 //!
 //! `lint` flags: `--json` (machine-readable output), `--deny-warnings`
@@ -19,9 +20,20 @@
 //! baseline). Exit codes: 0 clean, 1 findings (or warnings under
 //! `--deny-warnings`, or a baseline ratchet violation), 2 usage/config.
 //!
+//! `obs` enables the telemetry plane (DESIGN.md §5f), drives a built-in
+//! in-memory write/read round trip through the real middleware, and
+//! prints the resulting span tree, counters, and latency histograms —
+//! as a human-readable tree by default, or as machine-readable JSON
+//! with `--json`.
+//!
 //! `--io-stats` (any command, any position) prints the I/O plane's
 //! per-op counters to stderr after the command: ops vs batches (the
-//! coalesce ratio), transient retries, and bytes moved.
+//! coalesce ratio), transient retries, and bytes moved. Reading the
+//! stats is non-destructive: the counters keep accumulating for the
+//! life of the process. Pass `--reset` alongside it to zero the
+//! counters *after* they are printed (the printed values are always
+//! the pre-reset totals); `--reset` without `--io-stats` zeroes them
+//! silently.
 //!
 //! The mount root is an ordinary directory (single-namespace federation,
 //! like a one-volume PLFS mount). Subdir count is auto-detected from the
@@ -29,6 +41,7 @@
 
 use plfs::fsck;
 use plfs::reader::ReadHandle;
+use plfs::writer::{IndexPolicy, WriteHandle};
 use plfs::{Container, Federation, LocalFs, Plfs, PlfsConfig};
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -36,7 +49,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: plfsctl <ls|stat|map|check|repair|cat|truncate|du> <mount-root> [logical-path] [size]\n\
-         \x20      plfsctl lint [--json] [--deny-warnings] [--baseline <file>] [--write-baseline <file>] [workspace-root]"
+         \x20      plfsctl lint [--json] [--deny-warnings] [--baseline <file>] [--write-baseline <file>] [workspace-root]\n\
+         \x20      plfsctl obs [--json]"
     );
     ExitCode::from(2)
 }
@@ -116,6 +130,68 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
+/// `plfsctl obs`: run a built-in in-memory write/read round trip with the
+/// telemetry plane enabled and print the captured snapshot (DESIGN.md §5f).
+///
+/// The workload is the classic strided checkpoint in miniature — 4 writers
+/// each writing 8 interleaved 4 KiB blocks into one container, closed, then
+/// read back in full — so the span tree shows the real write path
+/// (`write.open`/`write.append`/`write.flush`/`write.close`), the read
+/// fan-out (`read.open` → `index.aggregate` → `index.merge`), and the I/O
+/// plane underneath (`ioplane.submit` spans plus per-op latency histograms).
+fn cmd_obs(args: &[String]) -> ExitCode {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+
+    let writers = 4u64;
+    let blocks = 8u64;
+    let block = 4096u64;
+    let backend = std::sync::Arc::new(plfs::MemFs::new());
+    let fed = Federation::single("/", 2);
+    let cont = Container::new("/obs/demo", &fed);
+
+    plfs::telemetry::reset();
+    plfs::telemetry::set_enabled(true);
+    let run = (|| -> plfs::Result<()> {
+        for w in 0..writers {
+            let mut h = WriteHandle::open(
+                std::sync::Arc::clone(&backend),
+                cont.clone(),
+                w,
+                IndexPolicy::WriteClose,
+            )?;
+            let stream = plfs::Content::synthetic(w, blocks * block);
+            for k in 0..blocks {
+                let logical = (k * writers + w) * block;
+                h.write(logical, &stream.slice(k * block, block), k + 1)?;
+            }
+            h.close(99)?;
+        }
+        let mut r = ReadHandle::open(std::sync::Arc::clone(&backend), cont)?;
+        let size = r.size();
+        r.read(0, size)?;
+        Ok(())
+    })();
+    plfs::telemetry::set_enabled(false);
+    if let Err(e) = run {
+        eprintln!("plfsctl obs: round trip failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let snap = plfs::telemetry::snapshot();
+    if json {
+        print!("{}", snap.render_json());
+    } else {
+        print!("{}", snap.render_tree());
+    }
+    ExitCode::SUCCESS
+}
+
 /// Detect how many subdirs a container uses by scanning its entries.
 fn detect_subdirs(backend: &LocalFs, logical: &str) -> usize {
     let cont = Container::new(logical, &Federation::single("/", 1));
@@ -135,10 +211,13 @@ fn detect_subdirs(backend: &LocalFs, logical: &str) -> usize {
 fn main() -> ExitCode {
     // `--io-stats` (any position): after the command, print the I/O
     // plane's per-op counters to stderr — batches vs ops shows how well
-    // the command's backend traffic coalesced.
+    // the command's backend traffic coalesced. Reading the stats never
+    // zeroes them; `--reset` zeroes the counters after any printing, so
+    // the printed numbers are always the pre-reset totals.
     let mut args: Vec<String> = std::env::args().collect();
     let io_stats = args.iter().any(|a| a == "--io-stats");
-    args.retain(|a| a != "--io-stats");
+    let reset = args.iter().any(|a| a == "--reset");
+    args.retain(|a| a != "--io-stats" && a != "--reset");
     let code = dispatch(&args);
     if io_stats {
         let s = plfs::ioplane::stats();
@@ -152,12 +231,18 @@ fn main() -> ExitCode {
             s.bytes_read
         );
     }
+    if reset {
+        plfs::ioplane::reset_stats();
+    }
     code
 }
 
 fn dispatch(args: &[String]) -> ExitCode {
     if args.get(1).map(String::as_str) == Some("lint") {
         return cmd_lint(&args[2..]);
+    }
+    if args.get(1).map(String::as_str) == Some("obs") {
+        return cmd_obs(&args[2..]);
     }
     if args.len() < 3 {
         return usage();

@@ -147,3 +147,72 @@ fn du_reports_overheads() {
     assert!(text.contains("dead       : 0 bytes"), "{text}");
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn obs_emits_spans_counters_and_histograms() {
+    // Human tree: the built-in round trip must surface at least one
+    // span from each layer, plus counters and histograms.
+    let out = Command::new(bin()).args(["obs"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in [
+        "spans:",
+        "write.open",
+        "read.open",
+        "ioplane.submit",
+        "counters:",
+        "write.bytes",
+        "histograms:",
+        "ioplane.batch",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    // Machine JSON: same acceptance (≥1 span, ≥1 counter, ≥1 histogram
+    // for a write-read round trip), structurally sound enough to carry
+    // the schema keys the README documents.
+    let json = Command::new(bin()).args(["obs", "--json"]).output().unwrap();
+    assert!(json.status.success(), "{json:?}");
+    let text = String::from_utf8_lossy(&json.stdout).to_string();
+    for needle in [
+        "\"counters\"",
+        "\"histograms\"",
+        "\"span_stats\"",
+        "\"spans\"",
+        "\"dropped_spans\"",
+        "\"write.bytes\"",
+        "\"ioplane.batch\"",
+        "\"read.open\"",
+        "\"ge_ns\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    assert_eq!(
+        text.matches('{').count(),
+        text.matches('}').count(),
+        "unbalanced JSON:\n{text}"
+    );
+
+    // Unknown flags are a usage error.
+    let bad = Command::new(bin()).args(["obs", "--tree"]).output().unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn io_stats_flag_reports_and_reset_is_accepted() {
+    let dir = make_mount();
+    let root = dir.to_str().unwrap();
+    // --io-stats prints the plane's counters to stderr after the
+    // command; reading them is non-destructive within the process and
+    // `--reset` (position-independent, like --io-stats) zeroes them
+    // after printing.
+    let out = Command::new(bin())
+        .args(["stat", root, "/ckpt", "--io-stats", "--reset"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("io-plane:"), "{err}");
+    assert!(err.contains("op(s)"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}
