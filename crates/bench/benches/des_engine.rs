@@ -2,8 +2,9 @@
 //! per-event cost that bounds how big a simulated job can get.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use simcore::{EventQueue, Fifo, SimDuration, SimTime};
+use simcore::{EventArena, EventQueue, Fifo, SimDuration, SimTime};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
@@ -38,6 +39,68 @@ fn bench_fifo(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// Steady-state push/pop with N events in flight — the scheduler cost a
+/// job of N ranks pays per event — for the seed `BinaryHeap` queue and
+/// the calendar `EventArena` at 1k/16k/64k live events.
+fn bench_arena_vs_heap(c: &mut Criterion) {
+    for live in [1_024u64, 16_384, 65_536] {
+        let mut g = c.benchmark_group(format!("queue_{}k_live", live / 1024));
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("heap", |b| {
+            let mut q = EventQueue::new();
+            for i in 0..live {
+                q.push(SimTime(i), i);
+            }
+            let mut t = live;
+            b.iter(|| {
+                let (time, payload) = q.pop().expect("non-empty");
+                t += 1;
+                q.push(SimTime(time.as_nanos() + t), black_box(payload));
+            });
+        });
+        g.bench_function("arena", |b| {
+            let mut q = EventArena::new();
+            for i in 0..live {
+                q.push(SimTime(i), 0, i as u32);
+            }
+            let mut t = live;
+            b.iter(|| {
+                let (time, _kind, arg) = q.pop().expect("non-empty");
+                t += 1;
+                q.push(SimTime(time.as_nanos() + t), 0, black_box(arg));
+            });
+        });
+        g.finish();
+    }
+}
+
+/// The whole dispatch stack, not just the queue: the identical
+/// write/retry/barrier job run through the seed interpreter
+/// (per-op materialization + BinaryHeap) and the rebuilt one (bytecode
+/// programs + calendar arena), at 1k/16k/64k ranks. `engine_64k` is the
+/// group ratcheted in `results/sim_scale.md`.
+fn bench_engine_stacks(c: &mut Criterion) {
+    use plfs_bench::engine::{
+        rebuilt_stack, rebuilt_stack_with, seed_stack, RETRIES_PER_WRITE, WRITES_PER_RANK,
+    };
+    use simcore::SchedulerKind;
+
+    for ranks in [1_024usize, 16_384, 65_536] {
+        let mut g = c.benchmark_group(format!("engine_{}k", ranks / 1024));
+        // Whole-job iterations are seconds long at 64k; keep samples low.
+        g.sample_size(10);
+        g.measurement_time(Duration::from_secs(12));
+        let events_per_rank = (WRITES_PER_RANK * (RETRIES_PER_WRITE + 1) + 3) as u64;
+        g.throughput(Throughput::Elements(ranks as u64 * events_per_rank));
+        g.bench_function("seed_stack", |b| b.iter(|| black_box(seed_stack(ranks))));
+        g.bench_function("rebuilt_heap", |b| {
+            b.iter(|| black_box(rebuilt_stack_with(ranks, SchedulerKind::Heap)))
+        });
+        g.bench_function("rebuilt_arena", |b| b.iter(|| black_box(rebuilt_stack(ranks))));
+        g.finish();
+    }
 }
 
 fn bench_full_sim_event_rate(c: &mut Criterion) {
@@ -83,5 +146,12 @@ fn bench_full_sim_event_rate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_fifo, bench_full_sim_event_rate);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_arena_vs_heap,
+    bench_fifo,
+    bench_engine_stacks,
+    bench_full_sim_event_rate
+);
 criterion_main!(benches);

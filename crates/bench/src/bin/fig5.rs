@@ -80,6 +80,45 @@ fn main() {
         )
     );
 
+    // 65,536-rank extension (DESIGN.md §5g) on the Cielo profile. PLFS
+    // runs every kernel; direct access runs the kernels whose direct
+    // path is batched (segmented or collectively buffered). The per-op
+    // strided kernels (IOR, LANL 1) are omitted on the direct side at
+    // this scale: simulating billions of individually lock-arbitrated
+    // accesses exceeds the figure budget, and the small-scale panels
+    // already show that regime collapsing.
+    if !plfs_bench::quick() {
+        let cielo = ClusterProfile::cielo();
+        let plfs_mw = Middleware::plfs(ReadStrategy::ParallelIndexRead, 1);
+        let kernels: Vec<(&str, Kernel, bool)> = vec![
+            ("pixie3d", pixie3d as Kernel, true),
+            ("aramco", aramco, true),
+            ("ior", ior, false),
+            ("madbench", madbench, true),
+            ("lanl1", lanl1, false),
+            ("lanl3", lanl3, true),
+        ];
+        println!("# Figure 5 @ 65,536 procs (Cielo profile, 1 run, seed 42):");
+        for (name, kernel, run_direct) in kernels {
+            let w = kernel(65_536);
+            let p = harness::run_workload(&w, &cielo, &plfs_mw, 42);
+            let p_bw = p.metrics.effective_read_bandwidth() / 1e6;
+            if run_direct {
+                let d = harness::run_workload(&w, &cielo, &Middleware::Direct, 42);
+                let d_bw = d.metrics.effective_read_bandwidth() / 1e6;
+                println!(
+                    "#   {name}: PLFS {p_bw:.0} MB/s vs direct {d_bw:.0} MB/s ({:.2}x)",
+                    p_bw / d_bw.max(1e-9)
+                );
+                println!("{}", plfs_bench::engine_line(&format!("{name}/direct"), &d));
+            } else {
+                println!("#   {name}: PLFS {p_bw:.0} MB/s (direct omitted: per-op strided)");
+            }
+            println!("{}", plfs_bench::engine_line(&format!("{name}/plfs"), &p));
+        }
+        println!();
+    }
+
     println!("# Paper shapes: 5a direct wins small scale, PLFS scales better; 5b PLFS");
     println!("# up to 8x below ~300 procs, direct overtakes at large scale (strong");
     println!("# scaling: index time dominates); 5c PLFS up to 4.5x everywhere; 5d PLFS");

@@ -66,6 +66,25 @@ fn main() {
             &closes
         )
     );
+    // 65,536-proc extension (DESIGN.md §5g): the same create storm at
+    // one file per process on the Cielo profile — the full-machine N-N
+    // open burst the paper's federation argument targets.
+    if !plfs_bench::quick() {
+        let cielo = ClusterProfile::cielo();
+        let w = metadata_storm(65_536, 1, false);
+        println!("# Figure 7 @ 65,536 procs, 1 file/proc (Cielo profile, 1 run, seed 42):");
+        for (label, mw) in &middlewares {
+            let o = harness::run_workload(&w, &cielo, mw, 42);
+            println!(
+                "#   {label}: open {:.4}s, close {:.4}s",
+                o.metrics.mean_duration_s(OpKind::OpenWrite),
+                o.metrics.mean_duration_s(OpKind::CloseWrite),
+            );
+            println!("{}", plfs_bench::engine_line(label, &o));
+        }
+        println!();
+    }
+
     println!("# Paper shapes: (a) open time falls as MDS count rises; PLFS-6/PLFS-9 beat");
     println!("# direct access despite the container-creation burden. (b) close time also");
     println!("# falls with MDS count, but close is so light that direct access wins it");

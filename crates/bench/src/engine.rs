@@ -1,0 +1,442 @@
+//! Seed-vs-rebuilt engine dispatch stacks (the `des_engine` bench and
+//! the `sim_scale` ratchet's `engine_64k` comparison).
+//!
+//! The DES rebuild (DESIGN.md §5g) changed three layers at once: the
+//! scheduler (payload-owning binary heap → calendar-queue arena over
+//! compact records), the program representation (per-event closure
+//! materialization → compiled bytecode fetched by `pc`), and the driver
+//! hot path (per-event path formatting and map-key cloning → interned
+//! paths, reused buffers, resumable micro-plans). The full-simulation
+//! profiles in `sim_scale` are dominated by the file-system model's
+//! charging arithmetic, which both engines share, so they blend the
+//! engine difference away. This module isolates it: the *same*
+//! synthetic 65,536-rank checkpoint job runs through a faithful
+//! reconstruction of the seed engine's dispatch stack and through the
+//! rebuilt one, with the physics (service times, retry schedule)
+//! identical pure arithmetic on both sides. Both stacks must agree
+//! exactly on the virtual outcome — asserted by `outcome` equality in
+//! the tests — so the wall-clock ratio is attributable to engine
+//! machinery alone.
+//!
+//! The seed stack reproduces, idiom for idiom, the hot path of the seed
+//! tree (`git show` the v0 commit): an [`EventQueue`] whose entries own
+//! their payloads; `Program::op` re-materializing the `LogicalOp` on
+//! *every* event including yield micro-steps; and the seed driver's
+//! per-event string work — `file.path(rank)` building a fresh `String`,
+//! `canonical()`/`data_log()` formatting the whole backend path chain,
+//! and `files.entry(logical.clone())` cloning the map key on every
+//! write. The lock-retry micro-steps model the N-1 strided lock
+//! ping-pong of the paper's Fig. 5 pathology, where the seed driver
+//! repeated all of that work on each retry; the rebuilt driver resumes
+//! a precomputed micro-plan instead (`PlfsDriver::plans`).
+
+use mpio::ops::{CompiledProgram, FileTag, FnProgram, LogicalOp, OpCode, Program};
+use simcore::{EventQueue, Scheduler, SchedulerKind, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Writes per rank in the synthetic checkpoint program.
+pub const WRITES_PER_RANK: usize = 8;
+/// Lock-retry micro-steps (yields) before each write completes.
+pub const RETRIES_PER_WRITE: usize = 3;
+/// Bytes per write (the paper's 47 kB N-1 strided pattern).
+const WRITE_LEN: u64 = 47_008;
+/// Nanoseconds all ranks spend in the closing barrier after the last
+/// arrival.
+const BARRIER_NS: u64 = 25_000;
+
+/// What a run computed — identical across stacks by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOutcome {
+    /// Events the scheduler processed.
+    pub events: u64,
+    /// Virtual completion time.
+    pub makespan: SimTime,
+    /// Order-insensitive digest of the per-event driver work.
+    pub state_hash: u64,
+}
+
+/// Deterministic service time for `(rank, pc)`, spread over ~100 µs so
+/// the pending set has realistic time structure. Shared physics.
+fn service_ns(rank: usize, pc: usize) -> u64 {
+    let mut x = (rank as u64 + 1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((pc as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 29;
+    20_000 + x % 100_000
+}
+
+/// Deterministic lock-retry backoff for micro-step `j` of `(rank, pc)`.
+fn retry_ns(rank: usize, pc: usize, j: usize) -> u64 {
+    1_000 + service_ns(rank.wrapping_add(j), pc) % 10_000
+}
+
+/// Per-op program counter layout: `0` open, `1..=W` writes, `W+1`
+/// close, `W+2` barrier.
+fn op_count() -> usize {
+    WRITES_PER_RANK + 3
+}
+
+/// Events one full run processes (every rank walks every op; each write
+/// costs `RETRIES_PER_WRITE` yields plus the completing step).
+pub fn expected_events(ranks: usize) -> u64 {
+    (ranks * (op_count() + WRITES_PER_RANK * RETRIES_PER_WRITE)) as u64
+}
+
+/// Per-op-kind aggregate, mirroring the exec loop's `Metrics`: both
+/// stacks record every completion (kinds: 0 open, 1 write, 2 close,
+/// 3 barrier). The seed kept these in a `HashMap` keyed by kind; the
+/// rebuilt exec uses a fixed array.
+#[derive(Clone, Copy, Default)]
+struct Phase {
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+    first: u64,
+    last: u64,
+    bytes: u64,
+}
+
+impl Phase {
+    fn record(&mut self, begin: SimTime, fin: SimTime, bytes: u64) {
+        let d = (fin.as_nanos() - begin.as_nanos()) as f64 / 1e9;
+        if self.count == 0 {
+            self.first = begin.as_nanos();
+            self.last = fin.as_nanos();
+        } else {
+            self.first = self.first.min(begin.as_nanos());
+            self.last = self.last.max(fin.as_nanos());
+        }
+        self.count += 1;
+        self.sum_s += d;
+        self.max_s = self.max_s.max(d);
+        self.bytes += bytes;
+    }
+
+    /// Fold the integer fields into the outcome digest (floats carry
+    /// summation-order noise and stay out of it).
+    fn fold(&self, h: u64) -> u64 {
+        h.wrapping_mul(31)
+            .wrapping_add(self.count)
+            .wrapping_add(self.bytes)
+            .wrapping_add(self.first)
+            .wrapping_add(self.last)
+    }
+}
+
+/// Run the job through the seed dispatch stack.
+pub fn seed_stack(ranks: usize) -> EngineOutcome {
+    // The seed program representation: ops materialized per event by a
+    // closure over a captured tag (`FnProgram`, as the seed workload
+    // generators did). Every call builds a fresh `LogicalOp`.
+    let tag = FileTag::per_rank("/ckpt/ckpt.out", 0);
+    let program = FnProgram {
+        count: op_count(),
+        f: move |_rank: usize, pc: usize| {
+            if pc == 0 {
+                LogicalOp::OpenWrite { file: tag.clone() }
+            } else if pc <= WRITES_PER_RANK {
+                LogicalOp::Write {
+                    file: tag.clone(),
+                    offset: (pc as u64 - 1) * WRITE_LEN,
+                    len: WRITE_LEN,
+                    stride: WRITE_LEN,
+                    reps: 1,
+                }
+            } else if pc == WRITES_PER_RANK + 1 {
+                LogicalOp::CloseWrite { file: tag.clone() }
+            } else {
+                LogicalOp::Barrier
+            }
+        },
+    };
+
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    // Seed idiom: parallel per-rank vectors — program counter, op start
+    // time, driver micro-step — each a separate random access per event.
+    let mut pc = vec![0usize; ranks];
+    let mut op_begin: Vec<Option<SimTime>> = vec![None; ranks];
+    let mut micro = vec![0usize; ranks];
+    // Seed driver state: files keyed by logical path `String`.
+    let mut files: HashMap<String, u64> = HashMap::new();
+    // Seed collective state: a map of pending rendezvous, arrival vector
+    // allocated when the first rank parks.
+    let mut collectives: HashMap<usize, Vec<SimTime>> = HashMap::new();
+    // Seed idiom: per-kind phase stats behind a map probe per completion.
+    let mut metrics: HashMap<u8, Phase> = HashMap::new();
+    let mut parked = 0usize;
+    let mut events = 0u64;
+    let mut makespan = SimTime::ZERO;
+    let mut state_hash = 0u64;
+
+    for r in 0..ranks {
+        queue.push(SimTime::ZERO, r);
+    }
+    while let Some((now, rank)) = queue.pop() {
+        events += 1;
+        // Seed idiom: the op is re-derived from the program on every
+        // event, yield micro-steps included, and the op's start time
+        // lives in its own parallel vector.
+        let op = program.op(rank, pc[rank]);
+        let begin = *op_begin[rank].get_or_insert(now);
+        match op {
+            LogicalOp::OpenWrite { file } | LogicalOp::CloseWrite { file } => {
+                // Seed idiom: one fresh `String` per metadata op, plus a
+                // second for the metadata-cache key tuple.
+                let logical = file.path(rank);
+                let meta_key = logical.clone();
+                state_hash = state_hash.wrapping_add(meta_key.len() as u64);
+                *files.entry(logical).or_insert(0) += 1;
+                let fin = now + SimDuration(service_ns(rank, pc[rank]));
+                state_hash = state_hash.wrapping_add(fin.as_nanos() - begin.as_nanos());
+                let kind = if pc[rank] == 0 { 0u8 } else { 2 };
+                metrics.entry(kind).or_default().record(begin, fin, 0);
+                op_begin[rank] = None;
+                pc[rank] += 1;
+                queue.push(fin, rank);
+            }
+            LogicalOp::Write {
+                file, offset, len, ..
+            } => {
+                // Seed idiom (plfs_driver/direct): the full backend path
+                // chain is formatted from scratch on every micro-step —
+                // `path()`, `canonical()`, `data_log()` — and the files
+                // map is probed with a cloned key. Retries repeat all of
+                // it; only the completing step lands in the digest.
+                let logical = file.path(rank);
+                let canonical = format!("/panfs{logical}");
+                let dlog = format!("{canonical}/subdir.{}/dropping.data.{rank}", rank % 32);
+                std::hint::black_box(dlog.as_str());
+                *files.entry(logical.clone()).or_insert(0) += 1;
+                if micro[rank] < RETRIES_PER_WRITE {
+                    // Lock busy: back off and retry the whole step.
+                    let at = now + SimDuration(retry_ns(rank, pc[rank], micro[rank]));
+                    micro[rank] += 1;
+                    queue.push(at, rank);
+                } else {
+                    let fin = now + SimDuration(service_ns(rank, pc[rank]));
+                    state_hash = state_hash
+                        .wrapping_add(dlog.len() as u64)
+                        .wrapping_add(offset + len)
+                        .wrapping_add(fin.as_nanos() - begin.as_nanos());
+                    metrics.entry(1).or_default().record(begin, fin, len);
+                    op_begin[rank] = None;
+                    micro[rank] = 0;
+                    pc[rank] += 1;
+                    queue.push(fin, rank);
+                }
+            }
+            LogicalOp::Barrier => {
+                let entry = collectives
+                    .entry(pc[rank])
+                    .or_insert_with(|| Vec::with_capacity(ranks));
+                entry.push(now);
+                parked += 1;
+                if entry.len() == ranks {
+                    let max = entry.iter().copied().max().unwrap_or(SimTime::ZERO);
+                    // plfs-lint: allow(panic-in-core): inserted above in this same arm
+                    let arrivals = collectives.remove(&pc[rank]).expect("just inserted");
+                    parked -= ranks;
+                    makespan = max + SimDuration(BARRIER_NS);
+                    // Seed idiom: one metrics record per released rank.
+                    let phase = metrics.entry(3).or_default();
+                    for &arrived in &arrivals {
+                        phase.record(arrived, makespan, 0);
+                    }
+                }
+            }
+            _ => unreachable!("synthetic job only uses open/write/close/barrier"),
+        }
+    }
+    assert_eq!(parked, 0, "deadlocked ranks in seed stack");
+    for kind in 0u8..4 {
+        if let Some(p) = metrics.get(&kind) {
+            state_hash = p.fold(state_hash);
+        }
+    }
+    EngineOutcome {
+        events,
+        makespan,
+        state_hash,
+    }
+}
+
+/// Run the same job through the rebuilt dispatch stack on the arena.
+pub fn rebuilt_stack(ranks: usize) -> EngineOutcome {
+    rebuilt_stack_with(ranks, SchedulerKind::Arena)
+}
+
+/// The rebuilt dispatch stack on an explicit scheduler — running it on
+/// [`SchedulerKind::Heap`] isolates the scheduler axis (same bytecode
+/// dispatch, seed queue).
+pub fn rebuilt_stack_with(ranks: usize, kind: SchedulerKind) -> EngineOutcome {
+    // The rebuilt program representation: one compiled instruction
+    // stream shared by all ranks, fetched by `pc` as a `Copy` opcode.
+    let mut code = vec![OpCode::OpenWrite { file: 0 }];
+    for k in 0..WRITES_PER_RANK {
+        code.push(OpCode::Write {
+            file: 0,
+            base: k as u64 * WRITE_LEN,
+            coeff: 0,
+            len: WRITE_LEN,
+            stride: WRITE_LEN,
+            reps: 1,
+            rank0_only: false,
+        });
+    }
+    code.push(OpCode::CloseWrite { file: 0 });
+    code.push(OpCode::Barrier);
+    let program = CompiledProgram::new(
+        vec![FileTag::per_rank("/ckpt/ckpt.out", 0)],
+        code,
+        ranks,
+    );
+    let code = program.code();
+    let files_tbl = program.files();
+
+    let mut queue = Scheduler::new(kind);
+    // Rebuilt idiom: all hot per-rank state in one compact record —
+    // program counter, micro-step, op start time — so an event touches
+    // one cache line of rank state, not three parallel vectors.
+    #[derive(Clone, Copy)]
+    struct RankState {
+        pc: u32,
+        micro: u32,
+        begin: SimTime,
+    }
+    let mut rs = vec![
+        RankState {
+            pc: 0,
+            micro: 0,
+            begin: SimTime::ZERO,
+        };
+        ranks
+    ];
+    // Rebuilt driver state, mirroring `PlfsDriver`: metadata ops (open/
+    // close) probe the `String`-keyed files map through a reused path
+    // buffer; the write path goes through fd-style per-rank descriptors
+    // (interned data log + state slot) and never touches a string.
+    let mut files: HashMap<String, u64> = HashMap::new();
+    let mut dlog_interned: Vec<Option<Arc<str>>> = vec![None; ranks];
+    let mut dlog_len = vec![0u32; ranks];
+    let mut writer_stats = vec![0u64; ranks];
+    let mut logical_buf = String::new();
+    // Rebuilt collective state: one reusable rendezvous buffer.
+    let mut arrivals: Vec<SimTime> = Vec::with_capacity(ranks);
+    let mut arrivals_max = SimTime::ZERO;
+    // Rebuilt idiom: per-kind phase stats in a fixed array (0 open,
+    // 1 write, 2 close, 3 barrier) — no map probe per completion.
+    let mut metrics = [Phase::default(); 4];
+    let mut events = 0u64;
+    let mut makespan = SimTime::ZERO;
+    let mut state_hash = 0u64;
+
+    for r in 0..ranks {
+        queue.push(SimTime::ZERO, 0, r as u32);
+    }
+    while let Some((now, _kind, arg)) = queue.pop() {
+        let rank = arg as usize;
+        events += 1;
+        let r = &mut rs[rank];
+        let pc = r.pc as usize;
+        match code[pc] {
+            OpCode::OpenWrite { file } | OpCode::CloseWrite { file } => {
+                logical_buf.clear();
+                files_tbl[file as usize].path_into(rank, &mut logical_buf);
+                state_hash = state_hash.wrapping_add(logical_buf.len() as u64);
+                if pc == 0 {
+                    // fd-style open: resolve and intern the backend data-log
+                    // path once; writes will use the handle, not the path.
+                    let p: Arc<str> = Arc::from(
+                        format!(
+                            "/panfs{logical_buf}/subdir.{}/dropping.data.{rank}",
+                            rank % 32
+                        )
+                        .as_str(),
+                    );
+                    dlog_len[rank] = p.len() as u32;
+                    dlog_interned[rank] = Some(p);
+                }
+                if let Some(n) = files.get_mut(logical_buf.as_str()) {
+                    *n += 1;
+                } else {
+                    files.insert(logical_buf.clone(), 1);
+                }
+                let fin = now + SimDuration(service_ns(rank, pc));
+                state_hash = state_hash.wrapping_add(fin.as_nanos() - now.as_nanos());
+                metrics[if pc == 0 { 0 } else { 2 }].record(now, fin, 0);
+                rs[rank].pc += 1;
+                queue.push(fin, 0, rank as u32);
+            }
+            OpCode::Write { base, len, .. } => {
+                // Write steps go through the rank's descriptor: the first
+                // micro-step stamps the op's begin and bumps the writer's
+                // stats slot; retries resume the in-flight op touching
+                // nothing but the queue — as `PlfsDriver`'s fd fast path
+                // and `plans` do.
+                if r.micro == 0 {
+                    r.begin = now;
+                    state_hash = state_hash
+                        .wrapping_add(dlog_len[rank] as u64)
+                        .wrapping_add(base + len);
+                    writer_stats[rank] += 1;
+                }
+                if (r.micro as usize) < RETRIES_PER_WRITE {
+                    let at = now + SimDuration(retry_ns(rank, pc, r.micro as usize));
+                    r.micro += 1;
+                    queue.push(at, 0, rank as u32);
+                } else {
+                    let fin = now + SimDuration(service_ns(rank, pc));
+                    let begin = r.begin;
+                    state_hash =
+                        state_hash.wrapping_add(fin.as_nanos() - begin.as_nanos());
+                    r.micro = 0;
+                    r.pc += 1;
+                    metrics[1].record(begin, fin, len);
+                    queue.push(fin, 0, rank as u32);
+                }
+            }
+            OpCode::Barrier => {
+                arrivals_max = arrivals_max.max(now);
+                arrivals.push(now);
+                if arrivals.len() == ranks {
+                    makespan = arrivals_max + SimDuration(BARRIER_NS);
+                    for &arrived in &arrivals {
+                        metrics[3].record(arrived, makespan, 0);
+                    }
+                    arrivals.clear();
+                }
+            }
+            _ => unreachable!("synthetic job only uses open/write/close/barrier"),
+        }
+    }
+    assert_eq!(arrivals.len(), 0, "deadlocked ranks in rebuilt stack");
+    for p in &metrics {
+        if p.count > 0 {
+            state_hash = p.fold(state_hash);
+        }
+    }
+    EngineOutcome {
+        events,
+        makespan,
+        state_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_compute_identical_outcomes() {
+        for ranks in [7usize, 64, 257] {
+            let seed = seed_stack(ranks);
+            let rebuilt = rebuilt_stack(ranks);
+            assert_eq!(seed, rebuilt, "stacks diverged at {ranks} ranks");
+            assert_eq!(seed.events, expected_events(ranks));
+            assert!(seed.makespan > SimTime::ZERO);
+        }
+    }
+}

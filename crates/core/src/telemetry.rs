@@ -115,6 +115,11 @@ pub const CTR_READ_HOLES: &str = "read.holes";
 pub const CTR_FED_SHADOW_SUBDIRS: &str = "federation.shadow_subdirs";
 /// Counter: issues found by fsck scans.
 pub const CTR_FSCK_ISSUES: &str = "fsck.issues";
+/// Counter: simulation events popped by the DES scheduler.
+pub const CTR_SIM_EVENTS: &str = "sim.events";
+/// Counter: peak simultaneous pending DES events per run (a snapshot
+/// spanning several runs sums their peaks).
+pub const CTR_SIM_PEAK_LIVE: &str = "sim.peak_live";
 
 /// Histogram: whole-batch `Backend::submit` latency.
 pub const HIST_IOPLANE_BATCH: &str = "ioplane.batch";

@@ -99,6 +99,14 @@ pub struct RunOutput {
     pub bytes_written: u64,
     pub bytes_read: u64,
     pub cache_hit_bytes: u64,
+    /// Simulation events processed by the DES engine.
+    pub events: u64,
+    /// Peak simultaneous pending events (engine memory high-water proxy).
+    pub peak_live_events: usize,
+    /// Host wall-clock seconds the simulation itself took.
+    pub wall_s: f64,
+    /// Engine throughput: `events / wall_s`.
+    pub events_per_sec: f64,
 }
 
 /// Execute one workload once.
@@ -133,7 +141,11 @@ pub fn run_workload_tweaked(
     let pfs = SimPfs::new(params, seed);
     let mut ctx = Ctx::new(pfs, cluster.net(), Layout::new(nprocs, ppn));
 
-    let program = w.program();
+    // Programs run in compiled form: per-rank bytecode with no per-op
+    // allocation (`Workload::compile`), equivalence-tested against the
+    // spec interpreter in the workloads crate.
+    let program = w.compile();
+    let t0 = std::time::Instant::now();
     let result = match mw {
         Middleware::Direct => {
             let mut d = DirectDriver::new();
@@ -164,6 +176,7 @@ pub fn run_workload_tweaked(
         }
     };
 
+    let wall_s = t0.elapsed().as_secs_f64();
     RunOutput {
         metrics: result.metrics,
         makespan_s: result.makespan.as_secs_f64(),
@@ -171,6 +184,10 @@ pub fn run_workload_tweaked(
         bytes_written: ctx.pfs.bytes_written(),
         bytes_read: ctx.pfs.bytes_read(),
         cache_hit_bytes: ctx.pfs.cache_hit_bytes(),
+        events: result.events,
+        peak_live_events: result.peak_live_events,
+        wall_s,
+        events_per_sec: result.events as f64 / wall_s.max(1e-9),
     }
 }
 

@@ -7,13 +7,26 @@
 //! events are processed in global time order, ranks interleave correctly
 //! on the shared file-system resources — the property that makes metadata
 //! storms and bandwidth contention come out right.
+//!
+//! The loop is built for 65,536-rank scale:
+//!
+//! * events go through [`simcore::Scheduler`] — the calendar-queue arena
+//!   by default, the seed [`simcore::EventQueue`] heap as a differential
+//!   oracle ([`Exec::run_with_scheduler`] picks explicitly;
+//!   `PLFS_SIM_SCHED=heap` flips the default);
+//! * a rank's decoded current op is cached across `Step::Yield`
+//!   micro-steps instead of re-derived from the program every event;
+//! * collective rendezvous state is one reusable arrival buffer — SPMD
+//!   programs can have at most one collective gathering at a time (no
+//!   rank passes collective *k* until all ranks have), so there is no
+//!   per-collective map on the hot path.
 
 use crate::driver::{Ctx, Driver, Step};
 use crate::metrics::{Metrics, OpKind};
 use crate::ops::Program;
 use crate::timeline::Timeline;
-use simcore::{EventQueue, SimTime};
-use std::collections::HashMap;
+use plfs::telemetry;
+use simcore::{Scheduler, SchedulerKind, SimTime};
 
 /// Executes one job (program × driver × context) to completion.
 pub struct Exec<'a, P: Program, D: Driver> {
@@ -27,10 +40,21 @@ pub struct RunResult {
     pub metrics: Metrics,
     /// Virtual time at which the last rank finished its program.
     pub makespan: SimTime,
+    /// Scheduler events processed over the run.
+    pub events: u64,
+    /// Highest simultaneous pending-event count the scheduler saw.
+    pub peak_live_events: usize,
 }
 
-struct Pending {
-    arrivals: Vec<(usize, SimTime)>,
+/// The (single) collective currently gathering arrivals. SPMD programs
+/// admit at most one at a time, so the buffers are reused run-long.
+struct Rendezvous {
+    /// `pc` of the gathering collective, if one is open.
+    pc: Option<usize>,
+    /// Arrival time per rank (only the first `arrived` logically valid).
+    arrivals: Vec<SimTime>,
+    /// Ranks parked so far.
+    arrived: usize,
 }
 
 impl<'a, P: Program, D: Driver> Exec<'a, P, D> {
@@ -43,24 +67,46 @@ impl<'a, P: Program, D: Driver> Exec<'a, P, D> {
     }
 
     /// Run all ranks to program completion; panics on deadlock (a
-    /// collective some ranks never reach).
+    /// collective some ranks never reach). Uses the scheduler selected by
+    /// the environment (the arena unless `PLFS_SIM_SCHED=heap`).
     pub fn run(self) -> RunResult {
-        self.run_impl(None)
+        self.run_impl(SchedulerKind::from_env(), None)
+    }
+
+    /// Like [`Exec::run`] with an explicit scheduler choice — the
+    /// determinism suite runs the same job under both and compares.
+    pub fn run_with_scheduler(self, kind: SchedulerKind) -> RunResult {
+        self.run_impl(kind, None)
     }
 
     /// Like [`Exec::run`], additionally recording every completed op into
     /// `timeline` (opt-in: costs one span per op).
     pub fn run_with_timeline(self, timeline: &mut Timeline) -> RunResult {
-        self.run_impl(Some(timeline))
+        self.run_impl(SchedulerKind::from_env(), Some(timeline))
     }
 
-    fn run_impl(self, mut timeline: Option<&mut Timeline>) -> RunResult {
+    fn run_impl(self, sched: SchedulerKind, mut timeline: Option<&mut Timeline>) -> RunResult {
         let n = self.ctx.layout.nprocs;
-        let mut queue: EventQueue<usize> = EventQueue::new();
-        let mut pc = vec![0usize; n];
-        let mut op_begin: Vec<Option<SimTime>> = vec![None; n];
-        let mut blocked = 0usize;
-        let mut collectives: HashMap<usize, Pending> = HashMap::new();
+        let mut queue = Scheduler::new(sched);
+        // Hot per-rank state in one compact record — program counter and
+        // op start time — so dispatching an event touches one cache line
+        // of rank state, not parallel vectors.
+        #[derive(Clone, Copy)]
+        struct RankState {
+            pc: u32,
+            begin: Option<SimTime>,
+        }
+        let mut rs = vec![RankState { pc: 0, begin: None }; n];
+        // Decoded current op per rank, kept across Yield micro-steps
+        // (separate: it is fat and only touched on op boundaries and
+        // yields, not on every dispatch).
+        let mut cur_op = Vec::with_capacity(n);
+        cur_op.resize_with(n, || None);
+        let mut rdv = Rendezvous {
+            pc: None,
+            arrivals: vec![SimTime::ZERO; n],
+            arrived: 0,
+        };
         let mut metrics = Metrics::new();
         let mut makespan = SimTime::ZERO;
         let mut done_ranks = 0usize;
@@ -69,61 +115,65 @@ impl<'a, P: Program, D: Driver> Exec<'a, P, D> {
             if self.program.len(r) == 0 {
                 done_ranks += 1;
             } else {
-                queue.push(SimTime::ZERO, r);
+                queue.push(SimTime::ZERO, 0, r as u32);
             }
         }
 
-        while let Some((now, rank)) = queue.pop() {
-            debug_assert!(pc[rank] < self.program.len(rank));
-            let op = self.program.op(rank, pc[rank]);
-            let begin = *op_begin[rank].get_or_insert(now);
-            match self.driver.step(rank, pc[rank], &op, now, self.ctx) {
+        while let Some((now, _kind, arg)) = queue.pop() {
+            let rank = arg as usize;
+            let rpc = rs[rank].pc as usize;
+            debug_assert!(rpc < self.program.len(rank));
+            let op = match cur_op[rank].take() {
+                Some(op) => op,
+                None => self.program.op(rank, rpc),
+            };
+            let begin = *rs[rank].begin.get_or_insert(now);
+            match self.driver.step(rank, rpc, &op, now, self.ctx) {
                 Step::Yield(at) => {
-                    queue.push(at, rank);
+                    cur_op[rank] = Some(op);
+                    queue.push(at, 0, rank as u32);
                 }
                 Step::Done(fin) => {
                     metrics.record(OpKind::from(&op), begin, fin, op.bytes());
                     if let Some(tl) = timeline.as_deref_mut() {
                         tl.record(rank, OpKind::from(&op), begin, fin);
                     }
-                    op_begin[rank] = None;
-                    pc[rank] += 1;
-                    if pc[rank] < self.program.len(rank) {
-                        queue.push(fin, rank);
+                    rs[rank].begin = None;
+                    rs[rank].pc += 1;
+                    if (rs[rank].pc as usize) < self.program.len(rank) {
+                        queue.push(fin, 0, rank as u32);
                     } else {
                         makespan = makespan.max(fin);
                         done_ranks += 1;
                     }
                 }
                 Step::Collective => {
-                    let entry = collectives.entry(pc[rank]).or_insert(Pending {
-                        arrivals: Vec::with_capacity(n),
-                    });
-                    entry.arrivals.push((rank, now));
-                    blocked += 1;
-                    if entry.arrivals.len() == n {
-                        // plfs-lint: allow(panic-in-core): or_insert above guarantees the entry exists on this branch
-                        let pending = collectives.remove(&pc[rank]).expect("just inserted");
-                        blocked -= n;
-                        let mut arrivals = vec![SimTime::ZERO; n];
-                        for &(r, t) in &pending.arrivals {
-                            arrivals[r] = t;
-                        }
+                    match rdv.pc {
+                        None => rdv.pc = Some(rpc),
+                        Some(open) => assert_eq!(
+                            open, rpc,
+                            "deadlock: ranks parked in different collectives ({open} vs {rpc})"
+                        ),
+                    }
+                    rdv.arrivals[rank] = now;
+                    rdv.arrived += 1;
+                    if rdv.arrived == n {
+                        rdv.pc = None;
+                        rdv.arrived = 0;
                         let releases =
-                            self.driver
-                                .collective(pc[rank], &op, &arrivals, self.ctx);
+                            self.driver.collective(rpc, &op, &rdv.arrivals, self.ctx);
                         assert_eq!(releases.len(), n, "driver must release every rank");
                         let kind = OpKind::from(&op);
                         // `op.bytes()` is per-rank for collectives too.
                         for (r, release) in releases.into_iter().enumerate() {
-                            metrics.record(kind, arrivals[r], release, op.bytes());
+                            metrics.record(kind, rdv.arrivals[r], release, op.bytes());
                             if let Some(tl) = timeline.as_deref_mut() {
-                                tl.record(r, kind, arrivals[r], release);
+                                tl.record(r, kind, rdv.arrivals[r], release);
                             }
-                            op_begin[r] = None;
-                            pc[r] += 1;
-                            if pc[r] < self.program.len(r) {
-                                queue.push(release.max(now), r);
+                            rs[r].begin = None;
+                            rs[r].pc += 1;
+                            if (rs[r].pc as usize) < self.program.len(r) {
+                                queue.push(release.max(now), 0, r as u32);
                             } else {
                                 makespan = makespan.max(release);
                                 done_ranks += 1;
@@ -135,11 +185,19 @@ impl<'a, P: Program, D: Driver> Exec<'a, P, D> {
         }
 
         assert_eq!(
-            blocked, 0,
-            "deadlock: {blocked} ranks parked in a collective no one completed"
+            rdv.arrived, 0,
+            "deadlock: {} ranks parked in a collective no one completed",
+            rdv.arrived
         );
         assert_eq!(done_ranks, n, "not all ranks finished their programs");
-        RunResult { metrics, makespan }
+        telemetry::count(telemetry::CTR_SIM_EVENTS, queue.popped());
+        telemetry::count(telemetry::CTR_SIM_PEAK_LIVE, queue.peak_live() as u64);
+        RunResult {
+            metrics,
+            makespan,
+            events: queue.popped(),
+            peak_live_events: queue.peak_live(),
+        }
     }
 }
 
@@ -151,6 +209,7 @@ mod tests {
     use crate::ops::{FnProgram, LogicalOp, VecProgram};
     use pfs::{PfsParams, SimPfs};
     use simnet::{Interconnect, InterconnectParams};
+    use std::collections::HashMap;
 
     /// A toy driver: Compute advances time; Barrier via generic handler.
     struct ToyDriver;

@@ -39,6 +39,22 @@ impl FileTag {
         }
     }
 
+    /// Write the logical path for `rank` into `out` (cleared first).
+    /// Hot-path form of [`FileTag::path`]: with a reused buffer the
+    /// per-event path build stops allocating.
+    pub fn path_into(&self, rank: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        out.clear();
+        match self {
+            FileTag::Shared(p) => out.push_str(p),
+            FileTag::PerRank { base, index } => {
+                if write!(out, "{base}.r{rank}.f{index}").is_err() {
+                    unreachable!("fmt::Write to a String cannot fail")
+                }
+            }
+        }
+    }
+
     pub fn is_shared(&self) -> bool {
         matches!(self, FileTag::Shared(_))
     }
@@ -132,6 +148,224 @@ pub trait Program: Sync {
     fn op(&self, rank: usize, pc: usize) -> LogicalOp;
 }
 
+/// Where a compiled `Read` finds its bytes (compact form of
+/// [`ReadSrc`] resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// No source hint (direct I/O).
+    None,
+    /// A fixed writer (formatting-library headers live in rank 0's log).
+    Fixed { writer: u32, phys_offset: u64 },
+    /// Rank-shifted: rank `r` reads writer `(r + shift) % nprocs`.
+    Shift { shift: u32, phys_offset: u64 },
+}
+
+/// One compiled instruction: a flat, `Copy` encoding of a program phase.
+///
+/// Logical files are interned — opcodes carry a `u16` index into the
+/// [`CompiledProgram`]'s file table instead of owning a [`FileTag`].
+/// Rank-dependent offsets are stored in affine form (`base + coeff ×
+/// rank`), which all of [`crate::ops::Program`]'s workload geometries
+/// (strided, segmented, per-rank-file) reduce to; decoding an op for a
+/// rank is pure arithmetic plus one `Arc` refcount bump for the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCode {
+    /// Open for write.
+    OpenWrite { file: u16 },
+    /// Write burst: `reps × len` at `base + coeff·rank`, `stride` apart.
+    /// `rank0_only` zeroes the burst on every rank but 0 (header writes).
+    Write {
+        file: u16,
+        base: u64,
+        coeff: u64,
+        len: u64,
+        stride: u64,
+        reps: u64,
+        rank0_only: bool,
+    },
+    /// Close after writing.
+    CloseWrite { file: u16 },
+    /// Open for read.
+    OpenRead { file: u16 },
+    /// Read burst: `reps × len` at `base + coeff·writer`, `stride` apart,
+    /// where `src` selects the writer whose data this rank reads back.
+    Read {
+        file: u16,
+        base: u64,
+        coeff: u64,
+        len: u64,
+        stride: u64,
+        reps: u64,
+        src: SrcSel,
+    },
+    /// Close after reading.
+    CloseRead { file: u16 },
+    /// Synchronize all ranks.
+    Barrier,
+    /// Local computation of fixed nanosecond duration.
+    Compute { nanos: u64 },
+    /// All-to-all exchange.
+    Exchange { bytes_per_rank: u64 },
+    /// Job boundary: drop client caches.
+    FlushCaches,
+    /// Delete a logical file.
+    Unlink { file: u16 },
+}
+
+/// A program lowered to bytecode: one shared instruction stream (SPMD)
+/// plus an interned file table. Ranks differ only through the affine
+/// rank terms baked into each instruction, so a 65,536-rank job holds
+/// one `Vec<OpCode>` of a few dozen entries — no per-rank op lists, no
+/// per-op heap traffic beyond the interned tag's refcount.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    files: Vec<FileTag>,
+    code: Vec<OpCode>,
+    nprocs: usize,
+}
+
+impl CompiledProgram {
+    /// Assemble from an interned file table and an instruction stream.
+    ///
+    /// # Panics
+    /// Panics if an instruction names a file index outside the table.
+    pub fn new(files: Vec<FileTag>, code: Vec<OpCode>, nprocs: usize) -> Self {
+        for op in &code {
+            if let Some(f) = op.file_index() {
+                assert!(
+                    (f as usize) < files.len(),
+                    "opcode names file {f} but the table holds {}",
+                    files.len()
+                );
+            }
+        }
+        CompiledProgram {
+            files,
+            code,
+            nprocs,
+        }
+    }
+
+    /// The instruction stream (bench/test introspection).
+    pub fn code(&self) -> &[OpCode] {
+        &self.code
+    }
+
+    /// The interned file table.
+    pub fn files(&self) -> &[FileTag] {
+        &self.files
+    }
+
+    /// Decode instruction `pc` for `rank` into the logical-op vocabulary.
+    fn decode(&self, rank: usize, pc: usize) -> LogicalOp {
+        match self.code[pc] {
+            OpCode::OpenWrite { file } => LogicalOp::OpenWrite {
+                file: self.files[file as usize].clone(),
+            },
+            OpCode::Write {
+                file,
+                base,
+                coeff,
+                len,
+                stride,
+                reps,
+                rank0_only,
+            } => {
+                let masked = rank0_only && rank != 0;
+                LogicalOp::Write {
+                    file: self.files[file as usize].clone(),
+                    offset: base + coeff * rank as u64,
+                    len: if masked { 0 } else { len },
+                    stride,
+                    reps: if masked { 0 } else { reps },
+                }
+            }
+            OpCode::CloseWrite { file } => LogicalOp::CloseWrite {
+                file: self.files[file as usize].clone(),
+            },
+            OpCode::OpenRead { file } => LogicalOp::OpenRead {
+                file: self.files[file as usize].clone(),
+            },
+            OpCode::Read {
+                file,
+                base,
+                coeff,
+                len,
+                stride,
+                reps,
+                src,
+            } => {
+                let (writer, src) = match src {
+                    SrcSel::None => (rank as u64, None),
+                    SrcSel::Fixed {
+                        writer,
+                        phys_offset,
+                    } => (
+                        writer as u64,
+                        Some(ReadSrc {
+                            writer: writer as u64,
+                            phys_offset,
+                        }),
+                    ),
+                    SrcSel::Shift { shift, phys_offset } => {
+                        let w = (rank + shift as usize) % self.nprocs.max(1);
+                        (
+                            w as u64,
+                            Some(ReadSrc {
+                                writer: w as u64,
+                                phys_offset,
+                            }),
+                        )
+                    }
+                };
+                LogicalOp::Read {
+                    file: self.files[file as usize].clone(),
+                    offset: base + coeff * writer,
+                    len,
+                    stride,
+                    reps,
+                    src,
+                }
+            }
+            OpCode::CloseRead { file } => LogicalOp::CloseRead {
+                file: self.files[file as usize].clone(),
+            },
+            OpCode::Barrier => LogicalOp::Barrier,
+            OpCode::Compute { nanos } => LogicalOp::Compute { nanos },
+            OpCode::Exchange { bytes_per_rank } => LogicalOp::Exchange { bytes_per_rank },
+            OpCode::FlushCaches => LogicalOp::FlushCaches,
+            OpCode::Unlink { file } => LogicalOp::Unlink {
+                file: self.files[file as usize].clone(),
+            },
+        }
+    }
+}
+
+impl OpCode {
+    /// The file-table index this instruction touches, if any.
+    pub fn file_index(&self) -> Option<u16> {
+        match *self {
+            OpCode::OpenWrite { file }
+            | OpCode::Write { file, .. }
+            | OpCode::CloseWrite { file }
+            | OpCode::OpenRead { file }
+            | OpCode::Read { file, .. }
+            | OpCode::CloseRead { file }
+            | OpCode::Unlink { file } => Some(file),
+            _ => None,
+        }
+    }
+}
+
+impl Program for CompiledProgram {
+    fn len(&self, _rank: usize) -> usize {
+        self.code.len()
+    }
+    fn op(&self, rank: usize, pc: usize) -> LogicalOp {
+        self.decode(rank, pc)
+    }
+}
+
 /// A trivially materialized program: the same op list for every rank,
 /// with per-rank ops computed by closures. Used by tests.
 pub struct VecProgram {
@@ -200,6 +434,89 @@ mod tests {
         assert!(LogicalOp::OpenWrite { file: shared.clone() }.is_collective_for(true));
         assert!(!LogicalOp::OpenWrite { file: shared }.is_collective_for(false));
         assert!(!LogicalOp::OpenWrite { file: own }.is_collective_for(true));
+    }
+
+    #[test]
+    fn compiled_program_decodes_affine_and_interned() {
+        let files = vec![FileTag::shared("/ckpt"), FileTag::per_rank("/out", 0)];
+        let code = vec![
+            OpCode::OpenWrite { file: 0 },
+            OpCode::Write {
+                file: 0,
+                base: 100,
+                coeff: 10,
+                len: 10,
+                stride: 40,
+                reps: 3,
+                rank0_only: false,
+            },
+            OpCode::Read {
+                file: 0,
+                base: 0,
+                coeff: 10,
+                len: 10,
+                stride: 40,
+                reps: 2,
+                src: SrcSel::Shift {
+                    shift: 1,
+                    phys_offset: 20,
+                },
+            },
+            OpCode::Barrier,
+        ];
+        let p = CompiledProgram::new(files, code, 4);
+        assert_eq!(p.len(0), 4);
+        assert_eq!(
+            p.op(2, 1),
+            LogicalOp::Write {
+                file: FileTag::shared("/ckpt"),
+                offset: 120,
+                len: 10,
+                stride: 40,
+                reps: 3,
+            }
+        );
+        // Rank 3's read wraps to writer 0.
+        assert_eq!(
+            p.op(3, 2),
+            LogicalOp::Read {
+                file: FileTag::shared("/ckpt"),
+                offset: 0,
+                len: 10,
+                stride: 40,
+                reps: 2,
+                src: Some(ReadSrc {
+                    writer: 0,
+                    phys_offset: 20,
+                }),
+            }
+        );
+        assert_eq!(p.op(1, 3), LogicalOp::Barrier);
+    }
+
+    #[test]
+    fn rank0_only_write_masks_other_ranks() {
+        let p = CompiledProgram::new(
+            vec![FileTag::shared("/f")],
+            vec![OpCode::Write {
+                file: 0,
+                base: 0,
+                coeff: 0,
+                len: 512,
+                stride: 512,
+                reps: 1,
+                rank0_only: true,
+            }],
+            2,
+        );
+        assert_eq!(p.op(0, 0).bytes(), 512);
+        assert_eq!(p.op(1, 0).bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "opcode names file")]
+    fn out_of_table_file_index_is_rejected() {
+        CompiledProgram::new(vec![], vec![OpCode::OpenWrite { file: 0 }], 1);
     }
 
     #[test]

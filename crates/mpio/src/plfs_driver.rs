@@ -36,6 +36,7 @@ use plfs::index::INDEX_RECORD_BYTES;
 use plfs::{Content, Federation, IoOp};
 use simcore::SimTime;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a PLFS file's global index is obtained at read open (§IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,12 +136,44 @@ fn io(ns: usize, op: IoOp) -> PlanItem {
     PlanItem::Io { ns, reps: 1, op }
 }
 
+/// A rank's open write "descriptor": everything the steady-state write
+/// path needs, resolved once at the rank's first write to the file.
+/// Valid while the file slot's epoch is unchanged — closes, unlinks and
+/// cache flushes bump the epoch, sending the next write back through
+/// path resolution.
+struct WriteHandle {
+    file: FileTag,
+    /// Slot in [`PlfsDriver::file_states`].
+    fs: u32,
+    epoch: u32,
+    /// Interned backend data-log path for this writer.
+    dlog: Arc<str>,
+}
+
 /// The PLFS simulation driver.
 pub struct PlfsDriver {
     cfg: PlfsDriverConfig,
-    files: HashMap<String, FileSim>,
-    /// In-flight micro-plans: rank → (items, next index).
-    plans: HashMap<usize, (Vec<PlanItem>, usize)>,
+    /// Logical path → slot in `file_states`. The hot write path never
+    /// probes this: a [`WriteHandle`] carries the slot index.
+    files: HashMap<String, u32>,
+    file_states: Vec<Option<FileSim>>,
+    /// Bumped per slot on close/unlink; invalidates write handles.
+    state_epochs: Vec<u32>,
+    /// Per-rank write descriptors (fd-style): steady-state writes go
+    /// straight to the interned data log and the file slot, with no
+    /// path formatting and no string-keyed probes.
+    write_handles: Vec<Option<WriteHandle>>,
+    /// In-flight micro-plans, one slot per rank: (items, next index).
+    /// Slot-indexed so each micro-step is an in-place advance, not a map
+    /// move.
+    plans: Vec<Option<(Vec<PlanItem>, usize)>>,
+    /// Interned data-log paths: logical → writer → backend path. The
+    /// per-event Read/Write path hits this instead of re-formatting the
+    /// whole container path chain; entries never go stale because the
+    /// federation's logical→backend mapping is a pure function.
+    data_log_cache: HashMap<String, HashMap<u64, Arc<str>>>,
+    /// Scratch buffer for building logical paths without allocating.
+    logical_buf: String,
 }
 
 impl PlfsDriver {
@@ -148,8 +181,63 @@ impl PlfsDriver {
         PlfsDriver {
             cfg,
             files: HashMap::new(),
-            plans: HashMap::new(),
+            file_states: Vec::new(),
+            state_epochs: Vec::new(),
+            write_handles: Vec::new(),
+            plans: Vec::new(),
+            data_log_cache: HashMap::new(),
+            logical_buf: String::new(),
         }
+    }
+
+    /// Slot of `logical`'s state, interning (and default-creating) on
+    /// first use.
+    fn file_slot(&mut self, logical: &str) -> usize {
+        if let Some(&id) = self.files.get(logical) {
+            return id as usize;
+        }
+        let id = self.file_states.len();
+        self.file_states.push(Some(FileSim::default()));
+        self.state_epochs.push(0);
+        self.files.insert(logical.to_string(), id as u32);
+        id
+    }
+
+    fn state_mut(&mut self, id: usize) -> &mut FileSim {
+        self.file_states[id]
+            .as_mut()
+            // plfs-lint: allow(panic-in-core): ids come from `file_slot`; unlink tombstones a slot but also drops its id, so a held id is live
+            .expect("live file slot")
+    }
+
+    fn file_or_default(&mut self, logical: &str) -> &mut FileSim {
+        let id = self.file_slot(logical);
+        self.state_mut(id)
+    }
+
+    fn file_get(&self, logical: &str) -> Option<&FileSim> {
+        self.files
+            .get(logical)
+            .and_then(|&id| self.file_states[id as usize].as_ref())
+    }
+
+    /// Invalidate write handles to `logical` (close/unlink paths).
+    fn bump_epoch(&mut self, logical: &str) {
+        if let Some(&id) = self.files.get(logical) {
+            self.state_epochs[id as usize] = self.state_epochs[id as usize].wrapping_add(1);
+        }
+    }
+
+    fn install_handle(&mut self, rank: usize, file: &FileTag, fs: usize, dlog: Arc<str>) {
+        if self.write_handles.len() <= rank {
+            self.write_handles.resize_with(rank + 1, || None);
+        }
+        self.write_handles[rank] = Some(WriteHandle {
+            file: file.clone(),
+            fs: fs as u32,
+            epoch: self.state_epochs[fs],
+            dlog,
+        });
     }
 
     pub fn config(&self) -> &PlfsDriverConfig {
@@ -158,8 +246,7 @@ impl PlfsDriver {
 
     /// Whether a flattened index was produced for `logical` (test hook).
     pub fn flattened(&self, logical: &str) -> bool {
-        self.files
-            .get(logical)
+        self.file_get(logical)
             .and_then(|f| f.flattened_entries)
             .is_some()
     }
@@ -211,17 +298,28 @@ impl PlfsDriver {
         format!("{}/flattened.index", self.canonical(logical))
     }
 
+    /// The data-log path for (`logical`, `writer`), interned on first use.
+    fn data_log_interned(&mut self, logical: &str, writer: u64) -> Arc<str> {
+        if let Some(p) = self.data_log_cache.get(logical).and_then(|m| m.get(&writer)) {
+            return p.clone();
+        }
+        let path: Arc<str> = Arc::from(self.data_log(logical, writer).as_str());
+        self.data_log_cache
+            .entry(logical.to_string())
+            .or_default()
+            .insert(writer, path.clone());
+        path
+    }
+
     fn entries_of(&self, logical: &str, writer: u64) -> u64 {
-        self.files
-            .get(logical)
+        self.file_get(logical)
             .and_then(|f| f.writers.get(&writer))
             .map(|(e, _)| *e)
             .unwrap_or(0)
     }
 
     fn file_sim(&self, logical: &str) -> &FileSim {
-        self.files
-            .get(logical)
+        self.file_get(logical)
             // plfs-lint: allow(panic-in-core): simulated workloads create before reading; a miss is a workload-spec bug, not a runtime condition
             .unwrap_or_else(|| panic!("PLFS read of never-written file {logical}"))
     }
@@ -234,7 +332,7 @@ impl PlfsDriver {
     fn plan_container_create(&mut self, logical: &str) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
-        let entry = self.files.entry(logical.to_string()).or_default();
+        let entry = self.file_or_default(logical);
         if entry.container_created {
             return vec![io(
                 cns,
@@ -265,7 +363,7 @@ impl PlfsDriver {
     fn plan_register_open(&mut self, logical: &str, writer: u64) -> Vec<PlanItem> {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
-        let entry = self.files.entry(logical.to_string()).or_default();
+        let entry = self.file_or_default(logical);
         let mut plan = Vec::with_capacity(2);
         if !entry.openhosts_created {
             entry.openhosts_created = true;
@@ -294,9 +392,9 @@ impl PlfsDriver {
         let sub = self.subdir_of(writer);
         let sns = self.subdir_ns(logical, sub);
         let shadowed = sns != cns;
-        let entry = self.files.entry(logical.to_string()).or_default();
+        let fid = self.file_slot(logical);
         let mut plan = Vec::with_capacity(4);
-        if entry.subdirs_created.insert(sub) {
+        if self.state_mut(fid).subdirs_created.insert(sub) {
             plan.push(io(
                 sns,
                 IoOp::Mkdir {
@@ -313,12 +411,7 @@ impl PlfsDriver {
                 ));
             }
         }
-        self.files
-            .entry(logical.to_string())
-            .or_default()
-            .writers
-            .entry(writer)
-            .or_insert((0, 0));
+        self.state_mut(fid).writers.entry(writer).or_insert((0, 0));
         plan.push(io(
             sns,
             IoOp::Create {
@@ -343,7 +436,7 @@ impl PlfsDriver {
             // The process died before close: no index flush, no metadir
             // record, and the openhosts entry stays behind. Its buffered
             // index entries are gone — readers resolve none of its data.
-            let fs = self.files.entry(logical.to_string()).or_default();
+            let fs = self.file_or_default(logical);
             if let Some(w) = fs.writers.get_mut(&writer) {
                 w.0 = 0;
             }
@@ -366,7 +459,7 @@ impl PlfsDriver {
                 },
             ));
         }
-        let entry = self.files.entry(logical.to_string()).or_default();
+        let entry = self.file_or_default(logical);
         if !entry.metadir_created {
             entry.metadir_created = true;
             plan.push(io(
@@ -404,8 +497,7 @@ impl PlfsDriver {
             },
         )];
         let created: Vec<usize> = self
-            .files
-            .get(logical)
+            .file_get(logical)
             .map(|f| f.subdirs_created.iter().copied().collect())
             .unwrap_or_default();
         for i in created {
@@ -443,7 +535,7 @@ impl PlfsDriver {
         let cns = self.container_ns(logical);
         let canonical = self.canonical(logical);
         let mut plan = Vec::new();
-        if let Some(fs) = self.files.get(logical) {
+        if let Some(fs) = self.file_get(logical) {
             let subdirs: Vec<usize> = fs.subdirs_created.iter().copied().collect();
             let writers = fs.writer_ids();
             for i in subdirs {
@@ -512,16 +604,22 @@ impl PlfsDriver {
         now
     }
 
-    /// Run one item of `rank`'s in-flight plan per invocation.
+    /// Run one item of `rank`'s in-flight plan per invocation. The plan
+    /// advances in place in its per-rank slot — the seed moved the whole
+    /// `(Vec, pos)` pair out of (and back into) a map on every micro-step.
     fn run_plan(&mut self, rank: usize, node: usize, ctx: &mut Ctx, now: SimTime) -> Step {
-        // plfs-lint: allow(panic-in-core): run_plan is only stepped for ranks Step::Yield left a plan for
-        let (plan, pos) = self.plans.remove(&rank).expect("plan in flight");
+        let slot = self.plans[rank]
+            .as_mut()
+            // plfs-lint: allow(panic-in-core): run_plan is only stepped for ranks Step::Yield left a plan for
+            .expect("plan in flight");
+        let (plan, pos) = (&slot.0, slot.1);
         debug_assert!(pos < plan.len());
         let fin = Self::exec_phys(ctx, node, &plan[pos], now);
         if pos + 1 == plan.len() {
+            self.plans[rank] = None;
             Step::Done(fin)
         } else {
-            self.plans.insert(rank, (plan, pos + 1));
+            slot.1 = pos + 1;
             Step::Yield(fin)
         }
     }
@@ -535,12 +633,15 @@ impl PlfsDriver {
         now: SimTime,
         build: impl FnOnce(&mut Self) -> Vec<PlanItem>,
     ) -> Step {
-        if !self.plans.contains_key(&rank) {
+        if self.plans.len() <= rank {
+            self.plans.resize_with(rank + 1, || None);
+        }
+        if self.plans[rank].is_none() {
             let plan = build(self);
             if plan.is_empty() {
                 return Step::Done(now);
             }
-            self.plans.insert(rank, (plan, 0));
+            self.plans[rank] = Some((plan, 0));
         }
         self.run_plan(rank, node, ctx, now)
     }
@@ -573,29 +674,52 @@ impl Driver for PlfsDriver {
                 // writer's data log: sequential, exclusive, lock-free.
                 // The first write also creates the droppings (and possibly
                 // the subdir) — lazy layout.
-                let logical = file.path(rank);
                 if *reps == 0 {
                     return Step::Done(now);
                 }
+                // fd fast path: once this rank's droppings exist, the
+                // write descriptor carries the interned data log and the
+                // file slot — no path formatting, no string-keyed probes.
+                let fast = self
+                    .write_handles
+                    .get(rank)
+                    .and_then(|h| h.as_ref())
+                    .and_then(|h| {
+                        (h.file == *file && self.state_epochs[h.fs as usize] == h.epoch)
+                            .then(|| (h.fs as usize, h.dlog.clone()))
+                    });
+                let threshold = self.cfg.flatten_threshold_entries;
+                if let Some((fid, dlog)) = fast {
+                    let fin = ctx.pfs.append_batch(node, &dlog, *reps, *len, now).1;
+                    let fs = self.state_mut(fid);
+                    let w = fs.writers.entry(rank as u64).or_insert((0, 0));
+                    w.0 += reps;
+                    w.1 += len * reps;
+                    if w.0 > threshold {
+                        fs.overflowed = true;
+                    }
+                    return Step::Done(fin);
+                }
+                let mut logical = std::mem::take(&mut self.logical_buf);
+                file.path_into(rank, &mut logical);
                 let mut t = now;
-                let first_write = self
-                    .files
-                    .get(&logical)
-                    .is_none_or(|f| !f.writers.contains_key(&(rank as u64)));
+                let fid = self.file_slot(&logical);
+                let first_write = !self.state_mut(fid).writers.contains_key(&(rank as u64));
                 if first_write {
                     let plan = self.plan_droppings(&logical, rank as u64);
                     t = Self::exec_plan_chained(ctx, node, &plan, t);
                 }
-                let dlog = self.data_log(&logical, rank as u64);
+                let dlog = self.data_log_interned(&logical, rank as u64);
                 let fin = ctx.pfs.append_batch(node, &dlog, *reps, *len, t).1;
-                let threshold = self.cfg.flatten_threshold_entries;
-                let fs = self.files.entry(logical).or_default();
+                let fs = self.state_mut(fid);
                 let w = fs.writers.entry(rank as u64).or_insert((0, 0));
                 w.0 += reps;
                 w.1 += len * reps;
                 if w.0 > threshold {
                     fs.overflowed = true;
                 }
+                self.install_handle(rank, file, fid, dlog);
+                self.logical_buf = logical;
                 Step::Done(fin)
             }
             LogicalOp::CloseWrite { file } => {
@@ -603,6 +727,7 @@ impl Driver for PlfsDriver {
                     Step::Collective
                 } else {
                     let logical = file.path(rank);
+                    self.bump_epoch(&logical);
                     self.composite(rank, node, ctx, now, |d| {
                         d.plan_close_writer(&logical, rank as u64)
                     })
@@ -653,13 +778,15 @@ impl Driver for PlfsDriver {
                 ..
             } => {
                 // PLFS reads come from a writer's log, sequentially.
-                let logical = file.path(rank);
+                let mut logical = std::mem::take(&mut self.logical_buf);
+                file.path_into(rank, &mut logical);
                 let (writer, phys) = match src {
                     Some(s) => (s.writer, s.phys_offset),
                     None => (rank as u64, *offset),
                 };
-                let dlog = self.data_log(&logical, writer);
+                let dlog = self.data_log_interned(&logical, writer);
                 let fin = ctx.pfs.read_batch(node, &dlog, phys, len * reps, *reps, now);
+                self.logical_buf = logical;
                 Step::Done(fin)
             }
             LogicalOp::CloseRead { .. } => {
@@ -709,6 +836,7 @@ impl Driver for PlfsDriver {
             // flattened index.
             LogicalOp::CloseWrite { file } => {
                 let logical = file.path(0);
+                self.bump_epoch(&logical);
                 let closes: Vec<SimTime> = (0..n)
                     .map(|r| {
                         let node = ctx.layout.node_of(r);
@@ -717,7 +845,8 @@ impl Driver for PlfsDriver {
                     })
                     .collect();
                 let sync = closes.iter().copied().max().unwrap_or(SimTime::ZERO);
-                let fs = self.files.entry(logical.clone()).or_default();
+                let fid = self.file_slot(&logical);
+                let fs = self.state_mut(fid);
                 if fs.overflowed || fs.dead_writer {
                     // Someone buffered too much — or died — so no
                     // flattened index; readers fall back to aggregation.
@@ -745,11 +874,7 @@ impl Driver for PlfsDriver {
                         t,
                     )
                     .1;
-                self.files
-                    .get_mut(&logical)
-                    // plfs-lint: allow(panic-in-core): the entry was created earlier in this same match arm
-                    .expect("entry above")
-                    .flattened_entries = Some(total_entries);
+                self.state_mut(fid).flattened_entries = Some(total_entries);
                 vec![t; n]
             }
             // Collective read open: Index Flatten fetch-and-broadcast, or
@@ -757,7 +882,7 @@ impl Driver for PlfsDriver {
             LogicalOp::OpenRead { file } => {
                 let logical = file.path(0);
                 let sync = arrivals.iter().copied().max().unwrap_or(SimTime::ZERO);
-                let flat_entries = self.files.get(&logical).and_then(|f| f.flattened_entries);
+                let flat_entries = self.file_get(&logical).and_then(|f| f.flattened_entries);
                 match (self.cfg.strategy, flat_entries) {
                     (ReadStrategy::IndexFlatten, Some(entries)) => {
                         let bytes = entries * INDEX_RECORD_BYTES;
@@ -821,9 +946,18 @@ impl Driver for PlfsDriver {
                 for logical in logicals {
                     let plan = self.plan_remove_container(&logical);
                     t = Self::exec_plan_chained(ctx, node0, &plan, t);
-                    self.files.remove(&logical);
+                    if let Some(id) = self.files.remove(&logical) {
+                        self.state_epochs[id as usize] =
+                            self.state_epochs[id as usize].wrapping_add(1);
+                        self.file_states[id as usize] = None;
+                    }
                 }
                 vec![t; n]
+            }
+            LogicalOp::FlushCaches => {
+                // A restart job starts with no open descriptors.
+                self.write_handles.clear();
+                generic_collective(op, arrivals, ctx)
             }
             other => generic_collective(other, arrivals, ctx),
         }

@@ -112,13 +112,24 @@ impl SimPfs {
         is_write: bool,
         arrival: SimTime,
     ) -> SimTime {
-        let p = self.params().clone();
+        // Copy the scalar parameters this path needs up front instead of
+        // cloning all of `PfsParams` per call — this runs once per batched
+        // op for every rank, which at 65,536 ranks is the hot path.
+        let p = self.params();
+        let nodes = p.nodes;
+        let client_mem_bw = p.client_mem_bw;
+        let channel_bw = p.net.channel_bw();
+        let rtt_s = p.net.rtt_s;
+        let stripe_size = p.stripe_size;
+        let sequential_overhead_s = p.sequential_overhead_s;
+        let seek_penalty_s = p.seek_penalty_s;
+        let oss_bw = p.oss_bw;
         let file = self
             .namespace()
             .file(path)
             // plfs-lint: allow(panic-in-core): DES contract — create precedes transfer; a miss is a workload bug worth halting the simulation
             .unwrap_or_else(|| panic!("batch transfer on missing file {path}"));
-        let node = node % p.nodes.max(1);
+        let node = node % nodes.max(1);
 
         // Client cache: writes populate; reads split hit/miss.
         let (cached, stored) = if is_write {
@@ -132,7 +143,7 @@ impl SimPfs {
 
         let mut finish = arrival;
         if cached > 0 {
-            let service = self.jitter_dur(SimDuration::for_bytes(cached, p.client_mem_bw));
+            let service = self.jitter_dur(SimDuration::for_bytes(cached, client_mem_bw));
             finish = finish.max(self.mem_acquire(node, arrival, service));
         }
 
@@ -141,16 +152,16 @@ impl SimPfs {
             // round trips are latency the synchronous client waits out
             // (other clients' round trips overlap on the channel).
             let net_service = self.jitter_dur(SimDuration::from_secs_f64(
-                stored as f64 / p.net.channel_bw(),
+                stored as f64 / channel_bw,
             ));
-            let rtt_latency = SimDuration::from_secs_f64(reps as f64 * p.net.rtt_s);
+            let rtt_latency = SimDuration::from_secs_f64(reps as f64 * rtt_s);
             let net_done = self.net_acquire(arrival, net_service) + rtt_latency;
 
             // Spread the stripes across the file's stripe group
             // analytically: each server in the group gets ~equal bytes and
             // visits; first visit may seek, the rest stream.
-            let first_stripe = offset / p.stripe_size;
-            let last_stripe = (offset + stored - 1) / p.stripe_size;
+            let first_stripe = offset / stripe_size;
+            let last_stripe = (offset + stored - 1) / stripe_size;
             let nstripes = last_stripe - first_stripe + 1;
             let width = self.stripe_width() as u64;
             let servers = nstripes.min(width);
@@ -160,14 +171,14 @@ impl SimPfs {
             for s in 0..servers {
                 let stripe_idx = first_stripe + s;
                 let oss_idx = self.oss_of(file.id, stripe_idx);
-                let seq = self.stream_continues(oss_idx, file.id, stripe_idx * p.stripe_size);
+                let seq = self.stream_continues(oss_idx, file.id, stripe_idx * stripe_size);
                 let overhead = if seq {
-                    p.sequential_overhead_s * visits_per_oss as f64
+                    sequential_overhead_s * visits_per_oss as f64
                 } else {
-                    p.seek_penalty_s + p.sequential_overhead_s * (visits_per_oss - 1) as f64
+                    seek_penalty_s + sequential_overhead_s * (visits_per_oss - 1) as f64
                 };
                 let service = self.jitter_dur(SimDuration::from_secs_f64(
-                    overhead + bytes_per_oss as f64 / p.oss_bw,
+                    overhead + bytes_per_oss as f64 / oss_bw,
                 ));
                 let done = self.oss_acquire(oss_idx, net_done, service);
                 self.stream_set(oss_idx, file.id, offset + stored);

@@ -18,7 +18,7 @@ use crate::locks::LockManager;
 use crate::params::{MetaKind, PfsParams};
 use crate::state::{FileId, Namespace};
 use simcore::{Fifo, Jitter, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// How a write interacts with sharing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,32 @@ const CACHE_BLOCK: u64 = 1 << 20;
 /// Client-side cost of a metadata cache hit (no server round trip).
 const CLIENT_META_HIT_S: f64 = 15e-6;
 
+/// Client metadata cache probed by `&str`, so cache *hits* — the
+/// overwhelmingly common case once 65,536 ranks re-open shared files —
+/// never allocate. Each path's key string interns once on first touch;
+/// the per-path set records which nodes hold the entry.
+#[derive(Debug, Default)]
+struct MetaCache {
+    map: HashMap<String, HashSet<u32>>,
+}
+
+impl MetaCache {
+    /// Record that `node` holds the entry for `path`; returns `true` when
+    /// it already did (a client-side hit).
+    fn hit_or_insert(&mut self, node: usize, path: &str) -> bool {
+        if let Some(nodes) = self.map.get_mut(path) {
+            !nodes.insert(node as u32)
+        } else {
+            self.map.insert(path.to_string(), HashSet::from([node as u32]));
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// One simulated parallel file system instance.
 pub struct SimPfs {
     params: PfsParams,
@@ -49,11 +75,13 @@ pub struct SimPfs {
     caches: Vec<PageCache>,
     /// (oss index, file) → next offset that would be sequential.
     streams: HashMap<(usize, FileId), u64>,
-    /// Per-node client metadata cache: attribute/dentry entries a node
-    /// has already fetched. Re-opens and re-listings served client-side
-    /// (PanFS-style capability caching) — the mechanism that keeps the
-    /// Original design's N² index opens survivable in the paper's Fig. 4.
-    meta_cache: std::collections::HashSet<(usize, String)>,
+    /// Per-node client attribute cache: files each node has already
+    /// opened. Re-opens are served client-side (PanFS-style capability
+    /// caching) — the mechanism that keeps the Original design's N²
+    /// index opens survivable in the paper's Fig. 4.
+    meta_cache: MetaCache,
+    /// Per-node client dentry cache: directories each node has listed.
+    dir_cache: MetaCache,
     jitter: Jitter,
     bytes_written: u64,
     bytes_read: u64,
@@ -89,7 +117,8 @@ impl SimPfs {
             locks: LockManager::new(),
             caches,
             streams: HashMap::new(),
-            meta_cache: std::collections::HashSet::new(),
+            meta_cache: MetaCache::default(),
+            dir_cache: MetaCache::default(),
             jitter,
             bytes_written: 0,
             bytes_read: 0,
@@ -138,10 +167,10 @@ impl SimPfs {
     /// grows (the single-directory create collapse GIGA+ measured).
     fn dir_factor(&self, path: &str) -> f64 {
         let parent = match path.rfind('/') {
-            Some(0) | None => "/".to_string(),
-            Some(i) => path[..i].to_string(),
+            Some(0) | None => "/",
+            Some(i) => &path[..i],
         };
-        let entries = self.ns.child_count(&parent) as f64;
+        let entries = self.ns.child_count(parent) as f64;
         let t = self.params.dir_contention_entries.max(1) as f64;
         1.0 + (entries / t) * (entries / t)
     }
@@ -178,7 +207,7 @@ impl SimPfs {
     /// simulated error.
     pub fn open_file(&mut self, mds: usize, node: usize, path: &str, arrival: SimTime) -> SimTime {
         assert!(self.ns.file_exists(path), "open of missing file {path}");
-        if !self.meta_cache.insert((node, path.to_string())) {
+        if self.meta_cache.hit_or_insert(node, path) {
             // Client-cached attributes/capability: no server trip.
             return arrival + SimDuration::from_secs_f64(CLIENT_META_HIT_S);
         }
@@ -188,8 +217,7 @@ impl SimPfs {
     /// Read a directory from `node`: cost scales with its current entry
     /// count; re-listings from the same node hit the client dentry cache.
     pub fn readdir(&mut self, mds: usize, node: usize, path: &str, arrival: SimTime) -> SimTime {
-        let key = (node, format!("{path}/"));
-        if !self.meta_cache.insert(key) {
+        if self.dir_cache.hit_or_insert(node, path) {
             return arrival + SimDuration::from_secs_f64(CLIENT_META_HIT_S);
         }
         let entries = self.ns.child_count(path);
@@ -463,6 +491,7 @@ impl SimPfs {
             *c = PageCache::new(self.params.client_cache_bytes, CACHE_BLOCK);
         }
         self.meta_cache.clear();
+        self.dir_cache.clear();
     }
 
     /// Forget lock and cache state for a file being deleted.

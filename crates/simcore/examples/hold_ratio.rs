@@ -1,0 +1,80 @@
+//! Hold-model microbenchmark: arena vs heap raw queue throughput.
+//!
+//! Classic calendar-queue "hold" workload — pop the minimum, push it
+//! back at `popped_time + delta` — at a fixed live population. The fill
+//! draws times from the same window the stationary distribution
+//! occupies (the pending set of a hold model spans roughly one average
+//! delta), and an untimed warmup of one population's worth of holds
+//! lets the arena's steady-state width tuning settle before the clock
+//! starts.
+//!
+//! Run with `cargo run --release -p simcore --example hold_ratio`.
+
+use simcore::{EventArena, EventQueue, SimTime};
+use std::time::Instant;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn main() {
+    for &live in &[1024usize, 16 * 1024, 64 * 1024] {
+        let n = 4_000_000u64;
+        let warmup = live as u64;
+        // Scale deltas with the population so virtual time advances at
+        // the same per-pop rate at every size.
+        let scale = live as u64 / 1024;
+        let delta = |s: &mut u64| (500 + xorshift(s) % 2000) * scale;
+
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..live as u64 {
+            q.push(SimTime(xorshift(&mut s) % (2000 * scale + 1)), i);
+        }
+        for _ in 0..warmup {
+            let (t, p) = q.pop().unwrap();
+            let d = delta(&mut s);
+            q.push(SimTime(t.as_nanos() + d), p);
+        }
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let (t, p) = q.pop().unwrap();
+            let d = delta(&mut s);
+            q.push(SimTime(t.as_nanos() + d), p);
+        }
+        let heap_eps = n as f64 / t0.elapsed().as_secs_f64();
+
+        let mut a = EventArena::new();
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..live as u64 {
+            a.push(
+                SimTime(xorshift(&mut s) % (2000 * scale + 1)),
+                0,
+                (i & 0xffff_ffff) as u32,
+            );
+        }
+        for _ in 0..warmup {
+            let (t, k, arg) = a.pop().unwrap();
+            let d = delta(&mut s);
+            a.push(SimTime(t.as_nanos() + d), k, arg);
+        }
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let (t, k, arg) = a.pop().unwrap();
+            let d = delta(&mut s);
+            a.push(SimTime(t.as_nanos() + d), k, arg);
+        }
+        let arena_eps = n as f64 / t0.elapsed().as_secs_f64();
+        println!(
+            "live {live}: heap {:.2}M e/s, arena {:.2}M e/s ({} buckets, shift {}), ratio {:.2}x",
+            heap_eps / 1e6,
+            arena_eps / 1e6,
+            a.buckets(),
+            a.width_shift(),
+            arena_eps / heap_eps
+        );
+    }
+}

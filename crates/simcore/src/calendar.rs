@@ -65,6 +65,12 @@ impl Calendar {
     }
 
     /// Insert a busy interval, coalescing with adjacent ones.
+    ///
+    /// Coalescing is O(log n): only the immediate neighbours are probed —
+    /// the predecessor via `range(..=start).next_back()` and the successor
+    /// via `range(end..).next()` — never a rescan from the map head. Both
+    /// may touch at once (filling the exact gap between two intervals),
+    /// which collapses three intervals into one.
     fn occupy(intervals: &mut BTreeMap<u64, u64>, mut start: u64, mut end: u64) {
         // Merge with a predecessor that touches us.
         if let Some((&ps, &pe)) = intervals.range(..=start).next_back() {
@@ -93,14 +99,27 @@ impl Calendar {
                 finish: arrival,
             };
         }
-        let (idx, start) = self
-            .servers
-            .iter()
-            .enumerate()
-            .map(|(i, iv)| (i, Self::earliest_fit(iv, arrival.as_nanos(), service.as_nanos())))
-            .min_by_key(|&(_, s)| s)
-            // plfs-lint: allow(panic-in-core): constructor rejects zero servers, so min over servers exists
-            .expect("at least one server");
+        // First minimum over servers, with an early exit: once a server
+        // can start at the arrival instant itself no later server can do
+        // better, and a tie would resolve to the earlier index anyway.
+        let mut best: Option<(usize, u64)> = None;
+        for (i, iv) in self.servers.iter().enumerate() {
+            let s = Self::earliest_fit(iv, arrival.as_nanos(), service.as_nanos());
+            let better = match best {
+                None => true,
+                Some((_, bs)) => s < bs,
+            };
+            if better {
+                best = Some((i, s));
+                if s == arrival.as_nanos() {
+                    break;
+                }
+            }
+        }
+        let Some((idx, start)) = best else {
+            // Constructor rejects zero servers, so a min over servers exists.
+            unreachable!("resource {} has no servers", self.name)
+        };
         let end = start + service.as_nanos();
         Self::occupy(&mut self.servers[idx], start, end);
         self.ops += 1;
@@ -203,6 +222,38 @@ mod tests {
         }
         assert_eq!(cal.servers[0].len(), 1);
         assert_eq!(cal.drained_at(), t(1.0));
+    }
+
+    /// Regression for the adjacent-interval case: a job that exactly fills
+    /// the gap between two busy intervals must three-way merge, touching
+    /// only the two neighbours (no head rescan) and leaving one interval.
+    #[test]
+    fn occupy_merges_adjacent_intervals_three_ways() {
+        let mut cal = Calendar::new("c", 1);
+        cal.acquire(t(0.0), d(1.0)); // [0,1)
+        cal.acquire(t(2.0), d(1.0)); // [2,3)
+        assert_eq!(cal.servers[0].len(), 2);
+        let g = cal.acquire(t(1.0), d(1.0)); // [1,2): bridges both
+        assert_eq!(g.start, t(1.0));
+        assert_eq!(g.finish, t(2.0));
+        assert_eq!(cal.servers[0].len(), 1, "three intervals must coalesce");
+        assert_eq!(
+            cal.servers[0].iter().next(),
+            Some((&0, &t(3.0).as_nanos()))
+        );
+
+        // Predecessor-only merge: extend the run's tail.
+        let g = cal.acquire(t(3.0), d(0.5)); // [3,3.5)
+        assert_eq!(g.start, t(3.0));
+        assert_eq!(cal.servers[0].len(), 1);
+
+        // Successor-only merge: a far interval, then fill right up to it.
+        cal.acquire(t(10.0), d(1.0)); // [10,11)
+        assert_eq!(cal.servers[0].len(), 2);
+        let g = cal.acquire(t(9.0), d(1.0)); // [9,10): touches successor
+        assert_eq!(g.start, t(9.0));
+        assert_eq!(cal.servers[0].len(), 2);
+        assert_eq!(cal.drained_at(), t(11.0));
     }
 
     #[test]

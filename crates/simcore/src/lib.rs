@@ -4,8 +4,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time, totally
 //!   ordered and deterministic (no floating-point drift in the event queue).
-//! * [`EventQueue`] — a min-heap of timestamped events with FIFO tie-breaking,
-//!   the heart of the simulation loop.
+//! * [`EventQueue`] — a min-heap of timestamped events with FIFO tie-breaking;
+//!   retained as the differential-testing oracle for the arena scheduler.
+//! * [`EventArena`] / [`Scheduler`] — the production event scheduler: a
+//!   calendar queue over flat `(time, seq, kind, arg)` records with O(1)
+//!   amortized pops, behind the same stable-FIFO contract.
 //! * [`Fifo`] — a multi-server first-come-first-served resource with
 //!   earliest-free-server bookkeeping; models metadata servers, object
 //!   storage servers, and network channels.
@@ -19,6 +22,7 @@
 //! parallel file system meet. Keeping the core passive makes each primitive
 //! independently testable.
 
+pub mod arena;
 pub mod calendar;
 pub mod events;
 pub mod resource;
@@ -26,6 +30,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arena::{EventArena, EventRecord, Scheduler, SchedulerKind};
 pub use calendar::Calendar;
 pub use events::EventQueue;
 pub use resource::{Fifo, Grant};

@@ -33,7 +33,7 @@ impl IoPattern {
 
     /// Split `calls_per_rank` into `nbatches` batch ranges; returns the
     /// `[start, end)` call indices of batch `b`.
-    fn batch_range(&self, b: u64, nbatches: u64) -> (u64, u64) {
+    pub(crate) fn batch_range(&self, b: u64, nbatches: u64) -> (u64, u64) {
         let calls = self.calls_per_rank();
         let per = calls.div_ceil(nbatches.max(1));
         let start = (b * per).min(calls);

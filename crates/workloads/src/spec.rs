@@ -5,7 +5,7 @@
 //! materializes 65 M ops.
 
 use crate::pattern::IoPattern;
-use mpio::ops::{FileTag, LogicalOp, Program};
+use mpio::ops::{CompiledProgram, FileTag, LogicalOp, OpCode, Program, SrcSel};
 
 /// One phase of a workload's program, expanded per rank on demand.
 #[derive(Debug, Clone)]
@@ -90,6 +90,122 @@ impl Workload {
     /// View as an executable program.
     pub fn program(&self) -> SpecProgram<'_> {
         SpecProgram { w: self }
+    }
+
+    /// Lower to bytecode: one shared [`OpCode`] stream plus an interned
+    /// file table. Every pattern geometry reduces to the opcodes' affine
+    /// `base + coeff·rank` offset form (see [`IoPattern::logical_offset`]:
+    /// strided, segmented, and per-rank-file offsets are all linear in
+    /// the rank), so the compiled program decodes each `(rank, pc)` with
+    /// pure arithmetic — `compiled_program_matches_spec_program` in this
+    /// module proves op-for-op equivalence with [`Workload::program`].
+    pub fn compile(&self) -> CompiledProgram {
+        let p = &self.pattern;
+        let mut files: Vec<FileTag> = Vec::new();
+        let intern = |files: &mut Vec<FileTag>, f: &FileTag| -> u16 {
+            if let Some(i) = files.iter().position(|g| g == f) {
+                i as u16
+            } else {
+                files.push(f.clone());
+                u16::try_from(files.len() - 1).unwrap_or_else(|_| {
+                    // plfs-lint: allow(panic-in-core): workloads intern a handful of tags, never 65k
+                    panic!("file table overflow: {} tags", files.len())
+                })
+            }
+        };
+        // Affine offset form for the `k`-th call of a rank (or writer):
+        // `logical_offset(r, k) = base(k) + coeff · r`.
+        let affine = |start: u64| -> (u64, u64) {
+            if p.own_file {
+                (start * p.transfer, 0)
+            } else if p.segmented {
+                (start * p.transfer, p.object_bytes)
+            } else {
+                (start * p.nprocs as u64 * p.transfer, p.transfer)
+            }
+        };
+        let code = self
+            .specs
+            .iter()
+            .map(|spec| match spec {
+                OpSpec::OpenWrite(f) => OpCode::OpenWrite {
+                    file: intern(&mut files, f),
+                },
+                OpSpec::WriteBatch { file, batch, of } => {
+                    let (start, end) = p.batch_range(*batch, *of);
+                    let (base, coeff) = affine(start);
+                    OpCode::Write {
+                        file: intern(&mut files, file),
+                        base,
+                        coeff,
+                        len: p.transfer,
+                        stride: p.rank_stride(),
+                        reps: end - start,
+                        rank0_only: false,
+                    }
+                }
+                OpSpec::CloseWrite(f) => OpCode::CloseWrite {
+                    file: intern(&mut files, f),
+                },
+                OpSpec::OpenRead(f) => OpCode::OpenRead {
+                    file: intern(&mut files, f),
+                },
+                OpSpec::ReadBatch {
+                    file,
+                    shift,
+                    batch,
+                    of,
+                } => {
+                    let (start, end) = p.batch_range(*batch, *of);
+                    let (base, coeff) = affine(start);
+                    OpCode::Read {
+                        file: intern(&mut files, file),
+                        base,
+                        coeff,
+                        len: p.transfer,
+                        stride: p.rank_stride(),
+                        reps: end - start,
+                        src: SrcSel::Shift {
+                            shift: *shift as u32,
+                            phys_offset: start * p.transfer,
+                        },
+                    }
+                }
+                OpSpec::CloseRead(f) => OpCode::CloseRead {
+                    file: intern(&mut files, f),
+                },
+                OpSpec::Barrier => OpCode::Barrier,
+                OpSpec::Exchange { bytes_per_rank } => OpCode::Exchange {
+                    bytes_per_rank: *bytes_per_rank,
+                },
+                OpSpec::FlushCaches => OpCode::FlushCaches,
+                OpSpec::Unlink(f) => OpCode::Unlink {
+                    file: intern(&mut files, f),
+                },
+                OpSpec::HeaderWrite { file, len } => OpCode::Write {
+                    file: intern(&mut files, file),
+                    base: 0,
+                    coeff: 0,
+                    len: *len,
+                    stride: *len,
+                    reps: 1,
+                    rank0_only: true,
+                },
+                OpSpec::HeaderRead { file, len } => OpCode::Read {
+                    file: intern(&mut files, file),
+                    base: 0,
+                    coeff: 0,
+                    len: *len,
+                    stride: *len,
+                    reps: 1,
+                    src: SrcSel::Fixed {
+                        writer: 0,
+                        phys_offset: 0,
+                    },
+                },
+            })
+            .collect();
+        CompiledProgram::new(files, code, p.nprocs)
     }
 
     /// Model a *cold restart*: the read-back happens in a fresh job with
@@ -248,6 +364,51 @@ mod tests {
         let w = wl();
         assert_eq!(w.write_bytes(), 4 * 8192);
         assert_eq!(w.read_bytes(), 4 * 8192);
+    }
+
+    /// The bytecode path must be op-for-op identical to the lazy spec
+    /// decoder, for every kernel, pattern geometry, and rank — this is
+    /// the contract that lets the harness run compiled programs.
+    #[test]
+    fn compiled_program_matches_spec_program() {
+        use crate::kernels::{
+            aramco, ior, lanl1, lanl3, madbench, mpiio_test, nn_checkpoint, pixie3d, Kernel,
+        };
+        let kernels: [(Kernel, &str); 8] = [
+            (mpiio_test, "mpiio_test"),
+            (ior, "ior"),
+            (pixie3d, "pixie3d"),
+            (aramco, "aramco"),
+            (madbench, "madbench"),
+            (lanl1, "lanl1"),
+            (lanl3, "lanl3"),
+            (nn_checkpoint, "nn_checkpoint"),
+        ];
+        for (k, name) in kernels {
+            for nprocs in [3usize, 16, 64] {
+                let w = k(nprocs).with_cold_restart();
+                let spec = w.program();
+                let compiled = w.compile();
+                assert_eq!(compiled.len(0), spec.len(0), "{name}@{nprocs}");
+                for rank in [0, 1, nprocs / 2, nprocs - 1] {
+                    for pc in 0..spec.len(rank) {
+                        assert_eq!(
+                            compiled.op(rank, pc),
+                            spec.op(rank, pc),
+                            "{name}@{nprocs} rank {rank} pc {pc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_interns_each_tag_once() {
+        let w = wl();
+        let compiled = w.compile();
+        assert_eq!(compiled.files().len(), 1);
+        assert_eq!(compiled.code().len(), w.specs.len());
     }
 
     #[test]

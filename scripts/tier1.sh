@@ -35,3 +35,10 @@ cargo run --release --offline --bin io_plane -- --check results/io_plane.md
 # Crash-recovery under a fixed fault seed: the schedule replays
 # byte-identically, so any recovery regression reproduces exactly.
 PLFS_FAULT_SEED=3405691582 cargo test -q --offline --test crash_recovery
+
+# 65,536-rank engine-scale ratchet (DESIGN.md §5g): event and
+# peak-live budgets only ratchet down, events/s and the seed-vs-rebuilt
+# dispatch-stack ratio only ratchet up, against results/sim_scale.md.
+# Regenerate with `sim_scale --write` after a deliberate improvement.
+cargo run --release --offline -p plfs-bench --bin sim_scale -- \
+    --check results/sim_scale.md
