@@ -23,6 +23,7 @@
 
 use crate::content::Content;
 use crate::error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
+use crate::ioplane::async_plane::Ticket;
 use crate::ioplane::{self, IoOp, IoOutcome};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -104,6 +105,21 @@ pub trait Backend: Send + Sync {
             .iter()
             .map(|op| ioplane::dispatch_one(self, op))
             .collect()
+    }
+
+    /// Submit a batch asynchronously, returning a [`Ticket`] whose
+    /// [`Ticket::wait`] yields the per-op outcomes.
+    ///
+    /// The default implementation completes **inline**: it runs
+    /// [`Backend::submit`] on the calling thread and hands back an
+    /// already-complete ticket, so every backend is async-capable with
+    /// sequential semantics. A backend with real completion machinery
+    /// (the [`crate::ioplane::async_plane::Reactor`] worker pool)
+    /// overrides this to enqueue the batch and return immediately.
+    /// Ordering across in-flight tickets is not guaranteed; ops within
+    /// one batch keep the in-order, partial-batch semantics of `submit`.
+    fn submit_async(&self, batch: &[IoOp]) -> Ticket {
+        Ticket::completed(self.submit(batch))
     }
 }
 
@@ -218,6 +234,13 @@ impl<B: Backend> Backend for TracingBackend<B> {
         self.trace.lock().extend(batch.iter().cloned());
         self.inner.submit(batch)
     }
+
+    /// Record at submission time (not completion), so the trace preserves
+    /// the program's submission order even when completions reorder.
+    fn submit_async(&self, batch: &[IoOp]) -> Ticket {
+        self.trace.lock().extend(batch.iter().cloned());
+        self.inner.submit_async(batch)
+    }
 }
 
 // Allow `Arc<B>` and `&B` to be used wherever a backend is expected, so a
@@ -261,6 +284,9 @@ impl<B: Backend + ?Sized> Backend for Arc<B> {
     }
     fn submit(&self, batch: &[IoOp]) -> Vec<IoOutcome> {
         (**self).submit(batch)
+    }
+    fn submit_async(&self, batch: &[IoOp]) -> Ticket {
+        (**self).submit_async(batch)
     }
 }
 

@@ -25,7 +25,7 @@ use crate::content::Content;
 use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::federation::Federation;
 use crate::index::{GlobalIndex, IndexEntry, WriterId};
-use crate::ioplane::{self, IoOp};
+use crate::ioplane::{self, async_plane, IoOp};
 use crate::path::{basename, join, normalize, parent};
 use crate::telemetry;
 
@@ -48,6 +48,23 @@ pub const INDEX_PREFIX: &str = "dropping.index.";
 /// atomically swapping it into place (see `WriteHandle`); one left behind
 /// means the realigning writer died mid-stage and fsck may reclaim it.
 pub const REALIGN_SUFFIX: &str = ".realign";
+/// Suffix of write-behind staging scratch files
+/// (`dropping.index.<id>.<seq>.staging`): an asynchronous index flush
+/// appends its records to a fresh scratch first and only copies them into
+/// the real index log at completion drain, so a torn async append can
+/// never corrupt acknowledged records. While the flush's ticket is
+/// outstanding the writer holds an openhosts entry; fsck therefore treats
+/// a staging file of a **live** writer as in-flight, not as an orphan.
+pub const ASYNC_STAGING_SUFFIX: &str = ".staging";
+
+/// Parse the writer id out of an async-staging scratch name
+/// (`dropping.index.<id>.<seq>.staging`); `None` if `name` is not one.
+pub fn staging_writer(name: &str) -> Option<WriterId> {
+    let stem = name.strip_suffix(ASYNC_STAGING_SUFFIX)?;
+    let rest = stem.strip_prefix(INDEX_PREFIX)?;
+    let (writer, _seq) = rest.split_once('.')?;
+    writer.parse().ok()
+}
 
 /// A handle to one logical file's container.
 ///
@@ -460,8 +477,12 @@ impl Container {
         Ok(entries)
     }
 
-    /// Size-then-read each path whole in two batched submissions and
-    /// decode the records.
+    /// Size-then-read each path whole and decode the records: one `Size`
+    /// batch, then the `ReadAt`s in [`READ_OVERLAP_CHUNK`]-op slices
+    /// submitted **asynchronously** and drained in order — on a reactor
+    /// backend the data reads for chunk `k+1` proceed while chunk `k` is
+    /// being decoded; on a plain backend the inline-completing default
+    /// makes this exactly the old two-batch behaviour.
     fn read_logs_whole<B: Backend>(b: &B, paths: &[String]) -> Result<Vec<Vec<IndexEntry>>> {
         let size_ops: Vec<IoOp> = paths
             .iter()
@@ -476,12 +497,18 @@ impl Container {
                 len: ioplane::as_size(outcome)?,
             });
         }
-        let reads = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops);
+        let chunks: Vec<&[IoOp]> = read_ops.chunks(READ_OVERLAP_CHUNK.max(1)).collect();
+        let tickets: Vec<async_plane::Ticket> = chunks
+            .iter()
+            .map(|c| async_plane::submit_tracked(b, c))
+            .collect();
         let mut out = Vec::with_capacity(paths.len());
-        for outcome in reads {
-            out.push(IndexEntry::decode_all(
-                &ioplane::as_data(outcome)?.materialize(),
-            )?);
+        for (chunk, ticket) in chunks.iter().zip(tickets) {
+            for outcome in async_plane::drain_retried(b, DEFAULT_RETRY_ATTEMPTS, chunk, ticket) {
+                out.push(IndexEntry::decode_all(
+                    &ioplane::as_data(outcome)?.materialize(),
+                )?);
+            }
         }
         Ok(out)
     }
@@ -646,6 +673,12 @@ impl Container {
         basename(&self.logical)
     }
 }
+
+/// Index-log reads per asynchronously submitted `ReadAt` slice in
+/// [`Container::read_index_logs`]'s whole-log fan-out: small enough that
+/// several tickets are in flight for a fig4-shaped open (16 writers), big
+/// enough to amortize submission.
+const READ_OVERLAP_CHUNK: usize = 4;
 
 /// Pool width for threaded index aggregation: bounded so a reader on a
 /// login node doesn't fan out past the machine, capped because log reads
@@ -825,6 +858,17 @@ mod tests {
         expect.compact();
         assert_eq!(acquired, expect);
         assert_eq!(acquired.span_count(), 1);
+    }
+
+    #[test]
+    fn staging_names_parse_and_reject_lookalikes() {
+        assert_eq!(staging_writer("dropping.index.7.0.staging"), Some(7));
+        assert_eq!(staging_writer("dropping.index.123.42.staging"), Some(123));
+        // Not staging files:
+        assert_eq!(staging_writer("dropping.index.7"), None);
+        assert_eq!(staging_writer("dropping.index.7.realign"), None);
+        assert_eq!(staging_writer("dropping.data.7.0.staging"), None);
+        assert_eq!(staging_writer("dropping.index.x.0.staging"), None);
     }
 
     #[test]

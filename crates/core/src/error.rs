@@ -45,8 +45,28 @@ impl PlfsError {
 /// Default attempt budget for [`retry_transient`]: first try plus a
 /// bounded number of retries. Small enough that a persistently failing
 /// backend surfaces quickly; large enough that injected transient rates
-/// up to ~50% almost never exhaust it.
+/// up to ~50% almost never exhaust it. Lint-pinned by the DESIGN.md §5d
+/// format table, like the backoff bounds below.
 pub const DEFAULT_RETRY_ATTEMPTS: u32 = 8;
+
+/// First retry delay in microseconds. Every transient-retry loop in the
+/// workspace (here and in `ioplane::submit_retried` / the async drain)
+/// starts from this value and steps with [`next_backoff_us`].
+pub const RETRY_BACKOFF_START_US: u64 = 1;
+
+/// Ceiling on the per-retry delay in microseconds. Doubling saturates
+/// here, so an arbitrarily large attempt count can neither overflow the
+/// delay arithmetic nor sleep unboundedly.
+pub const RETRY_BACKOFF_CAP_US: u64 = 256;
+
+/// Next step of the capped exponential backoff: doubles, saturating (no
+/// wrap at `u64::MAX`), then clamps to [`RETRY_BACKOFF_CAP_US`]. Every
+/// retry loop shares this one step function so the schedule cannot drift
+/// between call sites.
+#[inline]
+pub fn next_backoff_us(backoff_us: u64) -> u64 {
+    backoff_us.saturating_mul(2).min(RETRY_BACKOFF_CAP_US)
+}
 
 /// Run `op` up to `attempts` times, retrying only [`PlfsError::Transient`]
 /// failures with capped exponential backoff (microseconds — these are
@@ -55,13 +75,13 @@ pub const DEFAULT_RETRY_ATTEMPTS: u32 = 8;
 /// returned to the caller.
 pub fn retry_transient<T>(attempts: u32, mut op: impl FnMut() -> Result<T>) -> Result<T> {
     let attempts = attempts.max(1);
-    let mut backoff_us = 1u64;
+    let mut backoff_us = RETRY_BACKOFF_START_US;
     for _ in 1..attempts {
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() => {
                 std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-                backoff_us = (backoff_us * 2).min(256);
+                backoff_us = next_backoff_us(backoff_us);
             }
             Err(e) => return Err(e),
         }
@@ -121,6 +141,23 @@ mod tests {
             .to_string(),
             "/x: expected directory"
         );
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_without_overflow() {
+        let mut us = RETRY_BACKOFF_START_US;
+        // Walk far past any realistic attempt count: the delay must be
+        // monotone up to the cap and then pinned there, never wrapping.
+        let mut prev = 0;
+        for _ in 0..10_000 {
+            assert!(us >= prev, "backoff went backwards: {prev} -> {us}");
+            assert!(us <= RETRY_BACKOFF_CAP_US);
+            prev = us;
+            us = next_backoff_us(us);
+        }
+        assert_eq!(us, RETRY_BACKOFF_CAP_US);
+        // Even a poisoned huge input cannot overflow the doubling.
+        assert_eq!(next_backoff_us(u64::MAX), RETRY_BACKOFF_CAP_US);
     }
 
     #[test]

@@ -37,9 +37,11 @@
 
 use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
-use crate::error::{PlfsError, Result};
+use crate::error::{next_backoff_us, PlfsError, Result, RETRY_BACKOFF_START_US};
 use crate::telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod async_plane;
 
 /// One physical operation against the underlying file system.
 ///
@@ -379,8 +381,24 @@ pub fn submit_retried<B: Backend + ?Sized>(b: &B, attempts: u32, batch: &[IoOp])
         batch.len(),
         "submit must be 1:1 with its batch"
     );
+    retry_pending_slots(b, attempts, batch, &mut outcomes);
+    account(batch, &outcomes);
+    outcomes
+}
+
+/// The shared per-slot retry loop: re-submit only the indices whose
+/// outcome is transient, writing results back in place. Used by
+/// [`submit_retried`] right after the first submission and by the async
+/// plane's completion drain ([`async_plane::drain_retried`]) — in both
+/// cases an op that already succeeded is never executed again.
+pub(crate) fn retry_pending_slots<B: Backend + ?Sized>(
+    b: &B,
+    attempts: u32,
+    batch: &[IoOp],
+    outcomes: &mut [IoOutcome],
+) {
     let attempts = attempts.max(1);
-    let mut backoff_us = 1u64;
+    let mut backoff_us = RETRY_BACKOFF_START_US;
     for _ in 1..attempts {
         let pending: Vec<usize> = outcomes
             .iter()
@@ -392,7 +410,7 @@ pub fn submit_retried<B: Backend + ?Sized>(b: &B, attempts: u32, batch: &[IoOp])
             break;
         }
         std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-        backoff_us = (backoff_us * 2).min(256);
+        backoff_us = next_backoff_us(backoff_us);
         RETRIES.fetch_add(pending.len() as u64, Ordering::Relaxed);
         let retry_batch: Vec<IoOp> = pending.iter().map(|&i| batch[i].clone()).collect();
         let retried = b.submit(&retry_batch);
@@ -400,8 +418,6 @@ pub fn submit_retried<B: Backend + ?Sized>(b: &B, attempts: u32, batch: &[IoOp])
             outcomes[slot] = outcome;
         }
     }
-    account(batch, &outcomes);
-    outcomes
 }
 
 /// Replay a recorded op sequence against a backend, one op per batch —

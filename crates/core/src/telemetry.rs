@@ -102,6 +102,10 @@ pub const SPAN_FSCK_SCAN: &str = "fsck.scan";
 pub const SPAN_FSCK_REPAIR: &str = "fsck.repair";
 /// Span: one `Backend::submit` batch through `submit_retried`.
 pub const SPAN_IOPLANE_SUBMIT: &str = "ioplane.submit";
+/// Span: a reactor worker executing one asynchronously submitted batch.
+pub const SPAN_ASYNC_EXEC: &str = "async.exec";
+/// Span: draining one async completion (wait + completion-time retry).
+pub const SPAN_ASYNC_DRAIN: &str = "async.drain";
 
 /// Counter: logical bytes acknowledged on the write path.
 pub const CTR_WRITE_BYTES: &str = "write.bytes";
@@ -120,6 +124,10 @@ pub const CTR_SIM_EVENTS: &str = "sim.events";
 /// Counter: peak simultaneous pending DES events per run (a snapshot
 /// spanning several runs sums their peaks).
 pub const CTR_SIM_PEAK_LIVE: &str = "sim.peak_live";
+/// Counter: tickets issued by `Backend::submit_async`.
+pub const CTR_ASYNC_TICKETS: &str = "async.tickets";
+/// Counter: nanoseconds callers spent blocked in `Ticket::wait`.
+pub const CTR_ASYNC_BLOCKED_NS: &str = "async.blocked_ns";
 
 /// Histogram: whole-batch `Backend::submit` latency.
 pub const HIST_IOPLANE_BATCH: &str = "ioplane.batch";
@@ -318,6 +326,58 @@ pub fn span(name: &'static str) -> SpanGuard {
             p
         })
         .unwrap_or(None);
+    SpanGuard {
+        id,
+        parent,
+        name,
+        start: Some(Instant::now()),
+        start_ns: epoch_ns(),
+    }
+}
+
+/// Id of the innermost span currently open on this thread, if any.
+///
+/// This is the handle for carrying span ancestry across an execution
+/// boundary that TLS cannot follow: capture it on the submitting thread,
+/// ship it with the work, and reopen with [`span_with_parent`] on the
+/// thread that actually runs the work. Returns `None` while telemetry is
+/// disabled or no span is open.
+#[inline]
+pub fn current_span_id() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    TLS.try_with(|t| t.borrow().stack.last().copied())
+        .unwrap_or(None)
+}
+
+/// Open a span with an explicit parent id instead of the thread-local
+/// stack top.
+///
+/// Per-thread span stacks mean a span opened on a spawned worker thread
+/// is a root there — it has no way to know it logically belongs under
+/// the span that *submitted* the work. `span_with_parent` closes that
+/// gap: pass the submitting thread's [`current_span_id`] and the worker
+/// span (and, via the normal TLS stack, all of its children) nests under
+/// the submitter in the exported forest. `None` makes an explicit root.
+#[inline]
+pub fn span_with_parent(name: &'static str, parent: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            id: 0,
+            parent: None,
+            name,
+            start: None,
+            start_ns: 0,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    // Still push onto the local stack so children opened on this thread
+    // nest under this span; only the *parent link* is overridden. A
+    // failed push means TLS is mid-teardown: the span still records,
+    // its children just cannot nest on this thread.
+    let _pushed: std::result::Result<(), _> =
+        TLS.try_with(|t| t.borrow_mut().stack.push(id));
     SpanGuard {
         id,
         parent,
@@ -987,6 +1047,55 @@ mod tests {
         // of the other thread's open span.
         let merge_root = snap.spans.iter().find(|s| s.name == SPAN_INDEX_MERGE);
         assert!(merge_root.is_some(), "{:?}", snap.spans);
+    }
+
+    #[test]
+    fn explicit_parent_carries_ancestry_across_threads() {
+        let _g = guard();
+        let _s = Scope::new();
+        std::thread::scope(|sc| {
+            let outer = span(SPAN_WRITE_FLUSH);
+            let parent = current_span_id();
+            assert!(parent.is_some());
+            sc.spawn(move || {
+                // Without the explicit parent this would export as an
+                // orphan root on the worker thread.
+                let _exec = span_with_parent(SPAN_ASYNC_EXEC, parent);
+                let _inner = span(SPAN_IOPLANE_SUBMIT);
+            })
+            .join()
+            .unwrap();
+            drop(outer);
+        });
+        let snap = snapshot();
+        let root = snap
+            .spans
+            .iter()
+            .find(|s| s.name == SPAN_WRITE_FLUSH)
+            .expect("submitting span must be a root");
+        let exec = root
+            .children
+            .iter()
+            .find(|c| c.name == SPAN_ASYNC_EXEC)
+            .expect("worker span must nest under the submitter");
+        // TLS nesting still works underneath the carried parent.
+        assert_eq!(exec.children[0].name, SPAN_IOPLANE_SUBMIT);
+        // And no orphan copy of the worker span exists at the top level.
+        assert!(snap.spans.iter().all(|s| s.name != SPAN_ASYNC_EXEC));
+    }
+
+    #[test]
+    fn current_span_id_is_none_when_disabled_or_idle() {
+        let _g = guard();
+        {
+            let _s = Scope::new();
+            assert_eq!(current_span_id(), None);
+            let _root = span(SPAN_READ_OPEN);
+            assert!(current_span_id().is_some());
+        }
+        // Disabled again: even inside a (no-op) span, no id.
+        let _dead = span(SPAN_READ_OPEN);
+        assert_eq!(current_span_id(), None);
     }
 
     #[test]

@@ -37,10 +37,41 @@ pub fn fig4_read_open_snapshot() -> Result<TelemetrySnapshot, String> {
     let backend = Arc::new(MemFs::new());
     let fed = Federation::single("/panfs", SUBDIRS);
     let cont = Container::new("/fig4/ckpt", &fed);
+    build_fig4(&backend, &cont)?;
 
+    plfs::telemetry::reset();
+    plfs::telemetry::set_enabled(true);
+    let opened = ReadHandle::open(Arc::clone(&backend), cont);
+    plfs::telemetry::set_enabled(false);
+    opened.map_err(|e| format!("read open: {e}"))?;
+    Ok(plfs::telemetry::snapshot())
+}
+
+/// The same fig-4 shape opened through the *asynchronous* plane: the
+/// backend is wrapped in a [`plfs::Reactor`], so the open's overlapped
+/// index-log reads execute on reactor workers. Each worker wraps its
+/// execution in an `async.exec` span that carries the submitting span as
+/// its explicit parent — the returned forest shows the cross-thread
+/// ancestry the telemetry plane preserves.
+pub fn fig4_read_open_async_snapshot() -> Result<TelemetrySnapshot, String> {
+    let backend = Arc::new(MemFs::new());
+    let fed = Federation::single("/panfs", SUBDIRS);
+    let cont = Container::new("/fig4/ckpt", &fed);
+    build_fig4(&backend, &cont)?;
+
+    let reactor = Arc::new(plfs::Reactor::new(Arc::clone(&backend)));
+    plfs::telemetry::reset();
+    plfs::telemetry::set_enabled(true);
+    let opened = ReadHandle::open(Arc::clone(&reactor), cont);
+    plfs::telemetry::set_enabled(false);
+    opened.map_err(|e| format!("async read open: {e}"))?;
+    Ok(plfs::telemetry::snapshot())
+}
+
+fn build_fig4(backend: &Arc<MemFs>, cont: &Container) -> Result<(), String> {
     for w in 0..WRITERS {
         let mut h =
-            WriteHandle::open(Arc::clone(&backend), cont.clone(), w, IndexPolicy::WriteClose)
+            WriteHandle::open(Arc::clone(backend), cont.clone(), w, IndexPolicy::WriteClose)
                 .map_err(|e| format!("open writer {w}: {e}"))?;
         for k in 0..BLOCKS {
             h.write(
@@ -52,19 +83,19 @@ pub fn fig4_read_open_snapshot() -> Result<TelemetrySnapshot, String> {
         }
         h.close(99).map_err(|e| format!("close writer {w}: {e}"))?;
     }
-
-    plfs::telemetry::reset();
-    plfs::telemetry::set_enabled(true);
-    let opened = ReadHandle::open(Arc::clone(&backend), cont);
-    plfs::telemetry::set_enabled(false);
-    opened.map_err(|e| format!("read open: {e}"))?;
-    Ok(plfs::telemetry::snapshot())
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use plfs::telemetry::{SpanNode, SPAN_INDEX_AGGREGATE, SPAN_IOPLANE_SUBMIT, SPAN_READ_OPEN};
+
+    /// Telemetry is process-global; probe tests must not interleave.
+    fn telemetry_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     /// Count spans named `name` anywhere in the forest.
     fn count_named(nodes: &[SpanNode], name: &str) -> usize {
@@ -79,6 +110,7 @@ mod tests {
     /// the index-aggregation fan-out, with the I/O plane underneath.
     #[test]
     fn fig4_read_open_span_tree() {
+        let _guard = telemetry_guard();
         let snap = fig4_read_open_snapshot().unwrap();
 
         // Exactly one read.open, and it is a root on the opening thread.
@@ -121,5 +153,30 @@ mod tests {
             .expect("span totals must include read.open");
         assert_eq!(stat.count, 1);
         assert_eq!(stat.max_ns, open.dur_ns);
+    }
+
+    /// The async read-open probe: reactor workers execute the overlapped
+    /// index-log reads, and their `async.exec` spans keep the submitting
+    /// span as parent — none of them surfaces as an orphan root.
+    #[test]
+    fn fig4_async_read_open_keeps_cross_thread_ancestry() {
+        use plfs::telemetry::{CTR_ASYNC_TICKETS, SPAN_ASYNC_DRAIN, SPAN_ASYNC_EXEC};
+        let _guard = telemetry_guard();
+        let snap = fig4_read_open_async_snapshot().unwrap();
+
+        let execs = count_named(&snap.spans, SPAN_ASYNC_EXEC);
+        assert!(execs > 0, "reactor workers must record async.exec spans");
+        // Parent-carry: no async.exec is a top-level root; every one
+        // nests under the span that submitted its batch.
+        assert!(
+            snap.spans.iter().all(|n| n.name != SPAN_ASYNC_EXEC),
+            "async.exec must never be an orphan root"
+        );
+        assert!(
+            count_named(&snap.spans, SPAN_ASYNC_DRAIN) > 0,
+            "waiters must record async.drain spans"
+        );
+        let tickets = snap.counters.get(CTR_ASYNC_TICKETS).copied().unwrap_or(0);
+        assert!(tickets as usize >= execs, "every exec has a ticket");
     }
 }

@@ -75,6 +75,15 @@ fn batch_scope(rel: &str) -> bool {
         .any(|f| rel.ends_with(f))
 }
 
+/// blocking-submit-with-ticket applies wherever middleware code drives
+/// the async plane — but not to the plane's own implementation, whose
+/// reactor workers and inline fallbacks legitimately run blocking
+/// submits while tickets are outstanding.
+fn async_ticket_scope(rel: &str) -> bool {
+    (rel.starts_with("crates/core/") || rel.starts_with("src/"))
+        && !rel.ends_with("/async_plane.rs")
+}
+
 /// Per-file lint result, pre-aggregation.
 #[derive(Debug, Default)]
 pub struct FileLint {
@@ -101,6 +110,9 @@ pub fn lint_source_with(rel: &str, src: &str, extra: Vec<RawFinding>) -> FileLin
     }
     if batch_scope(rel) {
         raw.extend(rules::raw_backend_in_batch_path(&lexed.toks, &tests));
+    }
+    if async_ticket_scope(rel) {
+        raw.extend(rules::blocking_submit_with_ticket(&lexed.toks, &tests));
     }
 
     // Line spans of test regions: pragmas inside them are inert (test

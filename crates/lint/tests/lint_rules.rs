@@ -135,6 +135,35 @@ fn raw_batch_good_is_clean_and_pragmas_count_as_allowed() {
 }
 
 #[test]
+fn async_ticket_bad_flags_blocking_submits_in_the_window() {
+    let src = include_str!("fixtures/async_ticket_bad.rs");
+    let lines = rule_lines(
+        "crates/core/src/writer.rs",
+        src,
+        RuleId::BlockingSubmitWithTicket,
+    );
+    // `b.submit(&probe)` and `submit_retried(...)`, both before the drain.
+    assert_eq!(lines.len(), 2, "findings: {lines:?}");
+}
+
+#[test]
+fn async_ticket_rule_skips_the_planes_own_implementation() {
+    let src = include_str!("fixtures/async_ticket_bad.rs");
+    let lines = rule_lines(
+        "crates/core/src/ioplane/async_plane.rs",
+        src,
+        RuleId::BlockingSubmitWithTicket,
+    );
+    assert!(lines.is_empty(), "findings: {lines:?}");
+}
+
+#[test]
+fn async_ticket_good_is_clean() {
+    let src = include_str!("fixtures/async_ticket_good.rs");
+    assert_eq!(total_findings("crates/core/src/writer.rs", src), 0);
+}
+
+#[test]
 fn ioplane_table_round_trips_against_the_enum() {
     let doc = "\
 <!-- plfs-lint:ioplane-table -->

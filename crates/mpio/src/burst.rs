@@ -17,6 +17,12 @@
 use crate::driver::{Ctx, Driver, Step};
 use crate::ops::LogicalOp;
 use simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Max in-flight drains per node before a new absorb must wait for the
+/// oldest completion — the simulation analogue of the runtime plane's
+/// bounded reactor window (`plfs::ioplane::async_plane`).
+const DRAIN_WINDOW: usize = 16;
 
 /// Burst-buffer parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,11 +45,22 @@ impl BurstParams {
 }
 
 /// Wraps any driver with burst-buffer write absorption.
+///
+/// Draining is *completion-driven*: each node keeps a FIFO completion
+/// queue of in-flight drains as `(completion time, bytes)` entries.
+/// Buffer space comes back as individual drains complete, instead of the
+/// all-or-nothing wait a single scalar "drain done" timestamp forces — a
+/// checkpoint that needs only a little room blocks only on the oldest
+/// completion(s), not on the entire backlog.
 pub struct BurstDriver<D: Driver> {
     inner: D,
     params: BurstParams,
-    /// Per node: when its in-flight drain finishes, and buffered bytes.
-    drain_done: Vec<SimTime>,
+    /// Per node: in-flight drains as (completion time, bytes released on
+    /// completion), FIFO in submission order.
+    in_flight: Vec<VecDeque<(SimTime, u64)>>,
+    /// Per node: completion time of the most recently submitted drain
+    /// (drains serialize through the node's pipe to the PFS).
+    last_done: Vec<SimTime>,
     buffered: Vec<u64>,
     /// Per node: when the local device is free (ranks on a node share it).
     local_free: Vec<SimTime>,
@@ -54,7 +71,8 @@ impl<D: Driver> BurstDriver<D> {
         BurstDriver {
             inner,
             params,
-            drain_done: vec![SimTime::ZERO; nodes.max(1)],
+            in_flight: vec![VecDeque::new(); nodes.max(1)],
+            last_done: vec![SimTime::ZERO; nodes.max(1)],
             buffered: vec![0; nodes.max(1)],
             local_free: vec![SimTime::ZERO; nodes.max(1)],
         }
@@ -67,7 +85,19 @@ impl<D: Driver> BurstDriver<D> {
     /// Latest drain completion across nodes (diagnostic: when the data is
     /// actually safe on the parallel file system).
     pub fn last_drain_done(&self) -> SimTime {
-        self.drain_done.iter().copied().max().unwrap_or(SimTime::ZERO)
+        self.last_done.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Retire every drain that has completed by `at`, releasing its
+    /// buffer space.
+    fn retire(&mut self, node: usize, at: SimTime) {
+        while let Some(&(done, b)) = self.in_flight[node].front() {
+            if done > at {
+                break;
+            }
+            self.in_flight[node].pop_front();
+            self.buffered[node] = self.buffered[node].saturating_sub(b);
+        }
     }
 }
 
@@ -75,15 +105,27 @@ impl<D: Driver> Driver for BurstDriver<D> {
     fn step(&mut self, rank: usize, pc: usize, op: &LogicalOp, now: SimTime, ctx: &mut Ctx) -> Step {
         match op {
             LogicalOp::Write { len, reps, .. } => {
-                let node = ctx.node_of(rank) % self.drain_done.len();
+                let node = ctx.node_of(rank) % self.in_flight.len();
                 let bytes = len * reps;
 
-                // Wait for buffer space: if this burst would overflow the
-                // node buffer, the previous drain must finish first.
+                // Completion-driven space reclaim: every drain that has
+                // finished by the time the device is free releases its
+                // bytes.
                 let mut start = now.max(self.local_free[node]);
-                if self.buffered[node] + bytes > self.params.capacity {
-                    start = start.max(self.drain_done[node]);
-                    self.buffered[node] = 0; // drained
+                self.retire(node, start);
+
+                // Backpressure: while the buffer lacks room or the drain
+                // window is full, block on the *oldest* completion only —
+                // not on the whole backlog.
+                while let Some(&(done, b)) = self.in_flight[node].front() {
+                    if self.buffered[node] + bytes <= self.params.capacity
+                        && self.in_flight[node].len() < DRAIN_WINDOW
+                    {
+                        break;
+                    }
+                    start = start.max(done);
+                    self.in_flight[node].pop_front();
+                    self.buffered[node] = self.buffered[node].saturating_sub(b);
                 }
 
                 // Absorb locally; ranks on one node share the device.
@@ -95,11 +137,12 @@ impl<D: Driver> Driver for BurstDriver<D> {
                 // Drain asynchronously through the wrapped driver: charge
                 // the same logical write against the real stack, starting
                 // no earlier than the absorb completion and the previous
-                // drain.
-                let drain_start = absorbed.max(self.drain_done[node]);
+                // drain (drains serialize through the node's pipe).
+                let drain_start = absorbed.max(self.last_done[node]);
                 match self.inner.step(rank, pc, op, drain_start, ctx) {
                     Step::Done(fin) => {
-                        self.drain_done[node] = fin;
+                        self.last_done[node] = fin;
+                        self.in_flight[node].push_back((fin, bytes));
                         // The application sees only the absorb.
                         Step::Done(absorbed)
                     }
@@ -115,13 +158,17 @@ impl<D: Driver> Driver for BurstDriver<D> {
                 // composite close to completion on the drain timeline. A
                 // collective close (Index Flatten) passes through — the
                 // first inner step reports it without side effects.
-                let node = ctx.node_of(rank) % self.drain_done.len();
-                let mut t = now.max(self.drain_done[node]);
+                let node = ctx.node_of(rank) % self.in_flight.len();
+                let mut t = now.max(self.last_done[node]);
                 loop {
                     match self.inner.step(rank, pc, op, t, ctx) {
                         Step::Yield(at) => t = at,
                         Step::Done(fin) => {
-                            self.drain_done[node] = fin;
+                            self.last_done[node] = fin;
+                            // Close drains the completion queue: once the
+                            // composite close lands, everything buffered
+                            // is on the parallel file system.
+                            self.retire(node, fin);
                             // Application sees a local flush.
                             return Step::Done(now + SimDuration::from_micros_f64(200.0));
                         }
@@ -130,9 +177,11 @@ impl<D: Driver> Driver for BurstDriver<D> {
                 }
             }
             LogicalOp::Read { .. } => {
-                // Reads must observe drained data.
-                let node = ctx.node_of(rank) % self.drain_done.len();
-                let start = now.max(self.drain_done[node]);
+                // Reads must observe drained data: wait for every
+                // outstanding completion, not just the oldest.
+                let node = ctx.node_of(rank) % self.in_flight.len();
+                let start = now.max(self.last_done[node]);
+                self.retire(node, start);
                 self.inner.step(rank, pc, op, start, ctx)
             }
             _ => self.inner.step(rank, pc, op, now, ctx),
@@ -240,6 +289,23 @@ mod tests {
             res.metrics.span_s(OpKind::Write) > res2.metrics.span_s(OpKind::Write),
             "capacity stalls must slow the absorb"
         );
+    }
+
+    #[test]
+    fn close_drains_the_completion_queue() {
+        let nprocs = 16;
+        let mut c = ctx(nprocs);
+        let mut burst = BurstDriver::new(plfs_driver(), BurstParams::node_ssd(), 2);
+        Exec::new(&checkpoint(nprocs), &mut burst, &mut c).run();
+        // Once every rank's close has landed, no drain is outstanding and
+        // all buffer space is back.
+        for node in 0..burst.in_flight.len() {
+            assert!(
+                burst.in_flight[node].is_empty(),
+                "completion queue must drain at close"
+            );
+            assert_eq!(burst.buffered[node], 0, "buffer space released");
+        }
     }
 
     #[test]

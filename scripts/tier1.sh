@@ -32,6 +32,13 @@ cargo run --release --offline --bin plfsctl -- lint --deny-warnings \
 # a deliberate improvement.
 cargo run --release --offline --bin io_plane -- --check results/io_plane.md
 
+# Asynchronous-plane overlap ratchet (DESIGN.md §5h): the write-behind
+# and read-open panels must keep beating their synchronous twins, and
+# the overlap ratio (1 - blocked/total) must stay above the committed
+# floor in results/io_async.md. The floor only ratchets up; regenerate
+# with `io_plane --async --write` after a deliberate improvement.
+cargo run --release --offline --bin io_plane -- --async --check results/io_async.md
+
 # Crash-recovery under a fixed fault seed: the schedule replays
 # byte-identically, so any recovery regression reproduces exactly.
 PLFS_FAULT_SEED=3405691582 cargo test -q --offline --test crash_recovery

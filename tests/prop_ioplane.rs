@@ -7,14 +7,22 @@
 //! retry never re-executes an append that already succeeded, so landed
 //! bytes always equal the sum of acknowledged appends.
 //!
+//! The asynchronous plane gets the same treatment: `submit_async` — both
+//! the inline trait default and a real [`Reactor`] — must be observably
+//! equivalent to the synchronous paths op for op, and the completion-time
+//! retry of `drain_retried` must uphold the never-duplicate contract the
+//! synchronous `submit_retried` does. (`tests/prop_async.rs` extends this
+//! to seeded faults with crash points between submission and drain.)
+//!
 //! Seeds mix in `PLFS_FAULT_SEED` when set (as tier-1 does for the crash
 //! suite), so a pinned run replays the same fault schedules.
 
 use plfs::faults::{FaultBackend, FaultConfig};
-use plfs::ioplane;
-use plfs::{Backend, Content, IoOp, LocalFs, MemFs};
+use plfs::ioplane::{self, async_plane};
+use plfs::{Backend, Content, IoOp, LocalFs, MemFs, Reactor};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Small closed path universe so random ops collide often enough to hit
 /// the interesting cases (append runs, create-over-existing, rename onto
@@ -188,6 +196,75 @@ proptest! {
             })
             .collect();
         let outcomes = ioplane::submit_retried(&b, 8, &batch);
+        let acknowledged: u64 = outcomes
+            .iter()
+            .zip(&lens)
+            .filter(|(o, _)| o.is_ok())
+            .map(|(_, &len)| len)
+            .sum();
+        b.revive();
+        prop_assert_eq!(
+            b.size("/f").unwrap(),
+            acknowledged,
+            "landed bytes must equal acknowledged appends exactly"
+        );
+    }
+
+    #[test]
+    fn inline_submit_async_is_equivalent_to_submit(
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        // The trait default: an already-complete ticket whose outcomes
+        // are exactly what the synchronous fast path would have returned.
+        let async_side = MemFs::new();
+        let sync_side = MemFs::new();
+        let got = sigs(&async_side.submit_async(&ops).wait().outcomes);
+        let want = sigs(&sync_side.submit(&ops));
+        prop_assert_eq!(got, want, "inline async outcomes diverged from submit");
+        prop_assert_eq!(probe(&async_side), probe(&sync_side), "final state diverged");
+    }
+
+    #[test]
+    fn reactor_submit_async_is_equivalent_to_sequential_calls(
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        // A real worker pool behind the same interface: one batch, one
+        // ticket, and the completion must be indistinguishable from
+        // having issued the ops one call at a time.
+        let reactor = Reactor::with_config(Arc::new(MemFs::new()), 2, 4);
+        let sequential = MemFs::new();
+        let got = sigs(&reactor.submit_async(&ops).wait().outcomes);
+        let want = sigs(&ioplane::replay(&sequential, &ops));
+        prop_assert_eq!(got, want, "reactor outcomes diverged from sequential calls");
+        prop_assert_eq!(probe(&reactor), probe(&sequential), "final state diverged");
+    }
+
+    #[test]
+    fn async_drain_retry_never_duplicates_acknowledged_appends(
+        seed in 0u64..1_000_000,
+        lens in prop::collection::vec(1u64..256, 1..24),
+    ) {
+        // The async twin of the property above: the retry decision moves
+        // from the submission site to the completion drain, and must
+        // still never re-execute an append that already succeeded.
+        let cfg = FaultConfig {
+            seed: seed ^ base_seed(),
+            transient_prob: 0.35,
+            torn_append_prob: 0.0,
+            crash_after_data_ops: None,
+            crash_tears_append: false,
+        };
+        let b = FaultBackend::new(MemFs::new(), cfg);
+        b.create("/f", true).unwrap();
+        let batch: Vec<IoOp> = lens
+            .iter()
+            .map(|&len| IoOp::Append {
+                path: "/f".to_string(),
+                content: Content::synthetic(len, len),
+            })
+            .collect();
+        let ticket = async_plane::submit_tracked(&b, &batch);
+        let outcomes = async_plane::drain_retried(&b, 8, &batch, ticket);
         let acknowledged: u64 = outcomes
             .iter()
             .zip(&lens)
