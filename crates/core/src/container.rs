@@ -503,14 +503,32 @@ impl Container {
             .map(|c| async_plane::submit_tracked(b, c))
             .collect();
         let mut out = Vec::with_capacity(paths.len());
+        // A decode/read failure must not abandon the tickets of the
+        // chunks not reached yet: their batches are still in flight on
+        // the reactor, holding window slots. Drain every ticket first,
+        // then propagate the earliest error.
+        let mut first_err: Option<PlfsError> = None;
         for (chunk, ticket) in chunks.iter().zip(tickets) {
-            for outcome in async_plane::drain_retried(b, DEFAULT_RETRY_ATTEMPTS, chunk, ticket) {
-                out.push(IndexEntry::decode_all(
-                    &ioplane::as_data(outcome)?.materialize(),
-                )?);
+            let outcomes = async_plane::drain_retried(b, DEFAULT_RETRY_ATTEMPTS, chunk, ticket);
+            if first_err.is_some() {
+                continue;
+            }
+            for outcome in outcomes {
+                match ioplane::as_data(outcome)
+                    .and_then(|c| IndexEntry::decode_all(&c.materialize()))
+                {
+                    Ok(entries) => out.push(entries),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
             }
         }
-        Ok(out)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Aggregate a global index by reading every writer's index log — the

@@ -1,0 +1,263 @@
+//! Workspace-wide call graph over the [`crate::ir`] function set.
+//!
+//! Resolution is by bare name: a call to `flush_index` edges to every
+//! non-test workspace function named `flush_index`. Names that are
+//! ubiquitous standard-library methods (`new`, `len`, `insert`, …)
+//! are on a deny list — resolving them would wire every function to
+//! every collection helper and drown the analyses in false edges.
+//! Backend I/O entry points (`Backend` trait ops, `submit`,
+//! `submit_retried`) are treated as *opaque I/O*: they dispatch through
+//! a trait object, so the graph does not chase them into any concrete
+//! backend — they seed the reaches-I/O fixpoint instead.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ir::{Event, FnIr};
+use crate::rules::BACKEND_OPS;
+
+/// Call names never resolved to workspace functions: standard-library
+/// and collection methods whose names collide with everything. `wait`
+/// is here because condvar waits would otherwise resolve to
+/// `Ticket::wait`; `read`/`write`/`lock` are guard acquisitions.
+const DENY_RESOLVE: &[&str] = &[
+    "new", "default", "clone", "drop", "fmt", "len", "is_empty", "get", "get_mut",
+    "get_or_init", "insert", "remove", "push", "push_back", "push_front", "pop",
+    "pop_front", "pop_back", "next", "iter", "iter_mut", "into_iter", "collect",
+    "map", "filter", "flatten", "and_then", "map_err", "unwrap_or", "unwrap_or_else",
+    "unwrap_or_default", "ok_or", "ok_or_else", "ok", "err", "to_string", "to_vec",
+    "as_str", "as_ref", "as_mut", "as_bytes", "as_deref", "from", "into", "take",
+    "clear", "contains", "contains_key", "entry", "or_insert", "or_insert_with",
+    "or_default", "extend", "with_capacity", "join", "wait", "notify_one",
+    "notify_all", "lock", "read", "write", "min", "max", "cmp", "eq", "hash",
+    "fetch_add", "fetch_sub", "load", "store", "swap", "split", "starts_with",
+    "ends_with", "trim", "position", "any", "all", "find", "zip", "enumerate",
+    "chunks", "windows", "rev", "sort", "sort_by", "sort_by_key", "retain",
+    "drain", "truncate", "resize", "last", "first", "expect", "unwrap", "is_some",
+    "is_none", "is_ok", "is_err", "cloned", "copied", "then", "clamp", "abs",
+];
+
+/// Calls that ARE backend I/O at the call site (dispatch through the
+/// `Backend` trait object): never resolved into concrete backends.
+pub fn is_opaque_io(name: &str, method: bool, has_args: bool) -> bool {
+    if name == "submit" && method {
+        return true;
+    }
+    if name == "submit_retried" {
+        return true;
+    }
+    if BACKEND_OPS.contains(&name) && method {
+        // Zero-arg `read`/`size`-alikes can't be backend ops (all take
+        // a path); `read`/`write` are filtered earlier as acquisitions.
+        return has_args;
+    }
+    false
+}
+
+/// Async-plane entry points: these both seed reaches-I/O *and* resolve
+/// into the plane's implementation (they are plain workspace functions,
+/// not trait-object dispatch — except `submit_async`, which resolves to
+/// every impl, including the reactor's).
+pub fn is_async_io(name: &str) -> bool {
+    matches!(
+        name,
+        "submit_async" | "submit_tracked" | "drain_retried"
+    )
+}
+
+/// The resolved graph. Functions are indexed by position in `fns`.
+pub struct CallGraph<'a> {
+    pub fns: &'a [FnIr],
+    /// Resolved workspace call edges per function: (callee index, call line).
+    pub edges: Vec<Vec<(usize, u32)>>,
+    /// Functions that perform (or transitively reach) backend I/O.
+    pub reaches_io: Vec<bool>,
+    by_name: HashMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> CallGraph<'a> {
+    pub fn build(fns: &'a [FnIr]) -> CallGraph<'a> {
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if !f.is_test {
+                by_name.entry(f.name.as_str()).or_default().push(i);
+            }
+        }
+        let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); fns.len()];
+        let mut direct_io = vec![false; fns.len()];
+        for (i, f) in fns.iter().enumerate() {
+            let mut calls = Vec::new();
+            collect_calls(&f.body, &mut calls);
+            let mut seen: HashSet<usize> = HashSet::new();
+            for (name, method, has_args, line) in calls {
+                if is_opaque_io(&name, method, has_args) || is_async_io(&name) {
+                    direct_io[i] = true;
+                }
+                if DENY_RESOLVE.contains(&name.as_str()) || is_opaque_io(&name, method, has_args)
+                {
+                    continue;
+                }
+                if let Some(cands) = by_name.get(name.as_str()) {
+                    for &c in cands {
+                        if c != i && seen.insert(c) {
+                            edges[i].push((c, line));
+                        }
+                    }
+                }
+            }
+        }
+        // reaches_io fixpoint: propagate backwards over call edges.
+        let mut reaches_io = direct_io.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..fns.len() {
+                if reaches_io[i] {
+                    continue;
+                }
+                if edges[i].iter().any(|&(c, _)| reaches_io[c]) {
+                    reaches_io[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        CallGraph {
+            fns,
+            edges,
+            reaches_io,
+            by_name,
+        }
+    }
+
+    /// Candidate indices for a bare call name, deny-list applied.
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        if DENY_RESOLVE.contains(&name) {
+            return &[];
+        }
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Shortest call chain (as `Type::fn` names) from `from` to a
+    /// function that performs direct I/O, for counterexample traces.
+    /// Includes `from` itself; `None` when `from` does not reach I/O.
+    pub fn io_witness(&self, from: usize) -> Option<Vec<String>> {
+        if !self.reaches_io[from] {
+            return None;
+        }
+        // BFS toward any function whose body contains a direct I/O call.
+        let mut prev: HashMap<usize, usize> = HashMap::new();
+        let mut q = VecDeque::from([from]);
+        let mut seen: HashSet<usize> = HashSet::from([from]);
+        while let Some(n) = q.pop_front() {
+            if fn_has_direct_io(&self.fns[n]) {
+                let mut chain = vec![n];
+                let mut cur = n;
+                while let Some(&p) = prev.get(&cur) {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                return Some(chain.iter().map(|&i| self.fns[i].qual()).collect());
+            }
+            for &(c, _) in &self.edges[n] {
+                if self.reaches_io[c] && seen.insert(c) {
+                    prev.insert(c, n);
+                    q.push_back(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn fn_has_direct_io(f: &FnIr) -> bool {
+    let mut calls = Vec::new();
+    collect_calls(&f.body, &mut calls);
+    calls
+        .iter()
+        .any(|(n, m, a, _)| is_opaque_io(n, *m, *a) || is_async_io(n))
+}
+
+/// All call events in a body, recursively: (name, method, has_args, line).
+pub fn collect_calls(evs: &[Event], out: &mut Vec<(String, bool, bool, u32)>) {
+    for e in evs {
+        match e {
+            Event::Call {
+                name,
+                has_args,
+                method,
+                line,
+                ..
+            } => out.push((name.clone(), *method, *has_args, *line)),
+            Event::Bind { init, .. } => collect_calls(init, out),
+            Event::Stmt(es) | Event::Scope(es) => collect_calls(es, out),
+            Event::Branch { arms, .. } => {
+                for a in arms {
+                    collect_calls(a, out);
+                }
+            }
+            Event::Loop { body, .. } => collect_calls(body, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_file;
+    use crate::lexer::lex;
+
+    fn graph_src(src: &str) -> Vec<FnIr> {
+        parse_file("crates/x/src/lib.rs", &lex(src).toks)
+    }
+
+    #[test]
+    fn reaches_io_propagates_transitively() {
+        let src = r#"
+            fn leaf(&self) { self.backend.append(path, c); }
+            fn mid(&self) { self.leaf(); }
+            fn top(&self) { self.mid(); }
+            fn pure_fn(&self) { helper(); }
+            fn helper(&self) { compute(); }
+            fn compute(&self) {}
+        "#;
+        let fns = graph_src(src);
+        let g = CallGraph::build(&fns);
+        let idx = |n: &str| fns.iter().position(|f| f.name == n).unwrap();
+        assert!(g.reaches_io[idx("leaf")]);
+        assert!(g.reaches_io[idx("mid")]);
+        assert!(g.reaches_io[idx("top")]);
+        assert!(!g.reaches_io[idx("pure_fn")]);
+        let witness = g.io_witness(idx("top")).unwrap();
+        assert_eq!(witness, vec!["top", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn deny_listed_names_do_not_resolve() {
+        let src = r#"
+            fn insert(&self) { self.backend.append(p, c); }
+            fn caller(&self) { self.map.insert(k, v); }
+        "#;
+        let fns = graph_src(src);
+        let g = CallGraph::build(&fns);
+        let caller = fns.iter().position(|f| f.name == "caller").unwrap();
+        assert!(!g.reaches_io[caller], "deny-listed `insert` must not edge");
+    }
+
+    #[test]
+    fn async_submissions_count_as_io() {
+        let src = "fn f(&self) { let t = self.backend.submit_async(&ops); tickets.push(t); }";
+        let fns = graph_src(src);
+        let g = CallGraph::build(&fns);
+        assert!(g.reaches_io[0]);
+    }
+
+    #[test]
+    fn test_fns_are_not_resolution_targets() {
+        let src = "#[test]\nfn helper() { b.append(p, c); }\nfn caller() { helper(); }";
+        let fns = graph_src(src);
+        let g = CallGraph::build(&fns);
+        let caller = fns.iter().position(|f| f.name == "caller").unwrap();
+        assert!(!g.reaches_io[caller]);
+    }
+}

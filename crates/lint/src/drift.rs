@@ -189,6 +189,7 @@ pub fn check_ioplane_file(rows: &[IoPlaneRow], toks: &[Tok]) -> (Vec<RawFinding>
     let mut matched = Vec::new();
     if variants.is_empty() {
         findings.push(RawFinding {
+            trace: Vec::new(),
             rule: RuleId::FormatDrift,
             line: 1,
             message: "no `enum IoOp` found in the I/O-plane source; the op vocabulary table in \
@@ -200,6 +201,7 @@ pub fn check_ioplane_file(rows: &[IoPlaneRow], toks: &[Tok]) -> (Vec<RawFinding>
     for (name, line) in &variants {
         if !rows.iter().any(|r| &r.name == name) {
             findings.push(RawFinding {
+                trace: Vec::new(),
                 rule: RuleId::FormatDrift,
                 line: *line,
                 message: format!(
@@ -328,6 +330,7 @@ pub fn check_telemetry_file(rows: &[TelemetryRow], toks: &[Tok]) -> (Vec<RawFind
     let mut matched = Vec::new();
     if registry.is_empty() {
         findings.push(RawFinding {
+            trace: Vec::new(),
             rule: RuleId::FormatDrift,
             line: 1,
             message: "no `SPAN_`/`CTR_`/`HIST_` string constants found in the telemetry source; \
@@ -339,6 +342,7 @@ pub fn check_telemetry_file(rows: &[TelemetryRow], toks: &[Tok]) -> (Vec<RawFind
     for (ident, name, kind, line) in &registry {
         match rows.iter().find(|r| &r.name == name) {
             None => findings.push(RawFinding {
+                trace: Vec::new(),
                 rule: RuleId::FormatDrift,
                 line: *line,
                 message: format!(
@@ -347,6 +351,7 @@ pub fn check_telemetry_file(rows: &[TelemetryRow], toks: &[Tok]) -> (Vec<RawFind
                 ),
             }),
             Some(row) if &row.kind != kind => findings.push(RawFinding {
+                trace: Vec::new(),
                 rule: RuleId::FormatDrift,
                 line: *line,
                 message: format!(
@@ -364,6 +369,91 @@ pub fn check_telemetry_file(rows: &[TelemetryRow], toks: &[Tok]) -> (Vec<RawFind
         }
     }
     (findings, matched)
+}
+
+/// Row of the lock-hierarchy table (DESIGN.md §5i). `class` names the
+/// lock class, `rank` its acquisition order (lower acquires first,
+/// i.e. outermost), `file` the defining file, and `receivers` the
+/// identifiers an acquisition site dereferences (`table` for
+/// `self.table.lock()`, `registry` for `registry().read()`).
+#[derive(Debug, Clone)]
+pub struct LockRow {
+    pub class: String,
+    pub rank: u32,
+    pub file: String,
+    pub receivers: Vec<String>,
+    pub doc_line: u32,
+}
+
+/// Parse the lock-hierarchy table out of DESIGN.md (between
+/// `<!-- plfs-lint:lock-table -->` markers). As with the other
+/// authoritative tables, missing or unbalanced markers are a
+/// configuration error, not a silent pass.
+pub fn parse_lock_table(doc: &str) -> Result<Vec<LockRow>, String> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut seen_open = false;
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.contains("<!-- plfs-lint:lock-table -->") {
+            inside = true;
+            seen_open = true;
+            continue;
+        }
+        if trimmed.contains("<!-- /plfs-lint:lock-table -->") {
+            inside = false;
+            continue;
+        }
+        if !inside || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let (class, rank, file, recvs) = (
+            unbacktick(cells[0]),
+            unbacktick(cells[1]),
+            unbacktick(cells[2]),
+            cells[3].trim(),
+        );
+        if class.is_empty() || class == "class" || class.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        let Ok(rank) = rank.parse::<u32>() else {
+            return Err(format!(
+                "DESIGN.md lock table line {lineno}: rank `{rank}` for class `{class}` is not a number"
+            ));
+        };
+        let receivers: Vec<String> = recvs
+            .split(',')
+            .map(|r| unbacktick(r).to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if receivers.is_empty() {
+            return Err(format!(
+                "DESIGN.md lock table line {lineno}: class `{class}` lists no receiver identifiers"
+            ));
+        }
+        rows.push(LockRow {
+            class: class.to_string(),
+            rank,
+            file: file.to_string(),
+            receivers,
+            doc_line: lineno,
+        });
+    }
+    if !seen_open {
+        return Err("DESIGN.md has no `<!-- plfs-lint:lock-table -->` marker; the lock-order rule has no hierarchy to check against".into());
+    }
+    if inside {
+        return Err("DESIGN.md lock table is missing its closing `<!-- /plfs-lint:lock-table -->` marker".into());
+    }
+    if rows.is_empty() {
+        return Err("DESIGN.md lock table is empty".into());
+    }
+    Ok(rows)
 }
 
 /// Extract `const NAME ... = <expr> ;` initializer tokens from a file.
@@ -408,6 +498,7 @@ pub fn check_file(rows: &[FormatRow], rel_path: &str, toks: &[Tok]) -> (Vec<RawF
             Some((line, actual)) => {
                 matched.push(idx);
                 findings.push(RawFinding {
+                    trace: Vec::new(),
                     rule: RuleId::FormatDrift,
                     line,
                     message: format!(
@@ -420,6 +511,7 @@ pub fn check_file(rows: &[FormatRow], rel_path: &str, toks: &[Tok]) -> (Vec<RawF
             None => {
                 matched.push(idx);
                 findings.push(RawFinding {
+                    trace: Vec::new(),
                     rule: RuleId::FormatDrift,
                     line: 1,
                     message: format!(

@@ -266,6 +266,30 @@ pub fn lex(src: &str) -> Lexed {
                 i = end;
                 continue;
             }
+            // Raw identifier: `r#ident` (keyword escape). Not a raw
+            // string (no `"` after the hashes — skip_raw said no), so
+            // lex it as ONE identifier with the `r#` stripped; the
+            // naive path would emit `r`, `#`, `ident` and a statement
+            // like `r#match()` would read as a `match` expression.
+            if c == 'r'
+                && chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).copied().is_some_and(is_ident_start)
+            {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    depth,
+                });
+                i = j;
+                continue;
+            }
         }
         if c == '"' {
             let (end, newlines) = skip_quoted(&chars, i, '"');
@@ -452,6 +476,74 @@ x();
         assert_eq!(l.pragmas[0].rule.as_deref(), Some("panic-in-core"));
         assert_eq!(l.pragmas[0].reason, "provably infallible here");
         assert_eq!(l.pragmas[1].rule, None, "malformed pragma is surfaced");
+    }
+
+    #[test]
+    fn raw_strings_of_every_hash_depth_are_single_literals() {
+        // r"..", r#".."#, r##"..".."##, and byte-raw br#".."# — none of
+        // the quoted contents may leak into the token stream, and the
+        // token after each literal must survive intact.
+        let src = "let a = r\"plain .unwrap()\"; let b = r#\"one \"deep\" .lock()\"#;\n\
+                   let c = r##\"two \"# deep\"##; let d = br#\"bytes \"raw\"\"#; done();";
+        let l = lex(src);
+        let lits: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 4, "{lits:?}");
+        assert!(!l.toks.iter().any(|t| t.text == "unwrap" || t.text == "lock"));
+        assert!(l.toks.iter().any(|t| t.is(TokKind::Ident, "done")));
+    }
+
+    #[test]
+    fn multiline_raw_string_advances_line_count() {
+        let src = "let a = r#\"line\none\ntwo\"#;\nafter();\n";
+        let l = lex(src);
+        let after = l.toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_level() {
+        // Two levels of nesting, a `/*/` pivot, and a multi-line body:
+        // everything inside is invisible, everything after is lexed.
+        let src = "/* a /* b /* c */ b */ .unwrap() */ x();\n/*/ still open */ y();\n/* l1\nl2 */ z();";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["x", "y", "z"]);
+        let z = l.toks.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!(z.line, 4, "newlines inside block comments count");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        // `r#type` / `r#match` are keyword escapes, not `r` + `#` +
+        // keyword — the phantom `#` used to start an attribute scan and
+        // the bare keyword corrupted statement parsing.
+        let src = "let r#type = 1; r#match(); s.r#await();";
+        let l = lex(src);
+        assert!(!l.toks.iter().any(|t| t.is(TokKind::Punct, "#")));
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "type", "match", "s", "await"]);
+    }
+
+    #[test]
+    fn raw_ident_fix_does_not_break_raw_strings_after_r() {
+        // `r#"..."#` must still win over the raw-identifier branch.
+        let l = lex("let x = r#\"not an ident\"#;");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Literal
+            && t.text.starts_with("r#\"")));
     }
 
     #[test]

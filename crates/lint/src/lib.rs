@@ -8,15 +8,22 @@
 //! Pragmas are never free: malformed ones, ones naming unknown rules,
 //! and ones that suppress nothing are all surfaced as warnings.
 
+pub mod callgraph;
 pub mod drift;
+pub mod ir;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
+pub mod tickets;
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use drift::FormatRow;
+use callgraph::CallGraph;
+use drift::{FormatRow, LockRow};
+use ir::FnIr;
 use lexer::lex;
 use report::{AllowedFinding, Finding, LintReport, LintWarning};
 use rules::{RawFinding, RuleId};
@@ -94,34 +101,49 @@ pub struct FileLint {
 
 /// Lint one source file given as a string. `rel` selects path-scoped
 /// rules (guard-across-io, unretried-backend-call); `extra` carries
-/// caller-computed findings (format-drift) through pragma resolution.
+/// caller-computed findings (format-drift, semantic analyses) through
+/// pragma resolution.
 pub fn lint_source_with(rel: &str, src: &str, extra: Vec<RawFinding>) -> FileLint {
+    lint_source_opts(rel, src, extra, false)
+}
+
+/// Full-control variant. With `testish` set, the file is treated as
+/// test/example code: token-level rules are skipped (they are exempt
+/// by design there) and the caller's `extra` findings — the semantic
+/// ticket rules, which *do* apply to test code — go through pragma
+/// resolution with pragmas honored even inside `#[test]` ranges.
+pub fn lint_source_opts(rel: &str, src: &str, extra: Vec<RawFinding>, testish: bool) -> FileLint {
     let lexed = lex(src);
     let tests = rules::test_ranges(&lexed.toks);
 
     let mut raw: Vec<RawFinding> = extra;
-    raw.extend(rules::panic_in_core(&lexed.toks, &tests));
-    raw.extend(rules::swallowed_result(&lexed.toks, &tests));
-    if guard_scope(rel) {
-        raw.extend(rules::guard_across_io(&lexed.toks, &tests));
-    }
-    if unretried_scope(rel) {
-        raw.extend(rules::unretried_backend_call(&lexed.toks, &tests));
-    }
-    if batch_scope(rel) {
-        raw.extend(rules::raw_backend_in_batch_path(&lexed.toks, &tests));
-    }
-    if async_ticket_scope(rel) {
-        raw.extend(rules::blocking_submit_with_ticket(&lexed.toks, &tests));
+    if !testish {
+        raw.extend(rules::panic_in_core(&lexed.toks, &tests));
+        raw.extend(rules::swallowed_result(&lexed.toks, &tests));
+        if guard_scope(rel) {
+            raw.extend(rules::guard_across_io(&lexed.toks, &tests));
+        }
+        if unretried_scope(rel) {
+            raw.extend(rules::unretried_backend_call(&lexed.toks, &tests));
+        }
+        if batch_scope(rel) {
+            raw.extend(rules::raw_backend_in_batch_path(&lexed.toks, &tests));
+        }
+        if async_ticket_scope(rel) {
+            raw.extend(rules::blocking_submit_with_ticket(&lexed.toks, &tests));
+        }
     }
 
     // Line spans of test regions: pragmas inside them are inert (test
-    // code is rule-exempt, so there is nothing for them to suppress).
+    // code is rule-exempt, so there is nothing for them to suppress) —
+    // except in testish files, where semantic findings land inside
+    // `#[test]` fns and their pragmas must work.
     let test_lines: Vec<(u32, u32)> = tests
         .iter()
         .map(|&(s, e)| (lexed.toks[s].line, lexed.toks[e].line))
         .collect();
-    let in_test_lines = |line: u32| test_lines.iter().any(|&(s, e)| s <= line && line <= e);
+    let in_test_lines =
+        |line: u32| !testish && test_lines.iter().any(|&(s, e)| s <= line && line <= e);
 
     // Sorted token lines, for "first code line after the pragma".
     let tok_lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
@@ -207,6 +229,7 @@ pub fn lint_source_with(rel: &str, src: &str, extra: Vec<RawFinding>) -> FileLin
             line: f.line,
             message: f.message,
             snippet: snippet(f.line),
+            trace: f.trace,
         });
     }
     out
@@ -216,6 +239,62 @@ pub fn lint_source_with(rel: &str, src: &str, extra: Vec<RawFinding>) -> FileLin
 /// entry point fixture tests use).
 pub fn lint_source(rel: &str, src: &str) -> FileLint {
     lint_source_with(rel, src, Vec::new())
+}
+
+/// The whole-workspace semantic pass: parse every file into
+/// [`ir::FnIr`], build the production call graph, and run the
+/// lock-order, guard-across-io-v2, and ticket-lifecycle analyses.
+///
+/// `files` is `(rel, source, testish)`; testish files (top-level
+/// `tests/`, `examples/`) contribute no call-graph nodes and only run
+/// the ticket rules — but run them on *every* function, `#[test]`
+/// included, because a leaked ticket in a test wedges the reactor for
+/// the whole suite.
+///
+/// Returns per-file findings plus a used-flag per §5i lock-table row
+/// so the caller can report stale rows (the two-way drift contract).
+pub fn semantic_findings(
+    files: &[(String, String, bool)],
+    lock_rows: &[LockRow],
+) -> (HashMap<String, Vec<RawFinding>>, Vec<bool>) {
+    let mut prod_fns: Vec<FnIr> = Vec::new();
+    let mut test_fns: Vec<FnIr> = Vec::new();
+    for (rel, src, testish) in files {
+        let lexed = lex(src);
+        let fns = ir::parse_file(rel, &lexed.toks);
+        if *testish {
+            test_fns.extend(fns);
+        } else {
+            prod_fns.extend(fns);
+        }
+    }
+    let graph = CallGraph::build(&prod_fns);
+    let mut out: HashMap<String, Vec<RawFinding>> = HashMap::new();
+
+    let lock_report = locks::analyze(&prod_fns, &graph, lock_rows, &|_| true);
+    let mut used = vec![false; lock_rows.len()];
+    for i in &lock_report.used_rows {
+        used[*i] = true;
+    }
+    for (file, f) in lock_report.findings {
+        out.entry(file).or_default().push(f);
+    }
+    for (file, f) in locks::guard_v2(&prod_fns, &graph, &|f: &FnIr| guard_scope(&f.file)) {
+        out.entry(file).or_default().push(f);
+    }
+    for f in prod_fns.iter().filter(|f| !f.is_test && async_ticket_scope(&f.file)) {
+        let found = tickets::analyze_fn(f);
+        if !found.is_empty() {
+            out.entry(f.file.clone()).or_default().extend(found);
+        }
+    }
+    for f in &test_fns {
+        let found = tickets::analyze_fn(f);
+        if !found.is_empty() {
+            out.entry(f.file.clone()).or_default().extend(found);
+        }
+    }
+    (out, used)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -257,57 +336,102 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
     let tel_rows = drift::parse_telemetry_table(&doc)?;
     let mut tel_row_matched = vec![false; tel_rows.len()];
     let mut telemetry_seen = false;
+    let lock_rows = drift::parse_lock_table(&doc)?;
 
-    let mut files = Vec::new();
+    let mut prod_paths = Vec::new();
     for top in ["crates", "src"] {
-        collect_rs_files(&cfg.root.join(top), &mut files);
+        collect_rs_files(&cfg.root.join(top), &mut prod_paths);
     }
-    if files.is_empty() {
+    if prod_paths.is_empty() {
         return Err(format!(
             "no Rust sources found under {} (crates/, src/)",
             cfg.root.display()
         ));
     }
+    // Top-level integration tests and examples are token-rule-exempt
+    // but still drive the async plane, so the semantic ticket rules
+    // cover them as "testish" sources.
+    let mut testish_paths = Vec::new();
+    for top in ["tests", "examples"] {
+        collect_rs_files(&cfg.root.join(top), &mut testish_paths);
+    }
+
+    // Read everything up front: the semantic pass is workspace-wide
+    // (the call graph spans files), unlike the per-file token rules.
+    let mut sources: Vec<(String, String, bool)> = Vec::new();
+    for (paths, testish) in [(&prod_paths, false), (&testish_paths, true)] {
+        for path in paths.iter() {
+            let rel = path
+                .strip_prefix(&cfg.root)
+                .unwrap_or(path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            sources.push((rel, src, testish));
+        }
+    }
+
+    let (mut semantic, lock_row_used) = semantic_findings(&sources, &lock_rows);
 
     let mut report = LintReport::default();
-    for path in &files {
-        let rel = path
-            .strip_prefix(&cfg.root)
-            .unwrap_or(path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let src = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let lexed_for_drift = lex(&src);
-        let (mut drift_findings, matched) = drift::check_file(&rows, &rel, &lexed_for_drift.toks);
-        for idx in matched {
-            row_matched[idx] = true;
-        }
-        if rel == "crates/core/src/ioplane.rs" {
-            ioplane_seen = true;
-            let (io_findings, io_matched) =
-                drift::check_ioplane_file(&io_rows, &lexed_for_drift.toks);
-            drift_findings.extend(io_findings);
-            for idx in io_matched {
-                io_row_matched[idx] = true;
+    for (rel, src, testish) in &sources {
+        let mut extras = semantic.remove(rel).unwrap_or_default();
+        if !testish {
+            let lexed_for_drift = lex(src);
+            let (drift_findings, matched) = drift::check_file(&rows, rel, &lexed_for_drift.toks);
+            extras.extend(drift_findings);
+            for idx in matched {
+                row_matched[idx] = true;
+            }
+            if rel == "crates/core/src/ioplane.rs" {
+                ioplane_seen = true;
+                let (io_findings, io_matched) =
+                    drift::check_ioplane_file(&io_rows, &lexed_for_drift.toks);
+                extras.extend(io_findings);
+                for idx in io_matched {
+                    io_row_matched[idx] = true;
+                }
+            }
+            if rel == "crates/core/src/telemetry.rs" {
+                telemetry_seen = true;
+                let (tel_findings, tel_matched) =
+                    drift::check_telemetry_file(&tel_rows, &lexed_for_drift.toks);
+                extras.extend(tel_findings);
+                for idx in tel_matched {
+                    tel_row_matched[idx] = true;
+                }
             }
         }
-        if rel == "crates/core/src/telemetry.rs" {
-            telemetry_seen = true;
-            let (tel_findings, tel_matched) =
-                drift::check_telemetry_file(&tel_rows, &lexed_for_drift.toks);
-            drift_findings.extend(tel_findings);
-            for idx in tel_matched {
-                tel_row_matched[idx] = true;
-            }
-        }
-        let file_lint = lint_source_with(&rel, &src, drift_findings);
+        let file_lint = lint_source_opts(rel, src, extras, *testish);
         report.findings.extend(file_lint.findings);
         report.allowed.extend(file_lint.allowed);
         report.warnings.extend(file_lint.warnings);
         report.files_scanned += 1;
+    }
+
+    for (row, used) in lock_rows.iter().zip(&lock_row_used) {
+        if !used {
+            report.findings.push(Finding {
+                rule: RuleId::FormatDrift,
+                file: "DESIGN.md".into(),
+                line: row.doc_line,
+                message: format!(
+                    "lock-hierarchy row `{}` matched no acquisition site in the workspace; \
+                     remove the row or restore the lock",
+                    row.class
+                ),
+                snippet: doc
+                    .lines()
+                    .nth(row.doc_line as usize - 1)
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+                trace: Vec::new(),
+            });
+        }
     }
 
     if ioplane_seen {
@@ -328,6 +452,7 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                         .unwrap_or("")
                         .trim()
                         .to_string(),
+                        trace: Vec::new(),
                 });
             }
         }
@@ -340,6 +465,7 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                       was not scanned (file moved or deleted without updating the table)"
                 .into(),
             snippet: String::new(),
+            trace: Vec::new(),
         });
     }
 
@@ -361,6 +487,7 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                         .unwrap_or("")
                         .trim()
                         .to_string(),
+                        trace: Vec::new(),
                 });
             }
         }
@@ -373,6 +500,7 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                       was not scanned (file moved or deleted without updating the table)"
                 .into(),
             snippet: String::new(),
+            trace: Vec::new(),
         });
     }
 
@@ -393,6 +521,7 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                     .unwrap_or("")
                     .trim()
                     .to_string(),
+                    trace: Vec::new(),
             });
         }
     }

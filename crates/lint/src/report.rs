@@ -14,6 +14,9 @@ pub struct Finding {
     pub message: String,
     /// The offending source line, trimmed, for diff-style output.
     pub snippet: String,
+    /// Counterexample trace for interprocedural findings: one
+    /// `file:line: note` step per entry. Empty for token-level rules.
+    pub trace: Vec<String>,
 }
 
 /// A finding suppressed by a `// plfs-lint: allow(...)` pragma. These
@@ -74,6 +77,9 @@ impl LintReport {
                 f.line,
                 f.snippet
             ));
+            for (i, step) in f.trace.iter().enumerate() {
+                out.push_str(&format!("   {}: {}\n", i + 1, step));
+            }
         }
         for w in &self.warnings {
             out.push_str(&format!("warning: {} --> {}:{}\n", w.message, w.file, w.line));
@@ -100,13 +106,20 @@ impl LintReport {
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
+            let trace = f
+                .trace
+                .iter()
+                .map(|s| json_str(s))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}{}\n",
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}, \"trace\": [{}]}}{}\n",
                 json_str(f.rule.as_str()),
                 json_str(&f.file),
                 f.line,
                 json_str(&f.message),
                 json_str(&f.snippet),
+                trace,
                 if i + 1 < self.findings.len() { "," } else { "" }
             ));
         }

@@ -37,12 +37,20 @@
 //!   The blocking call serializes the caller behind I/O the reactor
 //!   was supposed to overlap — and behind a bounded in-flight window it
 //!   can deadlock the drain the ticket is waiting on.
+//!
+//! Three further rules are *semantic*: they run on the statement/branch
+//! IR ([`crate::ir`]) and the workspace call graph
+//! ([`crate::callgraph`]) rather than on this file's token scanners —
+//! **lock-order-inversion** ([`crate::locks`], checked against the
+//! DESIGN.md §5i hierarchy), **ticket-leak** and
+//! **ticket-double-drain** ([`crate::tickets`]). Their findings carry
+//! counterexample traces and flow through the same pragma resolution.
 
 use crate::lexer::{Tok, TokKind};
 
 /// Stable rule identifiers (these appear in pragmas, JSON output, and
 /// the baseline file — do not rename casually).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     GuardAcrossIo,
     SwallowedResult,
@@ -51,6 +59,9 @@ pub enum RuleId {
     RawBackendInBatchPath,
     FormatDrift,
     BlockingSubmitWithTicket,
+    LockOrderInversion,
+    TicketLeak,
+    TicketDoubleDrain,
 }
 
 impl RuleId {
@@ -63,10 +74,13 @@ impl RuleId {
             RuleId::RawBackendInBatchPath => "raw-backend-in-batch-path",
             RuleId::FormatDrift => "format-drift",
             RuleId::BlockingSubmitWithTicket => "blocking-submit-with-ticket",
+            RuleId::LockOrderInversion => "lock-order-inversion",
+            RuleId::TicketLeak => "ticket-leak",
+            RuleId::TicketDoubleDrain => "ticket-double-drain",
         }
     }
 
-    pub fn all() -> [RuleId; 7] {
+    pub fn all() -> [RuleId; 10] {
         [
             RuleId::GuardAcrossIo,
             RuleId::SwallowedResult,
@@ -75,6 +89,9 @@ impl RuleId {
             RuleId::RawBackendInBatchPath,
             RuleId::FormatDrift,
             RuleId::BlockingSubmitWithTicket,
+            RuleId::LockOrderInversion,
+            RuleId::TicketLeak,
+            RuleId::TicketDoubleDrain,
         ]
     }
 
@@ -83,12 +100,15 @@ impl RuleId {
     }
 }
 
-/// A rule hit before pragma resolution.
+/// A rule hit before pragma resolution. `trace` carries the
+/// counterexample trace for interprocedural findings (`file:line: note`
+/// per step); token-level rules leave it empty.
 #[derive(Debug, Clone)]
 pub struct RawFinding {
     pub rule: RuleId,
     pub line: u32,
     pub message: String,
+    pub trace: Vec<String>,
 }
 
 /// `Backend` trait operations that perform I/O against the underlying
@@ -112,7 +132,7 @@ pub const BACKEND_OPS: &[&str] = &[
 /// handle operations — for the guard-across-io rule. `read`/`write`
 /// only count with arguments (the zero-argument forms are `RwLock`
 /// guard acquisitions, recognised separately).
-const VFS_OPS: &[&str] = &[
+pub const VFS_OPS: &[&str] = &[
     "open_read",
     "open_write",
     "readdir",
@@ -227,6 +247,7 @@ pub fn panic_in_core(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFinding> 
         }
         match t.text.as_str() {
             "unwrap" | "expect" if is_method_call(toks, i) => out.push(RawFinding {
+                trace: Vec::new(),
                 rule: RuleId::PanicInCore,
                 line: t.line,
                 message: format!(
@@ -238,6 +259,7 @@ pub fn panic_in_core(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFinding> 
                 if toks.get(i + 1).is_some_and(|n| n.is(TokKind::Punct, "!")) =>
             {
                 out.push(RawFinding {
+                    trace: Vec::new(),
                     rule: RuleId::PanicInCore,
                     line: t.line,
                     message: format!(
@@ -268,6 +290,7 @@ pub fn swallowed_result(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFindin
                 .is_some_and(|n| n.is(TokKind::Punct, "=") || n.is(TokKind::Punct, ":"))
         {
             out.push(RawFinding {
+                trace: Vec::new(),
                 rule: RuleId::SwallowedResult,
                 line: t.line,
                 message: "`let _ = ...` discards a value (and any error inside it) without a trace; \
@@ -282,6 +305,7 @@ pub fn swallowed_result(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFindin
             && toks.get(i + 3).is_some_and(|n| n.is(TokKind::Punct, ";"))
         {
             out.push(RawFinding {
+                trace: Vec::new(),
                 rule: RuleId::SwallowedResult,
                 line: t.line,
                 message: "statement-final `.ok();` throws the error away; handle it, propagate \
@@ -319,6 +343,7 @@ pub fn swallowed_result(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFindin
                     && !in_ranges(tests, open + 1 + off)
                 {
                     out.push(RawFinding {
+                        trace: Vec::new(),
                         rule: RuleId::SwallowedResult,
                         line: w[0].line,
                         message: "empty `_ => {}` arm in a match handling PlfsError/Issue silently \
@@ -428,6 +453,7 @@ pub fn guard_across_io(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<RawFinding
             if let Some(g) = guards.iter().find(|g| g.live_from <= i) {
                 let gname = g.name.as_deref().unwrap_or("<pattern>");
                 out.push(RawFinding {
+                    trace: Vec::new(),
                     rule: RuleId::GuardAcrossIo,
                     line: t.line,
                     message: format!(
@@ -473,6 +499,7 @@ pub fn unretried_backend_call(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<Raw
                     && !in_ranges(tests, i) =>
             {
                 out.push(RawFinding {
+                    trace: Vec::new(),
                     rule: RuleId::UnretriedBackendCall,
                     line: t.line,
                     message: format!(
@@ -538,6 +565,7 @@ pub fn raw_backend_in_batch_path(toks: &[Tok], tests: &[(usize, usize)]) -> Vec<
             continue;
         }
         out.push(RawFinding {
+            trace: Vec::new(),
             rule: RuleId::RawBackendInBatchPath,
             line: t.line,
             message: format!(
@@ -641,6 +669,7 @@ pub fn blocking_submit_with_ticket(toks: &[Tok], tests: &[(usize, usize)]) -> Ve
         if blocking && !in_ranges(tests, i) {
             if let Some(p) = pending.iter().find(|p| p.live_from <= i) {
                 out.push(RawFinding {
+                    trace: Vec::new(),
                     rule: RuleId::BlockingSubmitWithTicket,
                     line: t.line,
                     message: format!(

@@ -1,0 +1,35 @@
+//! Sharded handle table with a seeded lock-order cycle: `open_path`
+//! locks shard → dirmap (in rank order), `invalidate_dir` locks
+//! dirmap → shard (inverted). Two threads running the two entry
+//! points concurrently deadlock.
+
+pub const DEMO_MAGIC: u32 = 7;
+
+pub struct HandleTable {
+    shard: Mutex<Shard>,
+    dirmap: Mutex<DirMap>,
+}
+
+impl HandleTable {
+    fn note_dir(&self) {
+        let d = self.dirmap.lock();
+        d.touch();
+    }
+
+    fn evict_shard(&self) {
+        let s = self.shard.lock();
+        s.clear_handles();
+    }
+
+    pub fn open_path(&self) -> usize {
+        let s = self.shard.lock();
+        self.note_dir();
+        s.live()
+    }
+
+    pub fn invalidate_dir(&self) {
+        let d = self.dirmap.lock();
+        self.evict_shard();
+        d.touch();
+    }
+}

@@ -1,0 +1,6 @@
+//! Demo I/O plane: just the op enum the demo DESIGN.md table pins.
+
+pub enum IoOp {
+    Mkdir { path: String },
+    Append { path: String, len: u64 },
+}

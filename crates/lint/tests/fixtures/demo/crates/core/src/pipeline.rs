@@ -1,0 +1,20 @@
+//! Demo async pipeline with a ticket leaked on the early-error
+//! return and a ticket drained twice.
+
+impl Pipeline {
+    pub fn flush_leaky(&self, ops: &[IoOp]) -> Result<(), Error> {
+        let t = self.plane.submit_async(ops);
+        if self.closed {
+            return Err(Error::Closed);
+        }
+        t.wait();
+        Ok(())
+    }
+
+    pub fn settle_twice(&self, ops: &[IoOp]) -> usize {
+        let t = self.plane.submit_async(ops);
+        let first = t.wait();
+        let again = t.wait();
+        count(first) + count(again)
+    }
+}

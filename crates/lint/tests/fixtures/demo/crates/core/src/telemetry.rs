@@ -1,0 +1,3 @@
+//! Demo telemetry vocabulary: one span, matching the demo DESIGN.md.
+
+pub const SPAN_DEMO: &str = "demo.span";

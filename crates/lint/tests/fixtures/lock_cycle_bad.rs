@@ -1,0 +1,34 @@
+//! Two-chain lock-order cycle over a sharded handle table (the shape
+//! ROADMAP item 1's per-shard fd table would take if the shard lock
+//! and the directory map were nested both ways): the lookup path
+//! locks shard → dirmap, the invalidation path locks dirmap → shard.
+//! Each chain is individually fine; run concurrently they deadlock.
+
+pub struct HandleTable {
+    shard: Mutex<Shard>,
+    dirmap: Mutex<DirMap>,
+}
+
+impl HandleTable {
+    fn note_dir(&self) {
+        let d = self.dirmap.lock();
+        d.touch();
+    }
+
+    fn evict_shard(&self) {
+        let s = self.shard.lock();
+        s.clear_handles();
+    }
+
+    pub fn open_path(&self) -> usize {
+        let s = self.shard.lock();
+        self.note_dir();
+        s.live()
+    }
+
+    pub fn invalidate_dir(&self) {
+        let d = self.dirmap.lock();
+        self.evict_shard();
+        d.touch();
+    }
+}

@@ -1,0 +1,35 @@
+//! The same sharded handle table with the inversion repaired: the
+//! invalidation path finishes its dirmap read in its own scope, so
+//! both entry points only ever nest shard-then-dirmap (ascending
+//! rank) and the class digraph is acyclic.
+
+pub struct HandleTable {
+    shard: Mutex<Shard>,
+    dirmap: Mutex<DirMap>,
+}
+
+impl HandleTable {
+    fn note_dir(&self) {
+        let d = self.dirmap.lock();
+        d.touch();
+    }
+
+    fn evict_shard(&self) {
+        let s = self.shard.lock();
+        s.clear_handles();
+    }
+
+    pub fn open_path(&self) -> usize {
+        let s = self.shard.lock();
+        self.note_dir();
+        s.live()
+    }
+
+    pub fn invalidate_dir(&self) {
+        {
+            let d = self.dirmap.lock();
+            d.touch();
+        }
+        self.evict_shard();
+    }
+}

@@ -1,0 +1,19 @@
+//! Double drains: a ticket waited twice in straight-line code, and a
+//! ticket bound outside a loop but drained inside it (the second
+//! iteration re-drains).
+
+impl Pipeline {
+    pub fn settle_twice(&self, ops: &[IoOp]) -> usize {
+        let t = self.plane.submit_async(ops);
+        let first = t.wait();
+        let again = t.wait();
+        count(first) + count(again)
+    }
+
+    pub fn drained_inside_a_loop(&self, ops: &[IoOp]) {
+        let t = self.plane.submit_async(ops);
+        for chunk in ops.chunks(4) {
+            apply(chunk, t.wait());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Ticket-lifecycle leaks, one per function: an early-error return
+//! that abandons a pending ticket, a `?` edge that does the same, and
+//! a `?` inside a collection-draining loop (the `read_logs_whole`
+//! shape) that abandons every ticket the iterator has not reached.
+
+impl Pipeline {
+    pub fn leak_on_early_return(&self, ops: &[IoOp]) -> Result<(), Error> {
+        let t = self.plane.submit_async(ops);
+        if self.closed {
+            return Err(Error::Closed);
+        }
+        t.wait();
+        Ok(())
+    }
+
+    pub fn leak_via_question_mark(&self, ops: &[IoOp]) -> Result<u64, Error> {
+        let t = self.plane.submit_async(ops);
+        let n = self.validate()?;
+        t.wait();
+        Ok(n)
+    }
+
+    pub fn leak_in_drain_loop(&self, chunks: &[Batch]) -> Result<Vec<Data>, Error> {
+        let tickets: Vec<Ticket> = chunks.iter().map(|c| submit_tracked(b, c)).collect();
+        let mut out = Vec::new();
+        for t in tickets {
+            out.push(decode(t.wait())?);
+        }
+        Ok(out)
+    }
+}

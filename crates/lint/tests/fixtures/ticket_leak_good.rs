@@ -1,0 +1,48 @@
+//! Clean ticket lifecycles: every path consumes each pending ticket
+//! exactly once — drained on both branch arms, explicitly dropped,
+//! probed-then-waited, and the deferred-error drain-all loop shape
+//! the `read_logs_whole` fix uses.
+
+impl Pipeline {
+    pub fn drains_on_error_too(&self, ops: &[IoOp]) -> Result<(), Error> {
+        let t = self.plane.submit_async(ops);
+        if self.closed {
+            t.wait();
+            return Err(Error::Closed);
+        }
+        t.wait();
+        Ok(())
+    }
+
+    pub fn explicit_drop_is_consumption(&self, ops: &[IoOp]) {
+        let t = self.plane.submit_async(ops);
+        drop(t);
+    }
+
+    pub fn probes_are_not_consumption(&self, ops: &[IoOp]) -> bool {
+        let t = self.plane.submit_async(ops);
+        let ready = t.is_complete();
+        t.wait();
+        ready
+    }
+
+    pub fn deferred_error_drains_all(&self, chunks: &[Batch]) -> Result<Vec<Data>, Error> {
+        let tickets: Vec<Ticket> = chunks.iter().map(|c| submit_tracked(b, c)).collect();
+        let mut out = Vec::new();
+        let mut first_err = None;
+        for t in tickets {
+            let outcome = t.wait();
+            if first_err.is_some() {
+                continue;
+            }
+            match decode(outcome) {
+                Ok(d) => out.push(d),
+                Err(e) => first_err = Some(e),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}

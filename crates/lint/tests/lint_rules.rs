@@ -281,6 +281,7 @@ fn extra_findings_flow_through_pragma_resolution() {
     use plfs_lint::rules::RawFinding;
     let src = "// plfs-lint: allow(format-drift): transitional value during migration\npub const MAGIC: &[u8; 4] = b\"NCL2\";\n";
     let extra = vec![RawFinding {
+        trace: Vec::new(),
         rule: RuleId::FormatDrift,
         line: 2,
         message: "`MAGIC` drifted".into(),
@@ -288,4 +289,204 @@ fn extra_findings_flow_through_pragma_resolution() {
     let out = lint_source_with("crates/formats/src/header.rs", src, extra);
     assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
     assert_eq!(out.allowed.len(), 1);
+}
+
+// ---------------------------------------------------------------- semantic
+
+fn shard_rows() -> Vec<drift::LockRow> {
+    let mk = |class: &str, rank: u32, recv: &str| drift::LockRow {
+        class: class.into(),
+        rank,
+        file: "handles.rs".into(),
+        receivers: vec![recv.into()],
+        doc_line: rank,
+    };
+    vec![mk("handle-shard", 10, "shard"), mk("dir-map", 20, "dirmap")]
+}
+
+fn semantic(rel: &str, src: &str, testish: bool, rows: &[drift::LockRow]) -> plfs_lint::FileLint {
+    let files = vec![(rel.to_string(), src.to_string(), testish)];
+    let (mut sem, _) = plfs_lint::semantic_findings(&files, rows);
+    plfs_lint::lint_source_opts(rel, src, sem.remove(rel).unwrap_or_default(), testish)
+}
+
+#[test]
+fn lock_cycle_bad_reports_both_chains() {
+    let rel = "crates/core/src/handles.rs";
+    let src = include_str!("fixtures/lock_cycle_bad.rs");
+    let out = semantic(rel, src, false, &shard_rows());
+    let cycle = out
+        .findings
+        .iter()
+        .find(|f| f.rule == RuleId::LockOrderInversion && f.message.contains("cycle"))
+        .expect("cycle finding");
+    assert_eq!(cycle.trace.len(), 2, "{:?}", cycle.trace);
+    let all = cycle.trace.join("\n");
+    assert!(all.contains("open_path"), "{all}");
+    assert!(all.contains("invalidate_dir"), "{all}");
+    // The inverted edge is also a rank violation at its acquiring site.
+    assert!(
+        out.findings
+            .iter()
+            .any(|f| f.rule == RuleId::LockOrderInversion && f.message.contains("rank")),
+        "{:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn lock_cycle_good_is_clean_and_uses_every_row() {
+    let rel = "crates/core/src/handles.rs";
+    let src = include_str!("fixtures/lock_cycle_good.rs");
+    let files = vec![(rel.to_string(), src.to_string(), false)];
+    let (sem, used) = plfs_lint::semantic_findings(&files, &shard_rows());
+    assert!(sem.is_empty(), "{sem:?}");
+    assert!(used.iter().all(|u| *u), "stale rows: {used:?}");
+}
+
+#[test]
+fn ticket_leak_bad_flags_all_three_shapes() {
+    let rel = "crates/core/src/pipeline.rs";
+    let src = include_str!("fixtures/ticket_leak_bad.rs");
+    let out = semantic(rel, src, false, &[]);
+    let leaks: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::TicketLeak)
+        .collect();
+    assert_eq!(leaks.len(), 3, "{:?}", out.findings);
+    assert!(
+        leaks.iter().any(|f| f.message.contains("abandons the tickets")),
+        "the drain-loop shape gets the loop-specific message: {leaks:?}"
+    );
+    for f in &leaks {
+        assert!(!f.trace.is_empty(), "every leak carries a trace: {f:?}");
+    }
+}
+
+#[test]
+fn ticket_leak_good_is_clean() {
+    let rel = "crates/core/src/pipeline.rs";
+    let src = include_str!("fixtures/ticket_leak_good.rs");
+    let out = semantic(rel, src, false, &[]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn ticket_double_drain_bad_flags_both_shapes() {
+    let rel = "crates/core/src/pipeline.rs";
+    let src = include_str!("fixtures/ticket_double_drain_bad.rs");
+    let out = semantic(rel, src, false, &[]);
+    let dd: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::TicketDoubleDrain)
+        .collect();
+    assert_eq!(dd.len(), 2, "{:?}", out.findings);
+    for f in &dd {
+        assert!(
+            f.trace.iter().any(|s| s.contains("submitted")),
+            "trace carries the submission site: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn ticket_rules_cover_testish_files_and_honor_test_pragmas() {
+    let rel = "tests/prop_async.rs";
+    let leaky = "\
+#[test]
+fn leaks() {
+    let t = plane.submit_async(&ops);
+    assert!(plane.is_live());
+}
+";
+    let out = semantic(rel, leaky, true, &[]);
+    assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+    assert_eq!(out.findings[0].rule, RuleId::TicketLeak);
+
+    let annotated = "\
+#[test]
+fn leaks() {
+    // plfs-lint: allow(ticket-leak): teardown drains via Drop in this harness
+    let t = plane.submit_async(&ops);
+    assert!(plane.is_live());
+}
+";
+    let out = semantic(rel, annotated, true, &[]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.allowed.len(), 1);
+}
+
+#[test]
+fn guard_v2_reports_transitive_io_with_a_witness_chain() {
+    let rel = "crates/core/src/handles.rs";
+    let src = "\
+impl Flusher {
+    fn flush(&self) {
+        self.backend.append(path, content);
+    }
+    pub fn commit(&self) {
+        let g = self.state.lock();
+        self.flush();
+        g.bump();
+    }
+}
+";
+    let rows = vec![drift::LockRow {
+        class: "flusher-state".into(),
+        rank: 10,
+        file: "handles.rs".into(),
+        receivers: vec!["state".into()],
+        doc_line: 1,
+    }];
+    let out = semantic(rel, src, false, &rows);
+    let v2: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::GuardAcrossIo)
+        .collect();
+    assert_eq!(v2.len(), 1, "{:?}", out.findings);
+    assert!(v2[0].message.contains("via"), "{}", v2[0].message);
+    assert!(
+        v2[0].trace.iter().any(|s| s.contains("flush")),
+        "{:?}",
+        v2[0].trace
+    );
+}
+
+#[test]
+fn demo_root_end_to_end_reports_all_three_with_traces() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/demo");
+    let report = plfs_lint::run(&plfs_lint::LintConfig::new(root)).expect("demo root lints");
+
+    let cycle = report
+        .findings
+        .iter()
+        .find(|f| f.rule == RuleId::LockOrderInversion && f.message.contains("cycle"))
+        .expect("cycle finding");
+    assert_eq!(cycle.file, "crates/core/src/handles.rs");
+    assert_eq!(cycle.trace.len(), 2, "{:?}", cycle.trace);
+
+    let leak = report
+        .findings
+        .iter()
+        .find(|f| f.rule == RuleId::TicketLeak)
+        .expect("leak finding");
+    assert_eq!(leak.file, "crates/core/src/pipeline.rs");
+    assert!(!leak.trace.is_empty());
+
+    let dd = report
+        .findings
+        .iter()
+        .find(|f| f.rule == RuleId::TicketDoubleDrain)
+        .expect("double-drain finding");
+    assert!(dd.trace.iter().any(|s| s.contains("submitted")), "{dd:?}");
+
+    // Every trace step survives into the machine-readable output.
+    let json = report.render_json();
+    for step in cycle.trace.iter().chain(&leak.trace).chain(&dd.trace) {
+        let escaped = step.replace('\\', "\\\\").replace('"', "\\\"");
+        assert!(json.contains(&escaped), "trace step {step:?} missing from JSON");
+    }
 }

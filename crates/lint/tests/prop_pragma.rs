@@ -107,3 +107,66 @@ fn stripping_pragmas_reveals_allowed_findings() {
     );
     assert!(without.allowed.is_empty());
 }
+
+// ------------------------------------------------------- semantic rules
+
+/// Clean inputs for the semantic analyses: a correctly ordered lock
+/// nest and leak-free ticket lifecycles. Pragma insertion must stay
+/// inert through the IR/call-graph pipeline too — a pragma is a
+/// comment, and comments must never perturb parsing.
+const CLEAN_SEMANTIC: &[(&str, &str)] = &[
+    (
+        "crates/core/src/handles.rs",
+        include_str!("fixtures/lock_cycle_good.rs"),
+    ),
+    (
+        "crates/core/src/pipeline.rs",
+        include_str!("fixtures/ticket_leak_good.rs"),
+    ),
+];
+
+fn semantic_rows() -> Vec<plfs_lint::drift::LockRow> {
+    let mk = |class: &str, rank: u32, recv: &str| plfs_lint::drift::LockRow {
+        class: class.into(),
+        rank,
+        file: "handles.rs".into(),
+        receivers: vec![recv.into()],
+        doc_line: rank,
+    };
+    vec![mk("handle-shard", 10, "shard"), mk("dir-map", 20, "dirmap")]
+}
+
+fn semantic_lint(rel: &str, src: &str) -> plfs_lint::FileLint {
+    let files = vec![(rel.to_string(), src.to_string(), false)];
+    let (mut sem, _) = plfs_lint::semantic_findings(&files, &semantic_rows());
+    plfs_lint::lint_source_opts(rel, src, sem.remove(rel).unwrap_or_default(), false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pragmas_are_inert_on_clean_semantic_input(
+        which in 0usize..2,
+        inserts in prop::collection::vec((0usize..60, 0usize..10), 1..6)
+    ) {
+        let (rel, original) = CLEAN_SEMANTIC[which];
+        prop_assert!(semantic_lint(rel, original).findings.is_empty());
+
+        let mut src = original.to_string();
+        for &(at, rule_idx) in &inserts {
+            src = with_pragma(&src, at, RuleId::all()[rule_idx]);
+        }
+        let out = semantic_lint(rel, &src);
+        prop_assert!(
+            out.findings.is_empty(),
+            "inserting pragmas {:?} into {} created findings: {:?}",
+            inserts, rel, out.findings
+        );
+        prop_assert!(
+            out.allowed.is_empty(),
+            "inserting pragmas {:?} into {} suppressed phantom findings: {:?}",
+            inserts, rel, out.allowed
+        );
+    }
+}

@@ -22,7 +22,10 @@ cargo clippy --offline -p plfs -p formats -p harness -p mpio -p plfs-lint \
 
 # Workspace invariant checker (DESIGN.md §5d): zero unannotated
 # findings, no malformed/unknown/unused pragmas, and the per-rule
-# pragma budget in results/lint_baseline.md only ratchets down.
+# pragma budget in results/lint_baseline.md only ratchets down. The
+# scan covers crates/ and src/ (src/bin/ included) with every rule,
+# plus top-level tests/ and examples/ with the semantic ticket rules
+# (§5d), checked against the DESIGN.md §5d–§5f and §5i tables.
 cargo run --release --offline --bin plfsctl -- lint --deny-warnings \
     --baseline results/lint_baseline.md
 

@@ -49,7 +49,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: plfsctl <ls|stat|map|check|repair|cat|truncate|du> <mount-root> [logical-path] [size]\n\
-         \x20      plfsctl lint [--json] [--deny-warnings] [--baseline <file>] [--write-baseline <file>] [workspace-root]\n\
+         \x20      plfsctl lint [--json] [--deny-warnings] [--baseline <file>] [--write-baseline <file>] [--root <dir>] [--design <file>] [workspace-root]\n\
          \x20      plfsctl obs [--json]"
     );
     ExitCode::from(2)
@@ -62,6 +62,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     let mut baseline: Option<String> = None;
     let mut write_baseline: Option<String> = None;
     let mut root: Option<String> = None;
+    let mut design: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -75,6 +76,18 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                 Some(f) => write_baseline = Some(f.clone()),
                 None => return usage(),
             },
+            "--root" => match it.next() {
+                Some(d) => {
+                    if root.replace(d.clone()).is_some() {
+                        return usage();
+                    }
+                }
+                None => return usage(),
+            },
+            "--design" => match it.next() {
+                Some(f) => design = Some(f.clone()),
+                None => return usage(),
+            },
             flag if flag.starts_with('-') => return usage(),
             path => {
                 if root.replace(path.to_string()).is_some() {
@@ -83,7 +96,8 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             }
         }
     }
-    let cfg = plfs_lint::LintConfig::new(root.unwrap_or_else(|| ".".into()));
+    let mut cfg = plfs_lint::LintConfig::new(root.unwrap_or_else(|| ".".into()));
+    cfg.design_doc = design.map(Into::into);
     let report = match plfs_lint::run(&cfg) {
         Ok(r) => r,
         Err(e) => {
