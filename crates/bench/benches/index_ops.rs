@@ -168,6 +168,39 @@ fn bench_lookup_coalesced(c: &mut Criterion) {
     });
 }
 
+/// Bounded lookups through the on-disk index (DESIGN.md §5j): random
+/// 64 KB probes over a 25,600-record spanidx file on MemFs, warm cache
+/// vs a cache too small to retain a window (every probe pays a fetch).
+fn bench_ondisk_lookup(c: &mut Criterion) {
+    use plfs::index::ondisk::{OnDiskIndex, SpanIdxWriter};
+    use plfs::{MemFs, SpanCache};
+    use std::sync::Arc;
+
+    let entries = strided_entries(256, 100, 65536);
+    let idx = GlobalIndex::from_entries(entries);
+    let flat = idx.to_entries();
+    let eof = idx.eof();
+    let b = MemFs::new();
+    let mut w = SpanIdxWriter::create(&b, "/flat", 64 * 1024).unwrap();
+    w.push_run(&flat).unwrap();
+    w.finish().unwrap();
+
+    let mut g = c.benchmark_group("ondisk_lookup_random_64k");
+    for (name, budget) in [("warm_cache", 64 << 20), ("cold_cache", 1u64)] {
+        let mut od = OnDiskIndex::open(&b, "/flat", Arc::new(SpanCache::with_budget(budget)))
+            .unwrap()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let off = rng.gen_range(0..eof - 65536);
+                black_box(od.lookup(&b, off, 65536).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_serialization(c: &mut Criterion) {
     let entries = strided_entries(64, 100, 65536);
     let bytes = IndexEntry::encode_all(&entries);
@@ -188,6 +221,7 @@ criterion_group!(
     bench_build_large,
     bench_lookup,
     bench_lookup_coalesced,
+    bench_ondisk_lookup,
     bench_merge,
     bench_merge_disjoint,
     bench_merge_all,

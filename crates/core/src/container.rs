@@ -24,7 +24,8 @@ use crate::backend::{Backend, NodeKind};
 use crate::content::Content;
 use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 use crate::federation::Federation;
-use crate::index::{GlobalIndex, IndexEntry, WriterId};
+use crate::index::ondisk::{self, OnDiskIndex, SpanIdxWriter};
+use crate::index::{GlobalIndex, IndexEntry, SpanCache, WriterId};
 use crate::ioplane::{self, async_plane, IoOp};
 use crate::path::{basename, join, normalize, parent};
 use crate::telemetry;
@@ -514,9 +515,7 @@ impl Container {
                 continue;
             }
             for outcome in outcomes {
-                match ioplane::as_data(outcome)
-                    .and_then(|c| IndexEntry::decode_all(&c.materialize()))
-                {
+                match ioplane::as_data(outcome).and_then(|c| IndexEntry::decode_content(&c)) {
                     Ok(entries) => out.push(entries),
                     Err(e) => {
                         first_err = Some(e);
@@ -597,24 +596,48 @@ impl Container {
         Ok(GlobalIndex::merge_all(parts))
     }
 
+    /// Physical path of the flattened (spanidx) index file.
+    pub fn flattened_path(&self) -> String {
+        join(&self.canonical, FLATTENED_INDEX)
+    }
+
     /// Write the flattened global index (Index Flatten, done at write
-    /// close by the root process after gathering buffered indices).
+    /// close by the root process after gathering buffered indices) in
+    /// the binary-searchable spanidx format (DESIGN.md §5j).
     pub fn write_flattened<B: Backend>(&self, b: &B, index: &GlobalIndex) -> Result<()> {
-        let path = join(&self.canonical, FLATTENED_INDEX);
-        let batch = [
-            IoOp::Create {
-                path: path.clone(),
-                exclusive: false,
-            },
-            IoOp::Append {
-                path,
-                content: Content::bytes(IndexEntry::encode_all(&index.to_entries())),
-            },
-        ];
-        let mut out = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &batch).into_iter();
-        ioplane::as_unit(ioplane::take(&mut out))?;
-        ioplane::as_offset(ioplane::take(&mut out))?;
+        let mut w = SpanIdxWriter::create(b, &self.flattened_path(), FLATTEN_CHUNK_ENTRIES)?;
+        w.push_run(&index.to_entries())?;
+        w.finish()?;
         Ok(())
+    }
+
+    /// Index Flatten without materializing the merged index: the partial
+    /// per-writer indices stream through [`GlobalIndex::merge_streamed`]
+    /// straight into a [`SpanIdxWriter`], so the aggregation working set
+    /// is O(overlap window + chunk) while the emitted file is
+    /// bit-identical to [`Container::write_flattened`] of the merged,
+    /// compacted whole.
+    pub fn write_flattened_streamed<B: Backend>(
+        &self,
+        b: &B,
+        parts: Vec<GlobalIndex>,
+    ) -> Result<()> {
+        let mut w = SpanIdxWriter::create(b, &self.flattened_path(), FLATTEN_CHUNK_ENTRIES)?;
+        GlobalIndex::merge_streamed(parts, FLATTEN_CHUNK_ENTRIES, |run| w.push_run(run))?;
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Open the flattened index for memory-bounded lookups: fences and
+    /// footer in memory, record windows fetched on demand through
+    /// `cache`. `Ok(None)` when no structurally valid spanidx file is
+    /// present (then fall back to [`Container::acquire_index`]).
+    pub fn open_ondisk_index<B: Backend>(
+        &self,
+        b: &B,
+        cache: std::sync::Arc<SpanCache>,
+    ) -> Result<Option<OnDiskIndex>> {
+        OnDiskIndex::open(b, &self.flattened_path(), cache)
     }
 
     /// Delete the flattened index (e.g. when fsck finds it stale).
@@ -626,17 +649,24 @@ impl Container {
         }
     }
 
-    /// Read the flattened global index if one was written.
+    /// Read the flattened global index whole, if a structurally valid
+    /// spanidx file was written. Torn or legacy flattened files read as
+    /// `None` — the flattened index is a read accelerator, so readers
+    /// fall back to log aggregation and fsck flags the bad file.
     pub fn read_flattened<B: Backend>(&self, b: &B) -> Result<Option<GlobalIndex>> {
-        let path = join(&self.canonical, FLATTENED_INDEX);
+        let path = self.flattened_path();
         if !b.exists(&path) {
             return Ok(None);
         }
         let len = b.size(&path)?;
         let bytes = b.read_at(&path, 0, len)?.materialize();
-        Ok(Some(GlobalIndex::from_entries(IndexEntry::decode_all(
-            &bytes,
-        )?)))
+        match ondisk::parse_file(&bytes) {
+            Ok((_, records, _)) => Ok(Some(GlobalIndex::from_entries(IndexEntry::decode_all(
+                records,
+            )?))),
+            Err(PlfsError::CorruptContainer(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Preferred index acquisition for a lone (non-collective) reader:
@@ -697,6 +727,12 @@ impl Container {
 /// several tickets are in flight for a fig4-shaped open (16 writers), big
 /// enough to amortize submission.
 const READ_OVERLAP_CHUNK: usize = 4;
+
+/// Entries buffered per spanidx append (and per streamed-merge emission)
+/// during Index Flatten: 64Ki records ≈ 2.5 MiB per backend op — big
+/// enough to amortize submission, small enough to keep flatten memory
+/// far below the merged index it replaces.
+const FLATTEN_CHUNK_ENTRIES: usize = 64 * 1024;
 
 /// Pool width for threaded index aggregation: bounded so a reader on a
 /// login node doesn't fan out past the machine, capped because log reads

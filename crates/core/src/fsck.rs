@@ -86,6 +86,14 @@ pub enum Issue {
     /// The flattened index disagrees with aggregation of the per-writer
     /// logs (stale after a post-flatten write).
     StaleFlattenedIndex,
+    /// The flattened index file is not a structurally valid spanidx
+    /// (DESIGN.md §5j): a crash tore the flatten mid-write, the file
+    /// predates the format, or its records/fences/footer disagree.
+    /// Readers already ignore it and aggregate; repair removes it.
+    InvalidFlattenedIndex {
+        /// What the format validation rejected.
+        reason: String,
+    },
     /// An `openhosts` entry survives with no live writer behind it. fsck
     /// only runs on quiesced containers, so the writer died without
     /// deregistering.
@@ -363,9 +371,7 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
     }
     let mut decoded_per_writer = Vec::with_capacity(index_logs.len());
     for outcome in ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &read_ops) {
-        decoded_per_writer.push(IndexEntry::decode_all(
-            &ioplane::as_data(outcome)?.materialize(),
-        )?);
+        decoded_per_writer.push(IndexEntry::decode_content(&ioplane::as_data(outcome)?)?);
     }
     // Data-log sizes for the writers that have one, as a single batch.
     let with_data: Vec<WriterId> = index_logs
@@ -414,16 +420,51 @@ pub fn check<B: Backend>(b: &B, container: &Container) -> Result<CheckReport> {
         }
     }
 
-    // Compare the flattened index against fresh aggregation — by
-    // *resolution*, not representation (flatten compacts spans, so the
-    // mapping boundaries differ while the bytes resolve identically).
+    // Validate the flattened index structurally (full spanidx deep
+    // verification: footer, fences, record order), then compare it
+    // against fresh aggregation — by *resolution*, not representation
+    // (flatten compacts spans, so the mapping boundaries differ while
+    // the bytes resolve identically).
     let fresh = GlobalIndex::from_entries(entries);
-    if let Some(mut flat) = container.read_flattened(b)? {
-        let mut fresh_c = fresh.clone();
-        flat.compact();
-        fresh_c.compact();
-        if flat != fresh_c {
-            report.issues.push(Issue::StaleFlattenedIndex);
+    let flat_path = container.flattened_path();
+    if b.exists(&flat_path) {
+        let mut outs = ioplane::submit_retried(
+            b,
+            DEFAULT_RETRY_ATTEMPTS,
+            &[IoOp::Size {
+                path: flat_path.clone(),
+            }],
+        )
+        .into_iter();
+        let len = ioplane::as_size(ioplane::take(&mut outs))?;
+        let mut outs = ioplane::submit_retried(
+            b,
+            DEFAULT_RETRY_ATTEMPTS,
+            &[IoOp::ReadAt {
+                path: flat_path.clone(),
+                offset: 0,
+                len,
+            }],
+        )
+        .into_iter();
+        let bytes = ioplane::as_data(ioplane::take(&mut outs))?.materialize();
+        match crate::index::ondisk::verify_deep(&bytes) {
+            Ok(_) => {
+                let (_, records, _) = crate::index::ondisk::parse_file(&bytes)
+                    // plfs-lint: allow(panic-in-core): verify_deep just validated the regions
+                    .expect("verified spanidx parses");
+                let mut flat = GlobalIndex::from_entries(IndexEntry::decode_all(records)?);
+                let mut fresh_c = fresh.clone();
+                flat.compact();
+                fresh_c.compact();
+                if flat != fresh_c {
+                    report.issues.push(Issue::StaleFlattenedIndex);
+                }
+            }
+            Err(PlfsError::CorruptContainer(reason)) => {
+                report.issues.push(Issue::InvalidFlattenedIndex { reason });
+            }
+            Err(e) => return Err(e),
         }
     }
 
@@ -510,8 +551,17 @@ pub fn space_usage<B: Backend>(b: &B, container: &Container) -> Result<SpaceUsag
     // Live bytes = data-log bytes still referenced by the resolved index.
     let live: u64 = idx.to_entries().iter().map(|e| e.length).sum();
     usage.dead_bytes = usage.data_bytes.saturating_sub(live);
-    if let Some(flat) = container.read_flattened(b)? {
-        usage.flattened_bytes = flat.span_count() as u64 * INDEX_RECORD_BYTES;
+    let flat_path = container.flattened_path();
+    if b.exists(&flat_path) {
+        let mut outs = ioplane::submit_retried(
+            b,
+            DEFAULT_RETRY_ATTEMPTS,
+            &[IoOp::Size {
+                path: flat_path.clone(),
+            }],
+        )
+        .into_iter();
+        usage.flattened_bytes = ioplane::as_size(ioplane::take(&mut outs))?;
     }
     Ok(usage)
 }
@@ -551,7 +601,7 @@ impl RepairOutcome {
 ///   human judgment (the bytes may be recoverable by other means) and
 ///   reported as unrepaired;
 /// * stale `openhosts` entries, orphaned realignment staging files, and
-///   a stale flattened index are removed;
+///   stale or structurally invalid flattened indices are removed;
 /// * unreferenced data-log tails are trimmed;
 /// * a disagreeing metadir is rebuilt from the replayed indices.
 ///
@@ -607,6 +657,12 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
                 fixed.push(issue);
             }
             Issue::StaleFlattenedIndex => {
+                drop_flattened = true;
+                fixed.push(issue);
+            }
+            // A torn or legacy flattened file carries no unique data (the
+            // per-writer logs are authoritative), so dropping it is safe.
+            Issue::InvalidFlattenedIndex { .. } => {
                 drop_flattened = true;
                 fixed.push(issue);
             }
@@ -686,7 +742,7 @@ pub fn repair<B: Backend>(b: &B, container: &Container) -> Result<RepairOutcome>
     let dsizes = ioplane::submit_retried(b, DEFAULT_RETRY_ATTEMPTS, &dsize_ops);
     let mut kept_per_writer = Vec::with_capacity(rewrite_list.len());
     for (read, dsize) in reads.into_iter().zip(dsizes) {
-        let decoded = IndexEntry::decode_all(&ioplane::as_data(read)?.materialize())?;
+        let decoded = IndexEntry::decode_content(&ioplane::as_data(read)?)?;
         let dsize = match ioplane::as_size(dsize) {
             Ok(n) => n,
             Err(PlfsError::NotFound(_)) => 0,
@@ -1232,6 +1288,46 @@ mod tests {
         // Readers now aggregate and see the full file.
         let reader = crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
         assert_eq!(reader.size(), 550);
+    }
+
+    #[test]
+    fn torn_flattened_index_detected_and_repaired() {
+        let b = Arc::new(MemFs::new());
+        let cont = Container::new("/f", &Federation::single("/panfs", 2));
+        let mut handles = Vec::new();
+        for w in 0..2u64 {
+            let mut h = WriteHandle::open(
+                Arc::clone(&b),
+                cont.clone(),
+                w,
+                IndexPolicy::Flatten {
+                    threshold_entries: 100,
+                },
+            )
+            .unwrap();
+            h.write(w * 50, &Content::synthetic(w, 50), w + 1).unwrap();
+            handles.push(h);
+        }
+        assert!(flatten_close(&b, &cont, handles, 9).unwrap());
+        // Tear the spanidx mid-trailer, as a crash between the record
+        // appends and the fence/footer append would.
+        let fpath = cont.flattened_path();
+        let torn = b.read_at(&fpath, 0, b.size(&fpath).unwrap() - 30).unwrap();
+        b.unlink(&fpath).unwrap();
+        b.create(&fpath, true).unwrap();
+        b.append(&fpath, &torn).unwrap();
+        // Readers fall back to aggregation and still see everything.
+        let reader = crate::reader::ReadHandle::open(Arc::clone(&b), cont.clone()).unwrap();
+        assert_eq!(reader.size(), 100);
+        let r = check(&b, &cont).unwrap();
+        assert!(
+            matches!(r.issues.as_slice(), [Issue::InvalidFlattenedIndex { .. }]),
+            "{:?}",
+            r.issues
+        );
+        let after = repair(&b, &cont).unwrap();
+        assert!(after.fully_repaired(), "{after:?}");
+        assert!(!b.exists(&fpath), "torn flattened file reclaimed");
     }
 
     #[test]

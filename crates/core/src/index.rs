@@ -20,6 +20,12 @@
 use crate::error::{PlfsError, Result};
 use std::collections::BTreeMap;
 
+pub mod ondisk;
+pub mod spancache;
+
+pub use ondisk::OnDiskIndex;
+pub use spancache::SpanCache;
+
 /// Identifies one writer's data log within a container (rank or pid).
 pub type WriterId = u64;
 
@@ -83,18 +89,33 @@ impl IndexEntry {
         out
     }
 
-    /// Deserialize a batch; the byte length must be a whole number of records.
+    /// Deserialize a batch; the byte length must be a whole number of
+    /// records. Decodes in place from `&[u8]` chunks — no intermediate
+    /// copy of the buffer is made.
     pub fn decode_all(bytes: &[u8]) -> Result<Vec<IndexEntry>> {
-        if !bytes.len().is_multiple_of(INDEX_RECORD_BYTES as usize) {
+        let tail = bytes.len() % INDEX_RECORD_BYTES as usize;
+        if tail != 0 {
             return Err(PlfsError::CorruptContainer(format!(
-                "index log length {} not a multiple of record size",
-                bytes.len()
+                "index log length {} not a multiple of record size: {} whole records then {tail} trailing bytes",
+                bytes.len(),
+                bytes.len() / INDEX_RECORD_BYTES as usize
             )));
         }
         bytes
             .chunks_exact(INDEX_RECORD_BYTES as usize)
             .map(IndexEntry::from_bytes)
             .collect()
+    }
+
+    /// Decode records straight out of a [`crate::Content`]: real bytes are
+    /// borrowed chunk by chunk (no whole-buffer copy); synthetic or zero
+    /// content — which never legitimately holds index records — still
+    /// goes through one materialization.
+    pub fn decode_content(content: &crate::content::Content) -> Result<Vec<IndexEntry>> {
+        match content {
+            crate::content::Content::Bytes(b) => Self::decode_all(b),
+            other => Self::decode_all(&other.materialize()),
+        }
     }
 }
 
@@ -447,8 +468,16 @@ impl GlobalIndex {
     /// The returned mappings exactly tile `[offset, offset + len)` in order.
     pub fn lookup(&self, offset: u64, len: u64) -> Vec<Mapping> {
         let mut out = Vec::new();
+        self.lookup_into(offset, len, &mut out);
+        out
+    }
+
+    /// [`GlobalIndex::lookup`], appending into a caller-owned buffer so
+    /// hot read loops (the reader, the mpio driver's per-rank resolution)
+    /// reuse one allocation instead of taking a fresh `Vec` per call.
+    pub fn lookup_into(&self, offset: u64, len: u64, out: &mut Vec<Mapping>) {
         if len == 0 {
-            return out;
+            return;
         }
         let end = offset + len;
         let mut cursor = offset;
@@ -510,7 +539,6 @@ impl GlobalIndex {
                 }
             }
         }
-        out
     }
 
     /// Like [`GlobalIndex::lookup`], but coalesces adjacent mappings a
@@ -521,28 +549,18 @@ impl GlobalIndex {
     /// read path issues proportionally fewer backend operations. The
     /// BTreeMap is walked once; coalescing is a linear in-place pass.
     pub fn lookup_coalesced(&self, offset: u64, len: u64) -> Vec<Mapping> {
-        let mut out = self.lookup(offset, len);
-        out.dedup_by(|next, prev| {
-            let mergeable = match (prev.source, next.source) {
-                (Source::Hole, Source::Hole) => true,
-                (
-                    Source::Writer {
-                        writer: pw,
-                        physical_offset: pp,
-                    },
-                    Source::Writer {
-                        writer: nw,
-                        physical_offset: np,
-                    },
-                ) => pw == nw && pp + prev.length == np,
-                _ => false,
-            };
-            if mergeable {
-                prev.length += next.length;
-            }
-            mergeable
-        });
+        let mut out = Vec::new();
+        self.lookup_coalesced_into(offset, len, &mut out);
         out
+    }
+
+    /// [`GlobalIndex::lookup_coalesced`] into a caller-owned buffer.
+    /// Only the mappings appended by this call are coalesced; anything
+    /// already in `out` is left untouched.
+    pub fn lookup_coalesced_into(&self, offset: u64, len: u64, out: &mut Vec<Mapping>) {
+        let base = out.len();
+        self.lookup_into(offset, len, out);
+        coalesce_mappings_from(out, base);
     }
 
     /// Logical end-of-file: one past the highest written byte.
@@ -619,6 +637,184 @@ impl GlobalIndex {
                 timestamp: span.ts,
             })
             .collect()
+    }
+
+    /// Bounded-window streaming form of [`GlobalIndex::merge_all`] `+`
+    /// [`GlobalIndex::compact`]: merge the partial indices and hand the
+    /// resolved, compacted entries to `emit` in sorted chunks of at most
+    /// `chunk_entries`, without ever materializing the merged index.
+    ///
+    /// Each part's spans stream out in ascending logical order through a
+    /// k-way heap; a small working window resolves precedence exactly like
+    /// [`GlobalIndex::insert`]. A window span whose end is at or before
+    /// the next incoming start can never be disturbed again (every later
+    /// entry starts at or past that point), so it finalizes immediately —
+    /// working memory is O(k + deepest overlap cluster + chunk), not
+    /// O(total entries). The emitted stream is bit-for-bit the entry
+    /// sequence `merge_all` + `compact` + [`GlobalIndex::to_entries`]
+    /// would produce.
+    pub fn merge_streamed<I, F>(parts: I, chunk_entries: usize, mut emit: F) -> Result<()>
+    where
+        I: IntoIterator<Item = GlobalIndex>,
+        F: FnMut(&[IndexEntry]) -> Result<()>,
+    {
+        let _span = crate::telemetry::span(crate::telemetry::SPAN_INDEX_MERGE);
+        let chunk = chunk_entries.max(1);
+        let mut runs: Vec<_> = parts
+            .into_iter()
+            .map(|p| p.spans.into_iter())
+            .collect();
+        // Heap of (next start offset, run) — min-first via Reverse. Heads
+        // are staged beside the heap so popping yields the span too.
+        let mut heads: Vec<Option<(u64, Span)>> = runs.iter_mut().map(Iterator::next).collect();
+        let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(&(start, _)) = head.as_ref() {
+                heap.push(std::cmp::Reverse((start, i)));
+            }
+        }
+        let mut window = GlobalIndex::new();
+        let mut carry: Option<IndexEntry> = None;
+        let mut out: Vec<IndexEntry> = Vec::with_capacity(chunk);
+        let flush_final =
+            |window: &mut GlobalIndex,
+             carry: &mut Option<IndexEntry>,
+             out: &mut Vec<IndexEntry>,
+             horizon: Option<u64>,
+             emit: &mut F|
+             -> Result<()> {
+                while let Some((&start, &span)) = window.spans.first_key_value() {
+                    if horizon.is_some_and(|h| start + span.len > h) {
+                        break;
+                    }
+                    window.spans.remove(&start);
+                    let fin = IndexEntry {
+                        logical_offset: start,
+                        length: span.len,
+                        physical_offset: span.phys,
+                        writer: span.writer,
+                        timestamp: span.ts,
+                    };
+                    // Compact across finalization boundaries exactly like
+                    // `compact`: contiguous logically and physically within
+                    // one writer's log, keeping the later timestamp.
+                    match carry.take() {
+                        Some(mut c)
+                            if c.logical_offset + c.length == fin.logical_offset
+                                && c.writer == fin.writer
+                                && c.physical_offset + c.length == fin.physical_offset =>
+                        {
+                            c.length += fin.length;
+                            c.timestamp = c.timestamp.max(fin.timestamp);
+                            *carry = Some(c);
+                        }
+                        Some(c) => {
+                            out.push(c);
+                            *carry = Some(fin);
+                            if out.len() >= chunk {
+                                emit(out)?;
+                                out.clear();
+                            }
+                        }
+                        None => *carry = Some(fin),
+                    }
+                }
+                Ok(())
+            };
+        while let Some(std::cmp::Reverse((start, i))) = heap.pop() {
+            // plfs-lint: allow(panic-in-core): a heap key exists only while heads[i] is staged
+            let (_, span) = heads[i].take().expect("staged head for popped key");
+            if let Some(next) = runs[i].next() {
+                heap.push(std::cmp::Reverse((next.0, i)));
+                heads[i] = Some(next);
+            }
+            flush_final(&mut window, &mut carry, &mut out, Some(start), &mut emit)?;
+            window.insert(&IndexEntry {
+                logical_offset: start,
+                length: span.len,
+                physical_offset: span.phys,
+                writer: span.writer,
+                timestamp: span.ts,
+            });
+        }
+        flush_final(&mut window, &mut carry, &mut out, None, &mut emit)?;
+        if let Some(c) = carry {
+            out.push(c);
+        }
+        if !out.is_empty() {
+            emit(&out)?;
+        }
+        Ok(())
+    }
+}
+
+/// Coalesce adjacent mergeable mappings in `v[base..]` in place: runs of
+/// holes, and same-writer pieces whose physical bytes are contiguous.
+pub(crate) fn coalesce_mappings_from(v: &mut Vec<Mapping>, base: usize) {
+    let mut w = base;
+    for r in base..v.len() {
+        if w > base {
+            let prev = v[w - 1];
+            let next = v[r];
+            let mergeable = match (prev.source, next.source) {
+                (Source::Hole, Source::Hole) => true,
+                (
+                    Source::Writer {
+                        writer: pw,
+                        physical_offset: pp,
+                    },
+                    Source::Writer {
+                        writer: nw,
+                        physical_offset: np,
+                    },
+                ) => pw == nw && pp + prev.length == np,
+                _ => false,
+            };
+            if mergeable {
+                v[w - 1].length += next.length;
+                continue;
+            }
+        }
+        v[w] = v[r];
+        w += 1;
+    }
+    v.truncate(w);
+}
+
+/// Read-side index abstraction: [`crate::reader::ReadHandle`] resolves
+/// reads through either the fully materialized [`GlobalIndex`] or the
+/// memory-bounded [`crate::index::ondisk::OnDiskIndex`]. The backend is
+/// passed per call so an on-disk representation can fetch record windows
+/// lazily; the in-memory implementation ignores it and cannot fail.
+pub trait SpanLookup {
+    /// Append the coalesced mappings tiling `[offset, offset + len)` to
+    /// `out` (pre-existing contents untouched).
+    fn resolve_into<B: crate::backend::Backend>(
+        &mut self,
+        b: &B,
+        offset: u64,
+        len: u64,
+        out: &mut Vec<Mapping>,
+    ) -> Result<()>;
+
+    /// Logical end-of-file: one past the highest written byte.
+    fn eof(&self) -> u64;
+}
+
+impl SpanLookup for GlobalIndex {
+    fn resolve_into<B: crate::backend::Backend>(
+        &mut self,
+        _b: &B,
+        offset: u64,
+        len: u64,
+        out: &mut Vec<Mapping>,
+    ) -> Result<()> {
+        self.lookup_coalesced_into(offset, len, out);
+        Ok(())
+    }
+
+    fn eof(&self) -> u64 {
+        GlobalIndex::eof(self)
     }
 }
 
@@ -1083,6 +1279,98 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn lookup_into_appends_and_reuses_buffer() {
+        let idx = GlobalIndex::from_entries([e(0, 10, 0, 1, 1), e(20, 10, 10, 1, 1)]);
+        let mut buf = Vec::new();
+        idx.lookup_into(0, 10, &mut buf);
+        assert_eq!(buf.len(), 1);
+        // Appends after existing content; coalescing never reaches back
+        // past the appended region.
+        idx.lookup_coalesced_into(0, 30, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf[0], buf[1]); // the old mapping survived untouched
+        assert_eq!(idx.lookup(0, 10), buf[..1].to_vec());
+        buf.clear();
+        idx.lookup_coalesced_into(0, 30, &mut buf);
+        assert_eq!(buf, idx.lookup_coalesced(0, 30));
+    }
+
+    /// Reference for streaming-merge tests: materialize the whole merge,
+    /// compact, serialize.
+    fn merged_compacted(parts: Vec<GlobalIndex>) -> Vec<IndexEntry> {
+        let mut m = GlobalIndex::merge_all(parts);
+        m.compact();
+        m.to_entries()
+    }
+
+    fn streamed(parts: Vec<GlobalIndex>, chunk: usize) -> Vec<IndexEntry> {
+        let mut got = Vec::new();
+        GlobalIndex::merge_streamed(parts, chunk, |run| {
+            got.extend_from_slice(run);
+            Ok(())
+        })
+        .unwrap();
+        got
+    }
+
+    #[test]
+    fn merge_streamed_equals_merge_all_compact() {
+        // Strided disjoint checkpoint: compacts across finalization
+        // boundaries (each writer's blocks are physically sequential).
+        let mut parts = Vec::new();
+        for w in 0..8u64 {
+            parts.push(GlobalIndex::from_entries(
+                (0..16u64).map(|b| e((b * 8 + w) * 64, 64, b * 64, w, 1)),
+            ));
+        }
+        for chunk in [1, 3, 64, 10_000] {
+            assert_eq!(
+                streamed(parts.clone(), chunk),
+                merged_compacted(parts.clone()),
+                "chunk {chunk}"
+            );
+        }
+        // Overlapping parts: precedence resolution inside the window.
+        let overlapping = vec![
+            GlobalIndex::from_entries([e(0, 100, 0, 1, 1)]),
+            GlobalIndex::from_entries([e(40, 20, 0, 2, 9), e(300, 10, 20, 2, 9)]),
+            GlobalIndex::from_entries([e(50, 100, 0, 3, 3), e(10, 10, 100, 3, 3)]),
+        ];
+        for chunk in [1, 2, 7] {
+            assert_eq!(
+                streamed(overlapping.clone(), chunk),
+                merged_compacted(overlapping.clone()),
+                "chunk {chunk}"
+            );
+        }
+        // Degenerate inputs.
+        assert!(streamed(Vec::new(), 4).is_empty());
+        assert!(streamed(vec![GlobalIndex::new()], 4).is_empty());
+    }
+
+    #[test]
+    fn merge_streamed_emits_sorted_disjoint_runs() {
+        let parts: Vec<GlobalIndex> = (0..4u64)
+            .map(|w| {
+                GlobalIndex::from_entries((0..32u64).map(|b| e((b * 4 + w) * 10, 10, b * 7, w, w)))
+            })
+            .collect();
+        let mut chunks = 0usize;
+        let mut last_end = 0u64;
+        GlobalIndex::merge_streamed(parts, 8, |run| {
+            chunks += 1;
+            assert!(run.len() <= 8 + 1, "chunk overshoot: {}", run.len());
+            for r in run {
+                assert!(r.logical_offset >= last_end, "unsorted or overlapping");
+                last_end = r.logical_offset + r.length;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(chunks > 1, "expected incremental emission");
     }
 
     #[test]

@@ -429,6 +429,114 @@ pub fn replay<B: Backend + ?Sized>(b: &B, ops: &[IoOp]) -> Vec<IoOutcome> {
     ops.iter().map(|op| dispatch_one(b, op)).collect()
 }
 
+// ---------------------------------------------------------------------
+// List I/O: many byte ranges of one file as one plane submission — the
+// PVFS list-I/O idiom. The planner coalesces touching ranges into single
+// `ReadAt` ops, the whole set goes down as ONE `Backend::submit` (or one
+// async ticket), and the splitter slices each caller range back out of
+// the coalesced reads (a refcount bump on real bytes, not a copy).
+
+/// A planned list read over one file: the coalesced `ReadAt` batch plus,
+/// per requested range, where its bytes live inside that batch.
+#[derive(Debug, Clone)]
+pub struct ListReadPlan {
+    ops: Vec<IoOp>,
+    /// Per requested range: (op index, offset within the op's read, len).
+    splits: Vec<(usize, u64, u64)>,
+}
+
+/// Plan one list read of `ranges` (`(offset, len)` pairs, sorted by
+/// offset) from `path`. Touching or overlapping ranges share one
+/// `ReadAt`.
+///
+/// # Panics
+/// Debug-asserts that `ranges` is sorted by offset.
+pub fn plan_list_read(path: &str, ranges: &[(u64, u64)]) -> ListReadPlan {
+    debug_assert!(
+        ranges.windows(2).all(|w| w[0].0 <= w[1].0),
+        "list-read ranges must be sorted by offset"
+    );
+    let mut ops: Vec<IoOp> = Vec::new();
+    let mut splits = Vec::with_capacity(ranges.len());
+    let mut cur: Option<(u64, u64)> = None; // (start, end) of the op being grown
+    for &(off, len) in ranges {
+        match &mut cur {
+            Some((start, end)) if off <= *end => {
+                *end = (*end).max(off + len);
+                splits.push((ops.len(), off - *start, len));
+            }
+            _ => {
+                if let Some((start, end)) = cur.take() {
+                    ops.push(IoOp::ReadAt {
+                        path: path.to_string(),
+                        offset: start,
+                        len: end - start,
+                    });
+                }
+                cur = Some((off, off + len));
+                splits.push((ops.len(), 0, len));
+            }
+        }
+    }
+    if let Some((start, end)) = cur {
+        ops.push(IoOp::ReadAt {
+            path: path.to_string(),
+            offset: start,
+            len: end - start,
+        });
+    }
+    ListReadPlan { ops, splits }
+}
+
+impl ListReadPlan {
+    /// The coalesced `ReadAt` batch (for async submission via
+    /// [`async_plane::submit_tracked`]; drain with [`ListReadPlan::split`]).
+    pub fn ops(&self) -> &[IoOp] {
+        &self.ops
+    }
+
+    /// Slice each requested range out of the batch outcomes. A read that
+    /// came back shorter than its op asked for is surfaced as an error —
+    /// the file shrank under us.
+    pub fn split(&self, outcomes: Vec<IoOutcome>) -> Result<Vec<Content>> {
+        let mut reads = Vec::with_capacity(self.ops.len());
+        for (op, outcome) in self.ops.iter().zip(outcomes) {
+            let c = as_data(outcome)?;
+            let IoOp::ReadAt { path, offset, len } = op else {
+                return Err(PlfsError::Io("list-read plan holds a non-read op".into()));
+            };
+            if c.len() != *len {
+                return Err(PlfsError::Io(format!(
+                    "list read short: wanted {len} bytes at {path}:{offset}, got {}",
+                    c.len()
+                )));
+            }
+            reads.push(c);
+        }
+        self.splits
+            .iter()
+            .map(|&(op_idx, off, len)| {
+                reads
+                    .get(op_idx)
+                    .map(|c| c.slice(off, len))
+                    .ok_or_else(|| PlfsError::Io("list-read split out of bounds".into()))
+            })
+            .collect()
+    }
+}
+
+/// Read many ranges of one file as a single retried plane submission.
+pub fn list_read<B: Backend + ?Sized>(
+    b: &B,
+    attempts: u32,
+    path: &str,
+    ranges: &[(u64, u64)],
+) -> Result<Vec<Content>> {
+    let plan = plan_list_read(path, ranges);
+    let outcomes = submit_retried(b, attempts, plan.ops());
+    plan.split(outcomes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,7 +70,7 @@ pub use content::Content;
 pub use error::{retry_transient, PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
 pub use faults::{FaultBackend, FaultConfig, FaultStats};
 pub use federation::Federation;
-pub use index::{GlobalIndex, IndexEntry, Mapping, WriterId};
+pub use index::{GlobalIndex, IndexEntry, Mapping, OnDiskIndex, SpanCache, SpanLookup, WriterId};
 pub use ioplane::async_plane::{Completion, Reactor, Ticket};
 pub use ioplane::{IoOp, IoOutcome, IoStats, IoValue};
 pub use localfs::LocalFs;

@@ -21,56 +21,98 @@ use crate::backend::Backend;
 use crate::container::Container;
 use crate::content::Content;
 use crate::error::{PlfsError, Result, DEFAULT_RETRY_ATTEMPTS};
-use crate::index::{GlobalIndex, Source, WriterId};
+use crate::index::{GlobalIndex, Mapping, OnDiskIndex, Source, SpanCache, SpanLookup, WriterId};
 use crate::ioplane::{self, IoOp};
 use crate::telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// How an open handle resolves logical offsets to data-log extents:
+/// either a fully materialized [`GlobalIndex`] (the PR 1 behaviour) or a
+/// memory-bounded [`OnDiskIndex`] over the spanidx file. Both go through
+/// [`SpanLookup`], so the read path below is representation-blind.
+enum IndexRepr {
+    Mem(GlobalIndex),
+    Disk(OnDiskIndex),
+}
+
 /// An open-for-read PLFS file.
 pub struct ReadHandle<B: Backend> {
     backend: B,
     container: Container,
-    index: GlobalIndex,
+    repr: IndexRepr,
     /// Resolved data-log paths, cached so repeated reads skip metalink
     /// resolution. `Arc<str>` so handing a path to each mapping is a
     /// refcount bump, not a string copy.
     log_paths: HashMap<WriterId, Arc<str>>,
+    /// Mapping scratch reused across reads — the hot read loop does not
+    /// allocate a fresh `Vec<Mapping>` per call.
+    map_buf: Vec<Mapping>,
 }
 
 impl<B: Backend> ReadHandle<B> {
     /// Open for read, acquiring the index from the container: the
     /// flattened index when present, otherwise full self-aggregation (the
-    /// Original design).
+    /// Original design). Memory is O(entries); see
+    /// [`ReadHandle::open_bounded`] for the O(cache window) variant.
     pub fn open(backend: B, container: Container) -> Result<Self> {
         let _span = telemetry::span(telemetry::SPAN_READ_OPEN);
         let index = container.acquire_index(&backend)?;
-        Ok(Self::with_parts(backend, container, index))
+        Ok(Self::with_parts(backend, container, IndexRepr::Mem(index)))
+    }
+
+    /// Open for read with memory bounded by the span-cache budget: when
+    /// the container has a valid spanidx flattened index, only its footer
+    /// and fence pointers are loaded and record windows stream through
+    /// `cache` on demand. Falls back to [`ReadHandle::open`] aggregation
+    /// when no usable flattened index exists.
+    pub fn open_bounded(backend: B, container: Container, cache: Arc<SpanCache>) -> Result<Self> {
+        let _span = telemetry::span(telemetry::SPAN_READ_OPEN);
+        match container.open_ondisk_index(&backend, cache)? {
+            Some(odx) => Ok(Self::with_parts(backend, container, IndexRepr::Disk(odx))),
+            None => {
+                let index = container.acquire_index(&backend)?;
+                Ok(Self::with_parts(backend, container, IndexRepr::Mem(index)))
+            }
+        }
     }
 
     /// Open for read with an index supplied by a collective aggregation
     /// (Parallel Index Read or a broadcast flattened index).
     pub fn open_with_index(backend: B, container: Container, index: GlobalIndex) -> Result<Self> {
-        Ok(Self::with_parts(backend, container, index))
+        Ok(Self::with_parts(backend, container, IndexRepr::Mem(index)))
     }
 
-    fn with_parts(backend: B, container: Container, index: GlobalIndex) -> Self {
+    fn with_parts(backend: B, container: Container, repr: IndexRepr) -> Self {
         ReadHandle {
             backend,
             container,
-            index,
+            repr,
             log_paths: HashMap::new(),
+            map_buf: Vec::new(),
         }
     }
 
     /// Logical file size.
     pub fn size(&self) -> u64 {
-        self.index.eof()
+        self.eof()
     }
 
-    /// The global index this handle resolves reads through.
-    pub fn index(&self) -> &GlobalIndex {
-        &self.index
+    fn eof(&self) -> u64 {
+        match &self.repr {
+            IndexRepr::Mem(idx) => idx.eof(),
+            IndexRepr::Disk(odx) => odx.eof(),
+        }
+    }
+
+    /// The in-memory global index this handle resolves reads through —
+    /// `None` when the handle is memory-bounded (no materialized index
+    /// exists by design; use [`ReadHandle::size`] and the read methods).
+    pub fn index(&self) -> Option<&GlobalIndex> {
+        match &self.repr {
+            IndexRepr::Mem(idx) => Some(idx),
+            IndexRepr::Disk(_) => None,
+        }
     }
 
     /// The container being read.
@@ -91,7 +133,7 @@ impl<B: Backend> ReadHandle<B> {
     /// bytes. Holes read as zeros; reads past EOF are truncated (POSIX
     /// short read).
     pub fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let eof = self.index.eof();
+        let eof = self.eof();
         if offset >= eof {
             return Ok(Vec::new());
         }
@@ -113,7 +155,14 @@ impl<B: Backend> ReadHandle<B> {
     /// costs one backend operation per writer run rather than per block.
     pub fn read_pieces(&mut self, offset: u64, len: u64) -> Result<Vec<Content>> {
         let _span = telemetry::span(telemetry::SPAN_READ_LOOKUP);
-        let mappings = self.index.lookup_coalesced(offset, len);
+        // Reuse the mapping scratch (taken out so `log_path` below can
+        // borrow `self` mutably while the mappings are walked).
+        let mut mappings = std::mem::take(&mut self.map_buf);
+        mappings.clear();
+        match &mut self.repr {
+            IndexRepr::Mem(idx) => idx.resolve_into(&self.backend, offset, len, &mut mappings)?,
+            IndexRepr::Disk(odx) => odx.resolve_into(&self.backend, offset, len, &mut mappings)?,
+        }
         // Resolve every mapping to either a hole or a planned read, then
         // submit all the reads as ONE plane batch (one submission for the
         // whole fan-out; transient failures are retried per op by the
@@ -161,6 +210,7 @@ impl<B: Backend> ReadHandle<B> {
             telemetry::count(telemetry::CTR_READ_BYTES, c.len());
             pieces.push(c);
         }
+        self.map_buf = mappings;
         Ok(pieces)
     }
 }
@@ -402,6 +452,62 @@ mod tests {
         assert_eq!(&got[0..25], &[1; 25]);
         assert_eq!(&got[25..75], &[2; 50]);
         assert_eq!(&got[75..100], &[1; 25]);
+    }
+
+    #[test]
+    fn bounded_open_serves_identical_bytes_without_materializing() {
+        use crate::index::SpanCache;
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 2));
+        let handles = write_strided(
+            &b,
+            &c,
+            4,
+            6,
+            32,
+            IndexPolicy::Flatten {
+                threshold_entries: 1000,
+            },
+        );
+        assert!(flatten_close(&b, &c, handles, 9).unwrap());
+        let total = 4 * 6 * 32u64;
+        let want = ReadHandle::open(Arc::clone(&b), c.clone())
+            .unwrap()
+            .read(0, total)
+            .unwrap();
+        let cache = Arc::new(SpanCache::with_budget(1 << 20));
+        let mut r = ReadHandle::open_bounded(Arc::clone(&b), c.clone(), cache).unwrap();
+        assert!(r.index().is_none(), "bounded open must not materialize");
+        assert_eq!(r.size(), total);
+        assert_eq!(r.read(0, total).unwrap(), want);
+        // Strided probes agree too.
+        for off in (0..total).step_by(96) {
+            assert_eq!(
+                r.read(off, 48).unwrap(),
+                ReadHandle::open(Arc::clone(&b), c.clone())
+                    .unwrap()
+                    .read(off, 48)
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_open_falls_back_to_aggregation_without_flattened() {
+        use crate::index::SpanCache;
+        let b = Arc::new(MemFs::new());
+        let c = Container::new("/f", &Federation::single("/ns", 1));
+        let handles = write_strided(&b, &c, 2, 3, 16, IndexPolicy::WriteClose);
+        for h in handles {
+            h.close(9).unwrap();
+        }
+        let cache = Arc::new(SpanCache::with_budget(1 << 20));
+        let mut r = ReadHandle::open_bounded(Arc::clone(&b), c.clone(), cache).unwrap();
+        assert!(r.index().is_some(), "no spanidx file → in-memory fallback");
+        assert_eq!(
+            r.read(0, 2 * 3 * 16).unwrap(),
+            ReadHandle::open(Arc::clone(&b), c).unwrap().read(0, 96).unwrap()
+        );
     }
 
     #[test]

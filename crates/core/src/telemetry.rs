@@ -128,6 +128,12 @@ pub const CTR_SIM_PEAK_LIVE: &str = "sim.peak_live";
 pub const CTR_ASYNC_TICKETS: &str = "async.tickets";
 /// Counter: nanoseconds callers spent blocked in `Ticket::wait`.
 pub const CTR_ASYNC_BLOCKED_NS: &str = "async.blocked_ns";
+/// Counter: span-cache window probes served from the cache.
+pub const CTR_SPANCACHE_HITS: &str = "spancache.hits";
+/// Counter: span-cache window probes that missed and went to the backend.
+pub const CTR_SPANCACHE_MISSES: &str = "spancache.misses";
+/// Counter: cached record windows evicted to hold the byte budget.
+pub const CTR_SPANCACHE_EVICTIONS: &str = "spancache.evictions";
 
 /// Histogram: whole-batch `Backend::submit` latency.
 pub const HIST_IOPLANE_BATCH: &str = "ioplane.batch";

@@ -609,12 +609,12 @@ pub fn flatten_close<B: Backend>(
     if !all_can_flatten {
         return Ok(false);
     }
-    let mut global = GlobalIndex::merge_all(partials);
-    // Compact before persisting: segmented checkpoints collapse to one
-    // span per writer, shrinking the flattened index (and the broadcast
-    // every reader pays for it) by the transfer-count factor.
-    global.compact();
-    container.write_flattened(backend, &global)?;
+    // Stream the merge straight to disk: partials zipper through the
+    // bounded-window merge into spanidx record chunks, so the flatten
+    // never materializes the merged index. The emitted records are the
+    // compacted merge (segmented checkpoints collapse to one span per
+    // writer, shrinking the flattened index every reader pays for).
+    container.write_flattened_streamed(backend, partials)?;
     Ok(true)
 }
 
@@ -684,9 +684,7 @@ where
                 .into_iter()
                 .map(GlobalIndex::from_entries)
                 .collect();
-            let mut global = GlobalIndex::merge_all(partials);
-            global.compact();
-            container.write_flattened(backend.as_ref(), &global)?;
+            container.write_flattened_streamed(backend.as_ref(), partials)?;
             Ok(true)
         })
         .map_err(|e| PlfsError::Io(format!("spawn background flatten: {e}")))?;

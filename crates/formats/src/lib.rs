@@ -18,6 +18,7 @@
 
 pub mod header;
 pub mod slab;
+pub mod spanidx;
 
 use header::Header;
 use plfs::backend::Backend;

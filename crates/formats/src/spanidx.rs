@@ -1,0 +1,142 @@
+//! Human-readable description of an on-disk span index (`spanidx`).
+//!
+//! The codec itself lives in `plfs::index::ondisk` (DESIGN.md §5j) so
+//! the middleware's bounded read path carries no formats dependency;
+//! this module is the *formats-library* view of the same bytes — the
+//! piece `plfsctl index inspect` renders. Like [`crate::header`], it
+//! turns a raw region into named, checked structure.
+
+use plfs::index::ondisk::{self, SpanIdxFooter, SPANIDX_FENCE_BYTES, SPANIDX_FOOTER_BYTES};
+use plfs::index::{IndexEntry, INDEX_RECORD_BYTES};
+use plfs::Result;
+
+/// Everything `plfsctl index inspect` prints about one spanidx file.
+#[derive(Debug, Clone)]
+pub struct SpanIdxSummary {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// The validated footer (geometry, eof, version).
+    pub footer: SpanIdxFooter,
+    /// Decoded fence pointers (logical offset of each window's first record).
+    pub fences: Vec<u64>,
+    /// Distinct writers referenced by the records.
+    pub writers: u64,
+    /// Logical bytes covered by records (eof minus holes).
+    pub covered_bytes: u64,
+}
+
+/// Parse, deep-verify, and summarize a whole spanidx file image.
+pub fn describe(bytes: &[u8]) -> Result<SpanIdxSummary> {
+    let footer = ondisk::verify_deep(bytes)?;
+    let (_, records, fence_bytes) = ondisk::parse_file(bytes)?;
+    let fences = ondisk::decode_fences(fence_bytes)?;
+    let entries = IndexEntry::decode_all(records)?;
+    let mut writers: Vec<u64> = entries.iter().map(|e| e.writer).collect();
+    writers.sort_unstable();
+    writers.dedup();
+    Ok(SpanIdxSummary {
+        file_bytes: bytes.len() as u64,
+        footer,
+        fences,
+        writers: writers.len() as u64,
+        covered_bytes: entries.iter().map(|e| e.length).sum(),
+    })
+}
+
+impl std::fmt::Display for SpanIdxSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let record_bytes = self.footer.record_count * INDEX_RECORD_BYTES;
+        let fence_region = self.footer.fence_count * SPANIDX_FENCE_BYTES;
+        writeln!(f, "format        : spanidx v{}", self.footer.version)?;
+        writeln!(f, "file size     : {} bytes", self.file_bytes)?;
+        writeln!(
+            f,
+            "records       : {} ({} bytes)",
+            self.footer.record_count, record_bytes
+        )?;
+        writeln!(
+            f,
+            "fences        : {} x {} B every {} records ({} bytes, footer {} B)",
+            self.footer.fence_count,
+            SPANIDX_FENCE_BYTES,
+            self.footer.fence_stride,
+            fence_region,
+            SPANIDX_FOOTER_BYTES
+        )?;
+        writeln!(f, "logical eof   : {} bytes", self.footer.eof)?;
+        writeln!(
+            f,
+            "covered       : {} bytes ({} hole bytes)",
+            self.covered_bytes,
+            self.footer.eof.saturating_sub(self.covered_bytes)
+        )?;
+        writeln!(f, "writers       : {}", self.writers)?;
+        // Bounded-open cost: what a reader materializes before the
+        // first lookup, vs. the whole-index fetch it replaces.
+        writeln!(
+            f,
+            "open footprint: {} bytes (fences + footer; whole index would be {} bytes)",
+            fence_region + SPANIDX_FOOTER_BYTES,
+            record_bytes
+        )?;
+        if let (Some(first), Some(last)) = (self.fences.first(), self.fences.last()) {
+            write!(f, "fence range   : {first} .. {last}")?;
+        } else {
+            write!(f, "fence range   : (empty index)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plfs::index::ondisk::SpanIdxWriter;
+    use plfs::{Backend, MemFs};
+
+    fn entry(i: u64) -> IndexEntry {
+        IndexEntry {
+            logical_offset: i * 100,
+            length: 60,
+            physical_offset: i * 60,
+            writer: i % 3,
+            timestamp: 1,
+        }
+    }
+
+    #[test]
+    fn describe_summarizes_a_written_index() {
+        let b = MemFs::new();
+        let entries: Vec<IndexEntry> = (0..2500).map(entry).collect();
+        let mut w = SpanIdxWriter::create(&b, "/idx", 1 << 20).unwrap();
+        w.push_run(&entries).unwrap();
+        w.finish().unwrap();
+        let len = b.size("/idx").unwrap();
+        let bytes = b.read_at("/idx", 0, len).unwrap().materialize();
+
+        let s = describe(&bytes).unwrap();
+        assert_eq!(s.file_bytes, len);
+        assert_eq!(s.footer.record_count, 2500);
+        assert_eq!(s.fences.len() as u64, s.footer.fence_count);
+        assert_eq!(s.footer.fence_count, 3); // 2500 records / 1024 stride
+        assert_eq!(s.writers, 3);
+        assert_eq!(s.covered_bytes, 2500 * 60);
+        assert_eq!(s.footer.eof, 2499 * 100 + 60);
+
+        let text = s.to_string();
+        assert!(text.contains("spanidx v1"), "{text}");
+        assert!(text.contains("fence range"), "{text}");
+    }
+
+    #[test]
+    fn describe_rejects_torn_bytes() {
+        let b = MemFs::new();
+        let entries: Vec<IndexEntry> = (0..10).map(entry).collect();
+        let mut w = SpanIdxWriter::create(&b, "/idx", 1 << 20).unwrap();
+        w.push_run(&entries).unwrap();
+        w.finish().unwrap();
+        let len = b.size("/idx").unwrap();
+        let bytes = b.read_at("/idx", 0, len - 7).unwrap().materialize();
+        assert!(describe(&bytes).is_err());
+    }
+}

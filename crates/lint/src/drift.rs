@@ -526,6 +526,89 @@ pub fn check_file(rows: &[FormatRow], rel_path: &str, toks: &[Tok]) -> (Vec<RawF
     (findings, matched)
 }
 
+/// Parse the §5j spanidx constants table out of DESIGN.md (between
+/// `<!-- plfs-lint:spanidx-table -->` markers). Same three-column
+/// shape and semantics as the §5d format table, so rows reuse
+/// [`FormatRow`] and the forward check reuses [`check_file`].
+pub fn parse_spanidx_table(doc: &str) -> Result<Vec<FormatRow>, String> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut seen_open = false;
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.contains("<!-- plfs-lint:spanidx-table -->") {
+            inside = true;
+            seen_open = true;
+            continue;
+        }
+        if trimmed.contains("<!-- /plfs-lint:spanidx-table -->") {
+            inside = false;
+            continue;
+        }
+        if !inside || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() != 3 {
+            continue;
+        }
+        let (name, value, file) = (unbacktick(cells[0]), unbacktick(cells[1]), unbacktick(cells[2]));
+        if name.is_empty() || name == "constant" || name.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        rows.push(FormatRow {
+            name: name.to_string(),
+            value: normalize_expr(value),
+            file: file.to_string(),
+            doc_line: lineno,
+        });
+    }
+    if !seen_open {
+        return Err("DESIGN.md has no `<!-- plfs-lint:spanidx-table -->` marker; the spanidx format cannot be drift-checked".into());
+    }
+    if inside {
+        return Err("DESIGN.md spanidx table is missing its closing `<!-- /plfs-lint:spanidx-table -->` marker".into());
+    }
+    if rows.is_empty() {
+        return Err("DESIGN.md spanidx table is empty".into());
+    }
+    Ok(rows)
+}
+
+/// Check one spanidx-format file against the §5j table, both ways:
+/// every row claiming this file must match a constant ([`check_file`]),
+/// and every `SPANIDX_`/`SPANCACHE_` constant in the file must have a
+/// row — a new format knob off the table is drift too.
+pub fn check_spanidx_file(
+    rows: &[FormatRow],
+    rel_path: &str,
+    toks: &[Tok],
+) -> (Vec<RawFinding>, Vec<usize>) {
+    let (mut findings, matched) = check_file(rows, rel_path, toks);
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is(TokKind::Ident, "const") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.as_str();
+            if (name.starts_with("SPANIDX_") || name.starts_with("SPANCACHE_"))
+                && !rows.iter().any(|r| r.name == name && r.file == rel_path)
+            {
+                findings.push(RawFinding {
+                    trace: Vec::new(),
+                    rule: RuleId::FormatDrift,
+                    line: toks[i].line,
+                    message: format!(
+                        "spanidx constant `{name}` has no row in the DESIGN.md §5j table; \
+                         add one (the table is the authoritative on-disk format contract)"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+    (findings, matched)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +656,56 @@ intro text
     fn missing_markers_error() {
         assert!(parse_format_table("no table here").is_err());
         assert!(parse_format_table("<!-- plfs-lint:format-table -->\n| `A` | `1` | `f.rs` |\n").is_err());
+    }
+
+    const SX_DOC: &str = "\
+<!-- plfs-lint:spanidx-table -->
+| constant | value | file |
+| --- | --- | --- |
+| `SPANIDX_MAGIC` | `* b\"PLFSIDX1\"` | `a/ondisk.rs` |
+| `SPANCACHE_SHARDS` | `8` | `a/spancache.rs` |
+<!-- /plfs-lint:spanidx-table -->
+";
+
+    #[test]
+    fn spanidx_table_matches_both_ways() {
+        let rows = parse_spanidx_table(SX_DOC).unwrap();
+        assert_eq!(rows.len(), 2);
+        let toks = lex("pub const SPANIDX_MAGIC: [u8; 8] = *b\"PLFSIDX1\";").toks;
+        let (f, m) = check_spanidx_file(&rows, "a/ondisk.rs", &toks);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(m, vec![0]);
+    }
+
+    #[test]
+    fn spanidx_constant_without_a_row_is_flagged() {
+        let rows = parse_spanidx_table(SX_DOC).unwrap();
+        let toks = lex(
+            "pub const SPANCACHE_SHARDS: u64 = 8;\npub const SPANCACHE_NEW_KNOB: u64 = 3;",
+        )
+        .toks;
+        let (f, m) = check_spanidx_file(&rows, "a/spancache.rs", &toks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("SPANCACHE_NEW_KNOB"));
+        assert_eq!(f[0].line, 2);
+        assert_eq!(m, vec![1]);
+    }
+
+    #[test]
+    fn spanidx_drifted_value_is_flagged() {
+        let rows = parse_spanidx_table(SX_DOC).unwrap();
+        let toks = lex("pub const SPANCACHE_SHARDS: u64 = 16;").toks;
+        let (f, _) = check_spanidx_file(&rows, "a/spancache.rs", &toks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("16"));
+    }
+
+    #[test]
+    fn spanidx_missing_markers_error() {
+        assert!(parse_spanidx_table("no table").is_err());
+        assert!(
+            parse_spanidx_table("<!-- plfs-lint:spanidx-table -->\n| `A` | `1` | `f.rs` |\n")
+                .is_err()
+        );
     }
 }

@@ -336,6 +336,8 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
     let tel_rows = drift::parse_telemetry_table(&doc)?;
     let mut tel_row_matched = vec![false; tel_rows.len()];
     let mut telemetry_seen = false;
+    let sx_rows = drift::parse_spanidx_table(&doc)?;
+    let mut sx_row_matched = vec![false; sx_rows.len()];
     let lock_rows = drift::parse_lock_table(&doc)?;
 
     let mut prod_paths = Vec::new();
@@ -385,6 +387,12 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
             extras.extend(drift_findings);
             for idx in matched {
                 row_matched[idx] = true;
+            }
+            let (sx_findings, sx_matched) =
+                drift::check_spanidx_file(&sx_rows, rel, &lexed_for_drift.toks);
+            extras.extend(sx_findings);
+            for idx in sx_matched {
+                sx_row_matched[idx] = true;
             }
             if rel == "crates/core/src/ioplane.rs" {
                 ioplane_seen = true;
@@ -502,6 +510,28 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
             snippet: String::new(),
             trace: Vec::new(),
         });
+    }
+
+    for (row, matched) in sx_rows.iter().zip(&sx_row_matched) {
+        if !matched {
+            report.findings.push(Finding {
+                rule: RuleId::FormatDrift,
+                file: "DESIGN.md".into(),
+                line: row.doc_line,
+                message: format!(
+                    "spanidx table row for `{}` points at `{}`, which was not scanned \
+                     (file moved or deleted without updating the table)",
+                    row.name, row.file
+                ),
+                snippet: doc
+                    .lines()
+                    .nth(row.doc_line as usize - 1)
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+                    trace: Vec::new(),
+            });
+        }
     }
 
     for (row, matched) in rows.iter().zip(&row_matched) {

@@ -4,6 +4,7 @@
 //! points concurrently deadlock.
 
 pub const DEMO_MAGIC: u32 = 7;
+pub const SPANIDX_DEMO: u64 = 1;
 
 pub struct HandleTable {
     shard: Mutex<Shard>,

@@ -32,6 +32,7 @@
 
 use crate::driver::{exec_io, generic_collective, Ctx, Driver, Step};
 use crate::ops::{FileTag, LogicalOp};
+use plfs::index::ondisk::{fences_for, SPANIDX_FENCE_BYTES, SPANIDX_FENCE_STRIDE, SPANIDX_FOOTER_BYTES};
 use plfs::index::INDEX_RECORD_BYTES;
 use plfs::{Content, Federation, IoOp};
 use simcore::SimTime;
@@ -67,6 +68,12 @@ pub struct PlfsDriverConfig {
     /// whole file, the Index Flatten root at close, and the Parallel
     /// Index Read hierarchy at open.
     pub merge_ns_per_entry: u64,
+    /// Model the memory-bounded read open (spanidx): an Index Flatten
+    /// open fetches only the footer and fence pointers instead of the
+    /// whole flattened index, and record windows are charged to the reads
+    /// that touch them. Off by default — the classic whole-index fetch is
+    /// what the paper's figures measure.
+    pub bounded_read_open: bool,
     /// Fault knob: ranks that die just before their write close. A
     /// crashed rank flushes no index records, writes no metadir record,
     /// and never removes its openhosts entry — its unflushed entries are
@@ -82,6 +89,7 @@ impl PlfsDriverConfig {
             flatten_threshold_entries: 1 << 20,
             group_size: 64,
             merge_ns_per_entry: 20,
+            bounded_read_open: false,
             crash_at_close: std::collections::HashSet::new(),
         }
     }
@@ -885,7 +893,15 @@ impl Driver for PlfsDriver {
                 let flat_entries = self.file_get(&logical).and_then(|f| f.flattened_entries);
                 match (self.cfg.strategy, flat_entries) {
                     (ReadStrategy::IndexFlatten, Some(entries)) => {
-                        let bytes = entries * INDEX_RECORD_BYTES;
+                        // Bounded opens bootstrap from the spanidx footer
+                        // and fences only (no merge CPU either way — the
+                        // flatten already paid it at close).
+                        let bytes = if self.cfg.bounded_read_open {
+                            SPANIDX_FOOTER_BYTES
+                                + fences_for(entries, SPANIDX_FENCE_STRIDE) * SPANIDX_FENCE_BYTES
+                        } else {
+                            entries * INDEX_RECORD_BYTES
+                        };
                         let cns = self.container_ns(&logical);
                         let fpath = self.flattened_path(&logical);
                         let t = ctx.pfs.open_file(cns, ctx.layout.node_of(0), &fpath, sync);
@@ -1109,6 +1125,30 @@ mod tests {
         assert!(
             flat_close > orig_close,
             "flatten close {flat_close} vs original {orig_close}"
+        );
+    }
+
+    #[test]
+    fn bounded_read_open_is_cheaper_than_whole_index_fetch() {
+        let nprocs = 64;
+        let mk = |bounded: bool| {
+            let prog = checkpoint_restart(nprocs, 64 * 1024, 8);
+            let mut ctx = quiet_ctx(nprocs, 16, 1);
+            let mut cfg = PlfsDriverConfig::new(fed(1, 4), ReadStrategy::IndexFlatten);
+            cfg.group_size = 8;
+            cfg.bounded_read_open = bounded;
+            let mut d = PlfsDriver::new(cfg);
+            let m = Exec::new(&prog, &mut d, &mut ctx).run().metrics;
+            assert!(d.flattened("/ckpt"));
+            m.mean_duration_s(OpKind::OpenRead)
+        };
+        let whole = mk(false);
+        let bounded = mk(true);
+        // 64 ranks × 8 writes = 512 records (20 KiB) vs footer + 1 fence
+        // (72 B): the bootstrap fetch and its broadcast must shrink.
+        assert!(
+            bounded < whole,
+            "bounded open {bounded} vs whole-index open {whole}"
         );
     }
 

@@ -66,7 +66,9 @@ fn main() -> plfs::Result<()> {
         }
     }
     println!("read back all {} blocks: every byte matches its writer's stream", WRITERS * BLOCKS_PER_WRITER);
-    println!("global index resolved {} spans", r.index().span_count());
+    if let Some(idx) = r.index() {
+        println!("global index resolved {} spans", idx.span_count());
+    }
 
     // --- what PLFS actually put on disk ---------------------------------
     println!("\ncontainer structure under {}:", root.display());

@@ -52,3 +52,9 @@ PLFS_FAULT_SEED=3405691582 cargo test -q --offline --test crash_recovery
 # Regenerate with `sim_scale --write` after a deliberate improvement.
 cargo run --release --offline -p plfs-bench --bin sim_scale -- \
     --check results/sim_scale.md
+
+# Memory-bounded read ratchet (DESIGN.md §5j): a 10M-entry read-open in
+# a re-executed child must keep peak RSS under the committed ceiling and
+# its backend round trips must not grow, against results/read_mem.md.
+# Regenerate with `read_mem --write` after a deliberate improvement.
+cargo run --release --offline --bin read_mem -- --check results/read_mem.md

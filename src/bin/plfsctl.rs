@@ -10,6 +10,7 @@
 //! plfsctl cat   <mount-root> <logical>       write logical bytes to stdout
 //! plfsctl truncate <mount-root> <logical> <size>   logical truncate
 //! plfsctl du    <mount-root> <logical>       physical vs logical space
+//! plfsctl index inspect <mount-root> <logical>   spanidx header/fence summary
 //! plfsctl lint  [flags] [workspace-root]     run the static invariant checker
 //! plfsctl obs   [--json]                     telemetry demo: spans/counters/histograms
 //! ```
@@ -49,6 +50,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: plfsctl <ls|stat|map|check|repair|cat|truncate|du> <mount-root> [logical-path] [size]\n\
+         \x20      plfsctl index inspect <mount-root> <logical-path>\n\
          \x20      plfsctl lint [--json] [--deny-warnings] [--baseline <file>] [--write-baseline <file>] [--root <dir>] [--design <file>] [workspace-root]\n\
          \x20      plfsctl obs [--json]"
     );
@@ -148,11 +150,14 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 /// telemetry plane enabled and print the captured snapshot (DESIGN.md §5f).
 ///
 /// The workload is the classic strided checkpoint in miniature — 4 writers
-/// each writing 8 interleaved 4 KiB blocks into one container, closed, then
-/// read back in full — so the span tree shows the real write path
+/// each writing 8 interleaved 4 KiB blocks into one container, flatten-closed,
+/// then read back in full *and* re-read through the memory-bounded open — so
+/// the span tree shows the real write path
 /// (`write.open`/`write.append`/`write.flush`/`write.close`), the read
-/// fan-out (`read.open` → `index.aggregate` → `index.merge`), and the I/O
-/// plane underneath (`ioplane.submit` spans plus per-op latency histograms).
+/// fan-out (`read.open` → `index.aggregate` → `index.merge`), the I/O
+/// plane underneath (`ioplane.submit` spans plus per-op latency histograms),
+/// and the `spancache.*` hit/miss/eviction counters of the bounded read
+/// path (DESIGN.md §5j).
 fn cmd_obs(args: &[String]) -> ExitCode {
     let mut json = false;
     for arg in args {
@@ -172,22 +177,33 @@ fn cmd_obs(args: &[String]) -> ExitCode {
     plfs::telemetry::reset();
     plfs::telemetry::set_enabled(true);
     let run = (|| -> plfs::Result<()> {
+        let mut handles = Vec::new();
         for w in 0..writers {
             let mut h = WriteHandle::open(
                 std::sync::Arc::clone(&backend),
                 cont.clone(),
                 w,
-                IndexPolicy::WriteClose,
+                IndexPolicy::Flatten {
+                    threshold_entries: 1024,
+                },
             )?;
             let stream = plfs::Content::synthetic(w, blocks * block);
             for k in 0..blocks {
                 let logical = (k * writers + w) * block;
                 h.write(logical, &stream.slice(k * block, block), k + 1)?;
             }
-            h.close(99)?;
+            handles.push(h);
         }
-        let mut r = ReadHandle::open(std::sync::Arc::clone(&backend), cont)?;
+        plfs::writer::flatten_close(&std::sync::Arc::clone(&backend), &cont, handles, 99)?;
+        let mut r = ReadHandle::open(std::sync::Arc::clone(&backend), cont.clone())?;
         let size = r.size();
+        r.read(0, size)?;
+        // Same bytes again through the memory-bounded open: fences +
+        // footer only, record windows streamed through the span cache
+        // (first pass misses, second hits).
+        let cache = std::sync::Arc::new(plfs::SpanCache::new());
+        let mut r = ReadHandle::open_bounded(std::sync::Arc::clone(&backend), cont, cache)?;
+        r.read(0, size)?;
         r.read(0, size)?;
         Ok(())
     })();
@@ -204,6 +220,51 @@ fn cmd_obs(args: &[String]) -> ExitCode {
         print!("{}", snap.render_tree());
     }
     ExitCode::SUCCESS
+}
+
+/// `plfsctl index inspect`: print the spanidx header and fence summary
+/// for one container's flattened index (DESIGN.md §5j) — what a
+/// memory-bounded read open materializes, versus the whole index.
+fn cmd_index(args: &[String]) -> ExitCode {
+    let (Some(sub), Some(root), Some(logical)) = (args.first(), args.get(1), args.get(2)) else {
+        return usage();
+    };
+    if sub != "inspect" || args.len() != 3 {
+        return usage();
+    }
+    let backend = match LocalFs::new(root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("plfsctl: cannot open mount root {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let subdirs = detect_subdirs(&backend, logical);
+    let cont = Container::new(logical, &Federation::single("/", subdirs));
+    let flat = cont.flattened_path();
+    use plfs::Backend as _;
+    if !backend.exists(&flat) {
+        println!("{logical}: no flattened index (reads aggregate per-writer index logs)");
+        return ExitCode::SUCCESS;
+    }
+    let bytes = match backend.size(&flat).and_then(|len| backend.read_at(&flat, 0, len)) {
+        Ok(c) => c.materialize(),
+        Err(e) => {
+            eprintln!("plfsctl: cannot read {flat}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match formats::spanidx::describe(&bytes) {
+        Ok(summary) => {
+            println!("{logical}: {flat}");
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{logical}: invalid flattened index: {e} (plfsctl repair removes it)");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Detect how many subdirs a container uses by scanning its entries.
@@ -257,6 +318,9 @@ fn dispatch(args: &[String]) -> ExitCode {
     }
     if args.get(1).map(String::as_str) == Some("obs") {
         return cmd_obs(&args[2..]);
+    }
+    if args.get(1).map(String::as_str) == Some("index") {
+        return cmd_index(&args[2..]);
     }
     if args.len() < 3 {
         return usage();

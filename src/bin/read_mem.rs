@@ -1,0 +1,397 @@
+//! `read_mem` — peak-RSS / round-trip ratchet for the memory-bounded
+//! read path (DESIGN.md §5j), and the tier-1 stage behind
+//! `results/read_mem.md`.
+//!
+//! The probe builds a container whose flattened index holds 10 million
+//! records (a 400 MB spanidx file — the scale the paper's checkpoint
+//! workloads reach), then measures a read-open plus a scatter of reads
+//! **in a re-executed child process**, so the child's `VmHWM` from
+//! `/proc/self/status` is the read path's peak RSS alone, uncontaminated
+//! by the parent's build phase:
+//!
+//! * `bounded` — `ReadHandle::open_bounded`: fences + footer in memory,
+//!   record windows fetched through the sharded span cache on demand;
+//! * `plain`   — `ReadHandle::open`: the whole flattened index is read
+//!   and materialized as a `GlobalIndex` (the pre-§5j behavior).
+//!
+//! Reported per path: `vmhwm_kb` (peak RSS), `ops` (backend ops issued),
+//! `batches` (list-I/O submissions), `trips` (batches + ops that
+//! bypassed the plane: physical round trips), `bytes_read`.
+//!
+//! Modes: plain run prints both paths; `--write <file>` records the
+//! results with a 1.5× headroom ceiling on the bounded path's RSS
+//! (allocator and libc noise; op counts are committed exactly);
+//! `--check <file>` re-measures only the bounded path and exits 1 if its
+//! RSS exceeds the committed ceiling or its round trips grew — the
+//! budget only ratchets down. `--child <path> <dir>` is the internal
+//! re-exec entry.
+
+use plfs::index::ondisk::SpanIdxWriter;
+use plfs::reader::ReadHandle;
+use plfs::writer::{IndexPolicy, WriteHandle};
+use plfs::{
+    ioplane, Container, Content, Federation, IndexEntry, LocalFs, SpanCache, TracingBackend,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Records in the flattened index: the 10M-entry scale from ISSUE
+/// acceptance (each record is one historical write).
+const ENTRIES: u64 = 10_000_000;
+/// Logical bytes per record.
+const SPAN: u64 = 64;
+/// Real data-log bytes the records reference (cyclically): the probe
+/// measures index memory, so the data log stays small.
+const DATA_BYTES: u64 = 1 << 20;
+/// Scattered reads the child performs after the open.
+const READS: u64 = 8;
+/// Bytes per scattered read.
+const READ_LEN: u64 = 64 * 1024;
+/// Records per `push_run` chunk while building the index file.
+const BUILD_CHUNK: u64 = 64 * 1024;
+/// Headroom multiplier applied to the measured bounded RSS when
+/// `--write` records the committed ceiling.
+const RSS_HEADROOM_NUM: u64 = 3;
+const RSS_HEADROOM_DEN: u64 = 2;
+
+/// Logical mount the container lives under (mapped beneath the LocalFs
+/// root, so parent and child resolve identical paths).
+const MOUNT: &str = "/m";
+const FILE: &str = "/bigread";
+
+fn federation() -> Federation {
+    Federation::single(MOUNT, 4)
+}
+
+/// One measured child run.
+struct Sample {
+    vmhwm_kb: u64,
+    ops: u64,
+    batches: u64,
+    trips: u64,
+    bytes_read: u64,
+}
+
+/// Peak resident set of the current process, from `/proc/self/status`.
+fn vmhwm_kb() -> Result<u64, String> {
+    let status = std::fs::read_to_string("/proc/self/status")
+        .map_err(|e| format!("read /proc/self/status: {e}"))?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .ok_or_else(|| "no VmHWM line in /proc/self/status".into())
+}
+
+/// Build the container: a small real data log plus a 10M-record
+/// flattened index whose records reference it cyclically. Streaming
+/// through [`SpanIdxWriter`] keeps the build itself O(chunk).
+fn build_probe_container(dir: &str) -> Result<(), String> {
+    let b = Arc::new(LocalFs::new(dir).map_err(|e| format!("localfs {dir}: {e}"))?);
+    let cont = Container::new(FILE, &federation());
+    let mut h = WriteHandle::open(Arc::clone(&b), cont.clone(), 0, IndexPolicy::WriteClose)
+        .map_err(|e| format!("open writer: {e}"))?;
+    let block = 64 * 1024u64;
+    for k in 0..DATA_BYTES / block {
+        h.write(k * block, &Content::synthetic(0, DATA_BYTES).slice(k * block, block), k + 1)
+            .map_err(|e| format!("data write {k}: {e}"))?;
+    }
+    h.close(99).map_err(|e| format!("close writer: {e}"))?;
+
+    let mut w = SpanIdxWriter::create(b.as_ref(), &cont.flattened_path(), BUILD_CHUNK as usize)
+        .map_err(|e| format!("spanidx create: {e}"))?;
+    let phys_slots = DATA_BYTES / SPAN;
+    let mut chunk: Vec<IndexEntry> = Vec::with_capacity(BUILD_CHUNK as usize);
+    for i in 0..ENTRIES {
+        chunk.push(IndexEntry {
+            logical_offset: i * SPAN,
+            length: SPAN,
+            physical_offset: (i % phys_slots) * SPAN,
+            writer: 0,
+            timestamp: 1,
+        });
+        if chunk.len() as u64 == BUILD_CHUNK {
+            w.push_run(&chunk).map_err(|e| format!("push_run: {e}"))?;
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        w.push_run(&chunk).map_err(|e| format!("push_run tail: {e}"))?;
+    }
+    w.finish().map_err(|e| format!("spanidx finish: {e}"))?;
+    Ok(())
+}
+
+/// Child entry: open the container on the named path, scatter reads
+/// across the logical file, and print the sample as `key=value` pairs.
+fn child(path_kind: &str, dir: &str) -> Result<(), String> {
+    let local = LocalFs::new(dir).map_err(|e| format!("localfs {dir}: {e}"))?;
+    let traced = Arc::new(TracingBackend::new(local));
+    let cont = Container::new(FILE, &federation());
+    let before = ioplane::stats();
+    traced.take_trace();
+
+    let mut rh = match path_kind {
+        "bounded" => ReadHandle::open_bounded(
+            Arc::clone(&traced),
+            cont,
+            Arc::new(SpanCache::new()),
+        )
+        .map_err(|e| format!("bounded open: {e}"))?,
+        "plain" => {
+            ReadHandle::open(Arc::clone(&traced), cont).map_err(|e| format!("plain open: {e}"))?
+        }
+        other => return Err(format!("unknown child path `{other}`")),
+    };
+    if path_kind == "bounded" && rh.index().is_some() {
+        return Err("bounded open fell back to the in-memory index".into());
+    }
+    let eof = rh.size();
+    if eof != ENTRIES * SPAN {
+        return Err(format!("eof {eof}, expected {}", ENTRIES * SPAN));
+    }
+    let mut bytes_read = 0u64;
+    for i in 0..READS {
+        let off = i * (eof / READS);
+        let got = rh.read(off, READ_LEN).map_err(|e| format!("read at {off}: {e}"))?;
+        bytes_read += got.len() as u64;
+    }
+
+    let after = ioplane::stats();
+    let ops = traced.take_trace().len() as u64;
+    let batches = after.batches - before.batches;
+    let plane_ops = after.ops - before.ops;
+    let trips = batches + ops.saturating_sub(plane_ops);
+    println!(
+        "vmhwm_kb={} ops={ops} batches={batches} trips={trips} bytes_read={bytes_read}",
+        vmhwm_kb()?
+    );
+    Ok(())
+}
+
+/// Re-exec ourselves as a measurement child and parse its report line.
+fn run_child(path_kind: &str, dir: &str) -> Result<Sample, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let out = std::process::Command::new(exe)
+        .args(["--child", path_kind, dir])
+        .output()
+        .map_err(|e| format!("spawn child: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "child {path_kind} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let get = |key: &str| -> Result<u64, String> {
+        text.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("child {path_kind}: no `{key}` in: {text}"))
+    };
+    Ok(Sample {
+        vmhwm_kb: get("vmhwm_kb")?,
+        ops: get("ops")?,
+        batches: get("batches")?,
+        trips: get("trips")?,
+        bytes_read: get("bytes_read")?,
+    })
+}
+
+fn render_row(name: &str, s: &Sample) -> String {
+    format!(
+        "| {name} | {} | {} | {} | {} | {} |\n",
+        s.vmhwm_kb, s.ops, s.batches, s.trips, s.bytes_read
+    )
+}
+
+fn render_table(rows: &[(&str, &Sample)]) -> String {
+    let mut t = String::from(
+        "| path | vmhwm_kb | ops | batches | trips | bytes_read |\n\
+         | --- | ---: | ---: | ---: | ---: | ---: |\n",
+    );
+    for (name, s) in rows {
+        t.push_str(&render_row(name, s));
+    }
+    t
+}
+
+fn render_results(bounded: &Sample, plain: &Sample) -> String {
+    let ceiling = bounded.vmhwm_kb * RSS_HEADROOM_NUM / RSS_HEADROOM_DEN;
+    format!(
+        "# Memory-bounded read-open: peak RSS and round trips at 10M entries\n\
+         \n\
+         Generated by `cargo run --release --bin read_mem -- --write results/read_mem.md`\n\
+         (release build, `TracingBackend<LocalFs>`; shapes in `src/bin/read_mem.rs`).\n\
+         The container's flattened index holds {ENTRIES} records ({} MB spanidx\n\
+         file); each path runs in a re-executed child so `vmhwm_kb` is the\n\
+         child's `VmHWM` — the read path's peak RSS alone. `plain` is the\n\
+         pre-\u{a7}5j behavior (whole index materialized at open) measured when\n\
+         this file was written; `bounded` is the fence-pointer + span-cache\n\
+         path `scripts/tier1.sh` re-measures and gates (`read_mem --check`):\n\
+         RSS must stay under the committed ceiling and round trips must not\n\
+         grow — the budget only ratchets down.\n\
+         \n\
+         {}\n\
+         bounded-ceiling: vmhwm_kb={ceiling} ops={} trips={}\n",
+        ENTRIES * plfs::index::INDEX_RECORD_BYTES / (1024 * 1024),
+        render_table(&[("bounded", bounded), ("plain (at write time)", plain)]),
+        bounded.ops,
+        bounded.trips,
+    )
+}
+
+/// Parse the committed `bounded-ceiling: ...` line.
+fn parse_ceiling(text: &str) -> Option<(u64, u64, u64)> {
+    let line = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("bounded-ceiling:"))?;
+    let get = |key: &str| -> Option<u64> {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+            .and_then(|v| v.parse().ok())
+    };
+    Some((get("vmhwm_kb")?, get("ops")?, get("trips")?))
+}
+
+fn check(bounded: &Sample, committed: &str) -> Vec<String> {
+    let Some((kb, ops, trips)) = parse_ceiling(committed) else {
+        return vec!["no committed `bounded-ceiling:` line; regenerate with --write".into()];
+    };
+    let mut errs = Vec::new();
+    if bounded.vmhwm_kb > kb {
+        errs.push(format!(
+            "bounded read-open peak RSS {} kB exceeds the committed ceiling {kb} kB \
+             (the budget only ratchets down)",
+            bounded.vmhwm_kb
+        ));
+    }
+    if bounded.ops > ops {
+        errs.push(format!(
+            "bounded read-open ops grew {ops} -> {} (the op budget only ratchets down)",
+            bounded.ops
+        ));
+    }
+    if bounded.trips > trips {
+        errs.push(format!(
+            "bounded read-open round trips grew {trips} -> {} \
+             (the trip budget only ratchets down)",
+            bounded.trips
+        ));
+    }
+    errs
+}
+
+/// Build the probe container in a fresh temp dir; the cleanup guard
+/// removes it however the run exits.
+struct ProbeDir(String);
+
+impl Drop for ProbeDir {
+    fn drop(&mut self) {
+        if let Err(e) = std::fs::remove_dir_all(&self.0) {
+            eprintln!("read_mem: cannot clean up {}: {e}", self.0);
+        }
+    }
+}
+
+fn probe_dir() -> Result<ProbeDir, String> {
+    let dir = std::env::temp_dir().join(format!("plfs-read-mem-{}", std::process::id()));
+    let dir = dir.to_string_lossy().into_owned();
+    match std::fs::remove_dir_all(&dir) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot clear stale {dir}: {e}")),
+    }
+    build_probe_container(&dir)?;
+    Ok(ProbeDir(dir))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--child") {
+        return match (args.get(2), args.get(3)) {
+            (Some(kind), Some(dir)) => match child(kind, dir) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("read_mem --child: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => {
+                eprintln!("usage: read_mem --child <bounded|plain> <dir>");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let run = |with_plain: bool| -> Result<(Sample, Option<Sample>), String> {
+        let dir = probe_dir()?;
+        let bounded = run_child("bounded", &dir.0)?;
+        let plain = if with_plain {
+            Some(run_child("plain", &dir.0)?)
+        } else {
+            None
+        };
+        Ok((bounded, plain))
+    };
+
+    match (args.get(1).map(String::as_str), args.get(2)) {
+        (None, _) => match run(true) {
+            Ok((bounded, Some(plain))) => {
+                print!("{}", render_table(&[("bounded", &bounded), ("plain", &plain)]));
+                ExitCode::SUCCESS
+            }
+            Ok(_) => unreachable!("run(true) always measures plain"),
+            Err(e) => {
+                eprintln!("read_mem: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        (Some("--write"), Some(path)) => match run(true) {
+            Ok((bounded, Some(plain))) => {
+                if let Err(e) = std::fs::write(path, render_results(&bounded, &plain)) {
+                    eprintln!("read_mem: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Ok(_) => unreachable!("run(true) always measures plain"),
+            Err(e) => {
+                eprintln!("read_mem: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        (Some("--check"), Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read_mem: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let bounded = match run(false) {
+                Ok((b, _)) => b,
+                Err(e) => {
+                    eprintln!("read_mem: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let errs = check(&bounded, &text);
+            print!("{}", render_table(&[("bounded", &bounded)]));
+            for e in &errs {
+                eprintln!("error[read-mem]: {e}");
+            }
+            if errs.is_empty() {
+                println!("read_mem: within committed budget ({path})");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: read_mem [--write <file> | --check <file>]");
+            ExitCode::from(2)
+        }
+    }
+}
