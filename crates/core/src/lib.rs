@@ -59,6 +59,7 @@ pub mod memfs;
 pub mod path;
 pub mod posix;
 pub mod reader;
+pub mod service;
 pub mod telemetry;
 pub mod truncate;
 pub mod vfs;
@@ -76,5 +77,6 @@ pub use ioplane::{IoOp, IoOutcome, IoStats, IoValue};
 pub use localfs::LocalFs;
 pub use memfs::MemFs;
 pub use posix::{OpenFlags, PosixShim};
+pub use service::{Admitted, Service, ServiceConfig, SvcHandle};
 pub use telemetry::TelemetrySnapshot;
 pub use vfs::{Plfs, PlfsConfig};

@@ -134,6 +134,14 @@ pub const CTR_SPANCACHE_HITS: &str = "spancache.hits";
 pub const CTR_SPANCACHE_MISSES: &str = "spancache.misses";
 /// Counter: cached record windows evicted to hold the byte budget.
 pub const CTR_SPANCACHE_EVICTIONS: &str = "spancache.evictions";
+/// Counter: service-layer ops admitted and completed (open/append/read/close).
+pub const CTR_SVC_OPS: &str = "svc.ops";
+/// Counter: service-layer admissions deferred by a tenant's token bucket.
+pub const CTR_SVC_THROTTLED: &str = "svc.throttled";
+/// Counter: service-layer sessions opened (writer + reader).
+pub const CTR_SVC_OPENS: &str = "svc.opens";
+/// Counter: index flushes forced by a tenant's dirty-byte budget.
+pub const CTR_SVC_DIRTY_FLUSHES: &str = "svc.dirty_flushes";
 
 /// Histogram: whole-batch `Backend::submit` latency.
 pub const HIST_IOPLANE_BATCH: &str = "ioplane.batch";
@@ -159,6 +167,9 @@ pub const HIST_IOPLANE_UNLINK: &str = "ioplane.unlink";
 pub const HIST_IOPLANE_REMOVE_ALL: &str = "ioplane.remove_all";
 /// Histogram: amortized per-op latency of `Rename` ops.
 pub const HIST_IOPLANE_RENAME: &str = "ioplane.rename";
+/// Histogram: end-to-end service-layer op latency (admission through
+/// completion; throttled probes are not recorded).
+pub const HIST_SVC_OP: &str = "svc.op";
 
 /// Number of fixed histogram buckets. Bucket `i` covers
 /// `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0 ns); the last bucket is

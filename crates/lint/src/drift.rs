@@ -609,6 +609,89 @@ pub fn check_spanidx_file(
     (findings, matched)
 }
 
+/// Parse the §5k service-layer constants table out of DESIGN.md
+/// (between `<!-- plfs-lint:svc-table -->` markers). Same
+/// three-column shape and semantics as the §5d format table, so rows
+/// reuse [`FormatRow`] and the forward check reuses [`check_file`].
+pub fn parse_svc_table(doc: &str) -> Result<Vec<FormatRow>, String> {
+    let mut rows = Vec::new();
+    let mut inside = false;
+    let mut seen_open = false;
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.contains("<!-- plfs-lint:svc-table -->") {
+            inside = true;
+            seen_open = true;
+            continue;
+        }
+        if trimmed.contains("<!-- /plfs-lint:svc-table -->") {
+            inside = false;
+            continue;
+        }
+        if !inside || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() != 3 {
+            continue;
+        }
+        let (name, value, file) = (unbacktick(cells[0]), unbacktick(cells[1]), unbacktick(cells[2]));
+        if name.is_empty() || name == "constant" || name.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        rows.push(FormatRow {
+            name: name.to_string(),
+            value: normalize_expr(value),
+            file: file.to_string(),
+            doc_line: lineno,
+        });
+    }
+    if !seen_open {
+        return Err("DESIGN.md has no `<!-- plfs-lint:svc-table -->` marker; the service-layer constants cannot be drift-checked".into());
+    }
+    if inside {
+        return Err("DESIGN.md svc table is missing its closing `<!-- /plfs-lint:svc-table -->` marker".into());
+    }
+    if rows.is_empty() {
+        return Err("DESIGN.md svc table is empty".into());
+    }
+    Ok(rows)
+}
+
+/// Check one file against the §5k service-constants table, both ways:
+/// every row claiming this file must match a constant ([`check_file`]),
+/// and every `SVC_` constant in the file must have a row — a new
+/// service policy knob off the table is drift too.
+pub fn check_svc_file(
+    rows: &[FormatRow],
+    rel_path: &str,
+    toks: &[Tok],
+) -> (Vec<RawFinding>, Vec<usize>) {
+    let (mut findings, matched) = check_file(rows, rel_path, toks);
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is(TokKind::Ident, "const") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.as_str();
+            if name.starts_with("SVC_")
+                && !rows.iter().any(|r| r.name == name && r.file == rel_path)
+            {
+                findings.push(RawFinding {
+                    trace: Vec::new(),
+                    rule: RuleId::FormatDrift,
+                    line: toks[i].line,
+                    message: format!(
+                        "service-layer constant `{name}` has no row in the DESIGN.md §5k table; \
+                         add one (the table is the authoritative service policy contract)"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+    (findings, matched)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +789,65 @@ intro text
         assert!(
             parse_spanidx_table("<!-- plfs-lint:spanidx-table -->\n| `A` | `1` | `f.rs` |\n")
                 .is_err()
+        );
+    }
+
+    const SVCTBL_DOC: &str = "\
+<!-- plfs-lint:svc-table -->
+| constant | value | file |
+| --- | --- | --- |
+| `SVC_HANDLE_SHARDS` | `64` | `a/service.rs` |
+| `SVC_TOKEN_RATE` | `65536` | `a/service.rs` |
+<!-- /plfs-lint:svc-table -->
+";
+
+    #[test]
+    fn svc_table_matches_both_ways() {
+        let rows = parse_svc_table(SVCTBL_DOC).unwrap();
+        assert_eq!(rows.len(), 2);
+        let toks = lex(
+            "pub const SVC_HANDLE_SHARDS: usize = 64;\npub const SVC_TOKEN_RATE: u64 = 65536;",
+        )
+        .toks;
+        let (f, m) = check_svc_file(&rows, "a/service.rs", &toks);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(m, vec![0, 1]);
+    }
+
+    #[test]
+    fn svc_constant_without_a_row_is_flagged() {
+        let rows = parse_svc_table(SVCTBL_DOC).unwrap();
+        let toks = lex(
+            "pub const SVC_HANDLE_SHARDS: usize = 64;\n\
+             pub const SVC_TOKEN_RATE: u64 = 65536;\n\
+             pub const SVC_NEW_KNOB: u64 = 3;",
+        )
+        .toks;
+        let (f, m) = check_svc_file(&rows, "a/service.rs", &toks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("SVC_NEW_KNOB"));
+        assert!(f[0].message.contains("\u{a7}5k"));
+        assert_eq!(f[0].line, 3);
+        assert_eq!(m, vec![0, 1]);
+    }
+
+    #[test]
+    fn svc_drifted_value_is_flagged() {
+        let rows = parse_svc_table(SVCTBL_DOC).unwrap();
+        let toks = lex(
+            "pub const SVC_HANDLE_SHARDS: usize = 32;\npub const SVC_TOKEN_RATE: u64 = 65536;",
+        )
+        .toks;
+        let (f, _) = check_svc_file(&rows, "a/service.rs", &toks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("32"));
+    }
+
+    #[test]
+    fn svc_missing_markers_error() {
+        assert!(parse_svc_table("no table").is_err());
+        assert!(
+            parse_svc_table("<!-- plfs-lint:svc-table -->\n| `A` | `1` | `f.rs` |\n").is_err()
         );
     }
 }

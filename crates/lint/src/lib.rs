@@ -338,6 +338,8 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
     let mut telemetry_seen = false;
     let sx_rows = drift::parse_spanidx_table(&doc)?;
     let mut sx_row_matched = vec![false; sx_rows.len()];
+    let svc_rows = drift::parse_svc_table(&doc)?;
+    let mut svc_row_matched = vec![false; svc_rows.len()];
     let lock_rows = drift::parse_lock_table(&doc)?;
 
     let mut prod_paths = Vec::new();
@@ -393,6 +395,12 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
             extras.extend(sx_findings);
             for idx in sx_matched {
                 sx_row_matched[idx] = true;
+            }
+            let (svc_findings, svc_matched) =
+                drift::check_svc_file(&svc_rows, rel, &lexed_for_drift.toks);
+            extras.extend(svc_findings);
+            for idx in svc_matched {
+                svc_row_matched[idx] = true;
             }
             if rel == "crates/core/src/ioplane.rs" {
                 ioplane_seen = true;
@@ -530,6 +538,28 @@ pub fn run(cfg: &LintConfig) -> Result<LintReport, String> {
                     .trim()
                     .to_string(),
                     trace: Vec::new(),
+            });
+        }
+    }
+
+    for (row, matched) in svc_rows.iter().zip(&svc_row_matched) {
+        if !matched {
+            report.findings.push(Finding {
+                rule: RuleId::FormatDrift,
+                file: "DESIGN.md".into(),
+                line: row.doc_line,
+                message: format!(
+                    "svc table row for `{}` points at `{}`, which was not scanned \
+                     (file moved or deleted without updating the table)",
+                    row.name, row.file
+                ),
+                snippet: doc
+                    .lines()
+                    .nth(row.doc_line as usize - 1)
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+                trace: Vec::new(),
             });
         }
     }

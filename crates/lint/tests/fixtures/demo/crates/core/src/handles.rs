@@ -5,6 +5,7 @@
 
 pub const DEMO_MAGIC: u32 = 7;
 pub const SPANIDX_DEMO: u64 = 1;
+pub const SVC_DEMO_SHARDS: usize = 4;
 
 pub struct HandleTable {
     shard: Mutex<Shard>,

@@ -26,6 +26,7 @@ pub mod pattern;
 pub mod restart;
 pub mod rotation;
 pub mod spec;
+pub mod traffic;
 
 pub use kernels::{aramco, ior, lanl1, lanl3, madbench, mpiio_test, nn_checkpoint, pixie3d, Kernel};
 pub use metadata::metadata_storm;
@@ -33,3 +34,4 @@ pub use pattern::IoPattern;
 pub use restart::{shrunk_restart, ShrunkRestart};
 pub use rotation::checkpoint_rotation;
 pub use spec::{OpSpec, SpecProgram, Workload};
+pub use traffic::{ClientOp, TrafficEvent, TrafficSpec};

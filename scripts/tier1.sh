@@ -58,3 +58,10 @@ cargo run --release --offline -p plfs-bench --bin sim_scale -- \
 # its backend round trips must not grow, against results/read_mem.md.
 # Regenerate with `read_mem --write` after a deliberate improvement.
 cargo run --release --offline --bin read_mem -- --check results/read_mem.md
+
+# Service-layer scale ratchet (DESIGN.md §5k): 1,024 simulated clients
+# through one shared Service in a re-executed child must sustain the
+# committed ops/sec floor and stay under the p99-latency and peak-RSS
+# ceilings in results/svc_scale.md. Regenerate with `svc_scale --write`
+# after a deliberate improvement.
+cargo run --release --offline --bin svc_scale -- --check results/svc_scale.md

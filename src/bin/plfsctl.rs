@@ -13,6 +13,7 @@
 //! plfsctl index inspect <mount-root> <logical>   spanidx header/fence summary
 //! plfsctl lint  [flags] [workspace-root]     run the static invariant checker
 //! plfsctl obs   [--json]                     telemetry demo: spans/counters/histograms
+//! plfsctl serve --bench [flags]              multi-tenant service bench (DESIGN.md §5k)
 //! ```
 //!
 //! `lint` flags: `--json` (machine-readable output), `--deny-warnings`
@@ -26,6 +27,14 @@
 //! prints the resulting span tree, counters, and latency histograms —
 //! as a human-readable tree by default, or as machine-readable JSON
 //! with `--json`.
+//!
+//! `serve --bench` replays the deterministic `workloads::traffic` trace
+//! against one shared `plfs::Service` (sharded handle table, per-tenant
+//! admission control — DESIGN.md §5k) and reports sustained throughput,
+//! tail latency, and how often admission engaged. Flags: `--clients`,
+//! `--tenants`, `--ops` (per client), `--threads`, `--seed`,
+//! `--token-rate`, `--token-burst`, `--dirty-budget` (all optional; the
+//! defaults are the tier-1 `svc_scale` shape scaled down).
 //!
 //! `--io-stats` (any command, any position) prints the I/O plane's
 //! per-op counters to stderr after the command: ops vs batches (the
@@ -52,7 +61,8 @@ fn usage() -> ExitCode {
         "usage: plfsctl <ls|stat|map|check|repair|cat|truncate|du> <mount-root> [logical-path] [size]\n\
          \x20      plfsctl index inspect <mount-root> <logical-path>\n\
          \x20      plfsctl lint [--json] [--deny-warnings] [--baseline <file>] [--write-baseline <file>] [--root <dir>] [--design <file>] [workspace-root]\n\
-         \x20      plfsctl obs [--json]"
+         \x20      plfsctl obs [--json]\n\
+         \x20      plfsctl serve --bench [--clients N] [--tenants N] [--ops N] [--threads N] [--seed N] [--token-rate N] [--token-burst N] [--dirty-budget N]"
     );
     ExitCode::from(2)
 }
@@ -222,6 +232,58 @@ fn cmd_obs(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `plfsctl serve --bench`: replay deterministic multi-tenant traffic
+/// against one shared service instance (DESIGN.md §5k) and report
+/// sustained throughput, tail latency, and admission activity.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = harness::SvcBenchConfig::scale(7);
+    // A laptop-friendly default; the tier-1 svc_scale stage runs the
+    // full 1,024-client shape.
+    cfg.clients = 256;
+    cfg.tenants = 16;
+    cfg.ops_per_client = 48;
+    let mut bench = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--bench" {
+            bench = true;
+            continue;
+        }
+        let Some(value) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("plfsctl serve: {arg} needs a numeric value");
+            return usage();
+        };
+        match arg.as_str() {
+            "--clients" => cfg.clients = value as u32,
+            "--tenants" => cfg.tenants = value as u32,
+            "--ops" => cfg.ops_per_client = value as u32,
+            "--threads" => cfg.threads = value as usize,
+            "--seed" => cfg.seed = value,
+            "--token-rate" => cfg.token_rate = value,
+            "--token-burst" => cfg.token_burst = value,
+            "--dirty-budget" => cfg.dirty_budget = value,
+            _ => return usage(),
+        }
+    }
+    if !bench {
+        eprintln!("plfsctl serve: only --bench mode is implemented (a network front end is ROADMAP item 1 residue)");
+        return usage();
+    }
+    println!(
+        "serve --bench: {} clients / {} tenants / {} ops each on {} threads (seed {})",
+        cfg.clients, cfg.tenants, cfg.ops_per_client, cfg.threads, cfg.seed
+    );
+    let r = harness::run_svc_bench(&cfg);
+    println!("  admitted ops   {:>12}", r.ops);
+    println!("  throttled      {:>12}", r.throttled);
+    println!("  sessions       {:>12}", r.opens);
+    println!("  forced flushes {:>12}", r.dirty_flushes);
+    println!("  wall time      {:>9} ms", r.wall_ns / 1_000_000);
+    println!("  sustained      {:>8} ops/s", r.ops_per_sec);
+    println!("  p99 latency    {:>9} us", r.p99_ns / 1_000);
+    ExitCode::SUCCESS
+}
+
 /// `plfsctl index inspect`: print the spanidx header and fence summary
 /// for one container's flattened index (DESIGN.md §5j) — what a
 /// memory-bounded read open materializes, versus the whole index.
@@ -321,6 +383,9 @@ fn dispatch(args: &[String]) -> ExitCode {
     }
     if args.get(1).map(String::as_str) == Some("index") {
         return cmd_index(&args[2..]);
+    }
+    if args.get(1).map(String::as_str) == Some("serve") {
+        return cmd_serve(&args[2..]);
     }
     if args.len() < 3 {
         return usage();

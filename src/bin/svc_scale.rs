@@ -1,0 +1,268 @@
+//! `svc_scale` — sustained-throughput / tail-latency ratchet for the
+//! multi-tenant service layer (DESIGN.md §5k), and the tier-1 stage
+//! behind `results/svc_scale.md`.
+//!
+//! The probe replays the deterministic `workloads::traffic` trace for
+//! 1,024 simulated clients over 32 tenants against one shared
+//! `plfs::Service` (sharded handle table + per-tenant admission,
+//! draining through the asynchronous plane over `MemFs`), **in a
+//! re-executed child process**, so the child's `VmHWM` from
+//! `/proc/self/status` is the service's peak RSS alone.
+//!
+//! Reported: `ops_per_sec` (sustained admitted ops), `p99_ns` (99th
+//! percentile of the `svc.op` latency histogram), `vmhwm_kb` (peak
+//! RSS), plus the raw `svc.*` counters.
+//!
+//! Modes: plain run prints the report; `--write <file>` records it
+//! with headroom — the throughput floor is half the measured rate, the
+//! p99 ceiling 8× measured (three power-of-two histogram buckets), the
+//! RSS ceiling 1.5× — so scheduler noise cannot flake the gate while
+//! real regressions still trip it; `--check <file>` re-measures and
+//! exits 1 if throughput fell below the committed floor or p99/RSS
+//! rose above their ceilings. `--child` is the internal re-exec entry.
+
+use harness::svcbench::{run_svc_bench, SvcBenchConfig};
+use std::process::ExitCode;
+
+/// Trace seed: fixed so every run replays the identical op sequence.
+const SEED: u64 = 0x00C0_FFEE;
+/// Headroom: committed ops/sec floor = measured / OPS_FLOOR_DEN.
+const OPS_FLOOR_DEN: u64 = 2;
+/// Headroom: committed p99 ceiling = measured × P99_HEADROOM.
+const P99_HEADROOM: u64 = 8;
+/// Headroom: committed RSS ceiling = measured × 3/2.
+const RSS_HEADROOM_NUM: u64 = 3;
+const RSS_HEADROOM_DEN: u64 = 2;
+
+/// One measured child run.
+struct Sample {
+    clients: u64,
+    ops: u64,
+    throttled: u64,
+    opens: u64,
+    dirty_flushes: u64,
+    wall_ns: u64,
+    ops_per_sec: u64,
+    p99_ns: u64,
+    vmhwm_kb: u64,
+}
+
+/// Peak resident set of the current process, from `/proc/self/status`.
+fn vmhwm_kb() -> Result<u64, String> {
+    let status = std::fs::read_to_string("/proc/self/status")
+        .map_err(|e| format!("read /proc/self/status: {e}"))?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .ok_or_else(|| "no VmHWM line in /proc/self/status".into())
+}
+
+/// Child entry: run the scale bench and print `key=value` pairs.
+fn child() -> Result<(), String> {
+    let report = run_svc_bench(&SvcBenchConfig::scale(SEED));
+    println!(
+        "clients={} ops={} throttled={} opens={} dirty_flushes={} wall_ns={} \
+         ops_per_sec={} p99_ns={} vmhwm_kb={}",
+        report.clients,
+        report.ops,
+        report.throttled,
+        report.opens,
+        report.dirty_flushes,
+        report.wall_ns,
+        report.ops_per_sec,
+        report.p99_ns,
+        vmhwm_kb()?
+    );
+    Ok(())
+}
+
+/// Re-exec ourselves as a measurement child and parse its report line.
+fn run_child() -> Result<Sample, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let out = std::process::Command::new(exe)
+        .arg("--child")
+        .output()
+        .map_err(|e| format!("spawn child: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "child failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let get = |key: &str| -> Result<u64, String> {
+        text.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("child: no `{key}` in: {text}"))
+    };
+    Ok(Sample {
+        clients: get("clients")?,
+        ops: get("ops")?,
+        throttled: get("throttled")?,
+        opens: get("opens")?,
+        dirty_flushes: get("dirty_flushes")?,
+        wall_ns: get("wall_ns")?,
+        ops_per_sec: get("ops_per_sec")?,
+        p99_ns: get("p99_ns")?,
+        vmhwm_kb: get("vmhwm_kb")?,
+    })
+}
+
+fn render_table(s: &Sample) -> String {
+    format!(
+        "| clients | ops | throttled | opens | dirty_flushes | wall_ms | ops_per_sec | p99_us | vmhwm_kb |\n\
+         | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |\n\
+         | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+        s.clients,
+        s.ops,
+        s.throttled,
+        s.opens,
+        s.dirty_flushes,
+        s.wall_ns / 1_000_000,
+        s.ops_per_sec,
+        s.p99_ns / 1_000,
+        s.vmhwm_kb
+    )
+}
+
+fn render_results(s: &Sample) -> String {
+    let ops_floor = s.ops_per_sec / OPS_FLOOR_DEN;
+    let p99_ceiling = s.p99_ns.saturating_mul(P99_HEADROOM);
+    let rss_ceiling = s.vmhwm_kb * RSS_HEADROOM_NUM / RSS_HEADROOM_DEN;
+    format!(
+        "# Service layer at 1,024 concurrent clients: sustained ops/sec and p99\n\
+         \n\
+         Generated by `cargo run --release --bin svc_scale -- --write results/svc_scale.md`\n\
+         (release build; shapes in `crates/harness/src/svcbench.rs`). One shared\n\
+         `plfs::Service` over the asynchronous plane (`Reactor` over `MemFs`)\n\
+         absorbs the deterministic `workloads::traffic` trace — {} clients\n\
+         across 32 tenants, heavy-tailed arrivals, seed {SEED:#x} — replayed by\n\
+         8 threads. The run happens in a re-executed child so `vmhwm_kb` is the\n\
+         service's peak RSS alone. `scripts/tier1.sh` re-measures and gates\n\
+         (`svc_scale --check`): throughput must hold the committed floor and\n\
+         p99/RSS must stay under their ceilings — the budget only ratchets\n\
+         toward better.\n\
+         \n\
+         {}\n\
+         svc-floor: clients={} ops_per_sec={ops_floor} p99_ns={p99_ceiling} vmhwm_kb={rss_ceiling}\n",
+        s.clients,
+        render_table(s),
+        s.clients,
+    )
+}
+
+/// Parse the committed `svc-floor: ...` line.
+fn parse_floor(text: &str) -> Option<(u64, u64, u64, u64)> {
+    let line = text.lines().find_map(|l| l.trim().strip_prefix("svc-floor:"))?;
+    let get = |key: &str| -> Option<u64> {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+            .and_then(|v| v.parse().ok())
+    };
+    Some((get("clients")?, get("ops_per_sec")?, get("p99_ns")?, get("vmhwm_kb")?))
+}
+
+fn check(s: &Sample, committed: &str) -> Vec<String> {
+    let Some((clients, ops_floor, p99_ceiling, rss_ceiling)) = parse_floor(committed) else {
+        return vec!["no committed `svc-floor:` line; regenerate with --write".into()];
+    };
+    let mut errs = Vec::new();
+    if s.clients < clients {
+        errs.push(format!(
+            "bench ran {} clients, committed scale is {clients}",
+            s.clients
+        ));
+    }
+    if s.ops_per_sec < ops_floor {
+        errs.push(format!(
+            "sustained throughput {} ops/sec fell below the committed floor {ops_floor} \
+             (the floor only ratchets up)",
+            s.ops_per_sec
+        ));
+    }
+    if s.p99_ns > p99_ceiling {
+        errs.push(format!(
+            "p99 latency {} ns exceeds the committed ceiling {p99_ceiling} ns \
+             (the ceiling only ratchets down)",
+            s.p99_ns
+        ));
+    }
+    if s.vmhwm_kb > rss_ceiling {
+        errs.push(format!(
+            "service peak RSS {} kB exceeds the committed ceiling {rss_ceiling} kB \
+             (the ceiling only ratchets down)",
+            s.vmhwm_kb
+        ));
+    }
+    errs
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some("--child"), _) => match child() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("svc_scale --child: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        (None, _) => match run_child() {
+            Ok(s) => {
+                print!("{}", render_table(&s));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("svc_scale: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        (Some("--write"), Some(path)) => match run_child() {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, render_results(&s)) {
+                    eprintln!("svc_scale: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("svc_scale: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        (Some("--check"), Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("svc_scale: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let s = match run_child() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("svc_scale: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let errs = check(&s, &text);
+            print!("{}", render_table(&s));
+            for e in &errs {
+                eprintln!("error[svc-scale]: {e}");
+            }
+            if errs.is_empty() {
+                println!("svc_scale: within committed budget ({path})");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: svc_scale [--write <file> | --check <file>]");
+            ExitCode::from(2)
+        }
+    }
+}
